@@ -1,0 +1,325 @@
+package obfuscade_test
+
+import (
+	"testing"
+
+	"obfuscade/internal/brep"
+	"obfuscade/internal/core"
+	"obfuscade/internal/experiments"
+	"obfuscade/internal/fea"
+	"obfuscade/internal/mech"
+	"obfuscade/internal/printer"
+	"obfuscade/internal/slicer"
+	"obfuscade/internal/stl"
+	"obfuscade/internal/supplychain"
+	"obfuscade/internal/tessellate"
+)
+
+// Macro benchmarks: one per table and figure of the paper's evaluation.
+// Each regenerates the artifact end to end; the per-experiment index in
+// DESIGN.md §5 maps benchmarks to modules.
+
+func BenchmarkTable1RiskRegistry(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2TensileProperties(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, groups, err := experiments.Table2(5, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := experiments.Table2ShapeCheck(groups); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(groups[0].FailureStrain.Mean, "splineXY-strain")
+		b.ReportMetric(groups[3].FailureStrain.Mean, "intactXZ-strain")
+	}
+}
+
+func BenchmarkTable3EmbeddedSphere(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(t.Rows) != 4 {
+			b.Fatal("table 3 incomplete")
+		}
+	}
+}
+
+func BenchmarkFig1ProcessChain(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig2AttackTaxonomy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if out := experiments.Fig2(); len(out) == 0 {
+			b.Fatal("empty taxonomy")
+		}
+	}
+}
+
+func BenchmarkFig3ArtifactStages(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4TessellationGaps(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series, _, err := experiments.Fig4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(series.Y[0], "coarse-gap-mm")
+		b.ReportMetric(series.Y[2], "custom-gap-mm")
+	}
+}
+
+func BenchmarkFig5STLResolution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig5(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6Orientations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig6(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7XZDiscontinuity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig7(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8XYSurface(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig8(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9StressConcentration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig9(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig10SphereArtifacts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig10(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSideChannelReconstruction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.SideChannelLeakage(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKeySpaceAnalysis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, rep, err := experiments.KeySpace()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rep.GoodKeys), "good-keys")
+	}
+}
+
+func BenchmarkServiceLife(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ServiceLife(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSTLTheft(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.STLTheft(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationMultiSplit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationMultiSplit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPolyJetReplication(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.PolyJetReplication(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationHealing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationHealing(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Micro benchmarks: the substrate hot paths.
+
+func splitBar(b *testing.B) *brep.Part {
+	b.Helper()
+	p, err := brep.NewTensileBar("bar", brep.DefaultTensileBar())
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := brep.SplitSplineThroughGauge(brep.DefaultTensileBar(), 2, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := brep.SplitBySpline(p, "bar", s); err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+func BenchmarkTessellateSplitBarFine(b *testing.B) {
+	part := splitBar(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tessellate.Tessellate(part, tessellate.Fine); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSTLEncodeDecode(b *testing.B) {
+	part := splitBar(b)
+	m, err := tessellate.Tessellate(part, tessellate.Fine)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := stl.Marshal(m, stl.Binary, "bar")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := stl.Unmarshal(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSliceSplitBarXY(b *testing.B) {
+	part := splitBar(b)
+	m, err := tessellate.Tessellate(part, tessellate.Fine)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := slicer.Slice(m, slicer.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVirtualPrintSplitBar(b *testing.B) {
+	part := splitBar(b)
+	m, err := tessellate.Tessellate(part, tessellate.Coarse)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sliced, err := slicer.Slice(m, slicer.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := printer.Print(sliced, printer.DimensionElite(), printer.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFEASplitTip(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := fea.SplitTipAnalysis(33, 6, 3.2, 2000, 0.35, 1.5, 60); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTensileTestGroup(b *testing.B) {
+	spec := mech.Specimen{Mat: mech.ABS(mech.XY), SeamPresent: true, SeamQuality: 0.35, Kt: 2.6}
+	for i := 0; i < b.N; i++ {
+		if _, err := mech.TestGroup("bench", spec, 5, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFullPipelineCoarseXY(b *testing.B) {
+	part := splitBar(b)
+	pl := supplychain.DefaultPipeline()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pl.Execute(part); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkProtectAndManufacture(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		prot, err := core.NewProtectedBar("bar", false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := core.Manufacture(prot, prot.Manifest.Key, printer.DimensionElite())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Quality.Grade != core.Good {
+			b.Fatalf("correct key grade = %v", res.Quality.Grade)
+		}
+	}
+}
+
+func BenchmarkNDTInspection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.NDT(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,225 @@
+// Command amsim runs the full additive-manufacturing process chain
+// (paper Fig. 1) on a built-in or user-supplied CAD part and reports the
+// artifact at every stage. Optionally exports the STL and G-code files.
+//
+// Usage:
+//
+//	amsim [-part bar|split-bar|prism|sphere|plate] [-cad file.ocad]
+//	      [-res coarse|fine|custom] [-orient xy|xz] [-printer fdm|polyjet]
+//	      [-stl out.stl] [-gcode out.gcode] [-replicates n] [-inspect]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"obfuscade/internal/brep"
+	"obfuscade/internal/gcode"
+	"obfuscade/internal/geom"
+	"obfuscade/internal/mech"
+	"obfuscade/internal/printer"
+	"obfuscade/internal/supplychain"
+	"obfuscade/internal/tessellate"
+	"obfuscade/internal/voxel"
+)
+
+func main() {
+	partName := flag.String("part", "bar", "built-in part: bar, split-bar, prism, sphere, plate, shaft")
+	cadFile := flag.String("cad", "", "load part from a native .ocad file instead")
+	resName := flag.String("res", "fine", "STL resolution: coarse, fine, custom")
+	orient := flag.String("orient", "xy", "print orientation: xy, xz")
+	printerName := flag.String("printer", "fdm", "printer profile: fdm, polyjet")
+	stlOut := flag.String("stl", "", "write binary STL to this path")
+	gcodeOut := flag.String("gcode", "", "write G-code to this path")
+	replicates := flag.Int("replicates", 0, "run n tensile replicates after printing")
+	inspect := flag.Bool("inspect", false, "render a cut-open mid section of the printed part")
+	flag.Parse()
+
+	if err := run(*partName, *cadFile, *resName, *orient, *printerName,
+		*stlOut, *gcodeOut, *replicates, *inspect); err != nil {
+		fmt.Fprintln(os.Stderr, "amsim:", err)
+		os.Exit(1)
+	}
+}
+
+func buildPart(name string) (*brep.Part, error) {
+	switch name {
+	case "bar":
+		return brep.NewTensileBar("bar", brep.DefaultTensileBar())
+	case "split-bar":
+		p, err := brep.NewTensileBar("bar", brep.DefaultTensileBar())
+		if err != nil {
+			return nil, err
+		}
+		s, err := brep.SplitSplineThroughGauge(brep.DefaultTensileBar(), 2, 3)
+		if err != nil {
+			return nil, err
+		}
+		if err := brep.SplitBySpline(p, "bar", s); err != nil {
+			return nil, err
+		}
+		return p, nil
+	case "prism":
+		return brep.NewRectPrism("prism", geom.V3(25.4, 12.7, 12.7))
+	case "shaft":
+		// An axisymmetric stepped shaft with an embedded sphere in the
+		// thick section.
+		p, err := brep.NewShaft("shaft", 10, 6, 25, 3)
+		if err != nil {
+			return nil, err
+		}
+		if err := brep.EmbedSphere(p, "shaft", geom.V3(5, 0, 0), 2, brep.EmbedOpts{}); err != nil {
+			return nil, err
+		}
+		return p, nil
+	case "plate":
+		// A realistic bracket plate: mounting holes plus a spline split
+		// hidden between them.
+		p, err := brep.NewTensileBar("plate", brep.DefaultTensileBar())
+		if err != nil {
+			return nil, err
+		}
+		s, err := brep.SplitSplineThroughGauge(brep.DefaultTensileBar(), 2, 3)
+		if err != nil {
+			return nil, err
+		}
+		if err := brep.SplitBySpline(p, "bar", s); err != nil {
+			return nil, err
+		}
+		for _, hole := range [][2]float64{{12, 14.5}, {103, 14.5}} {
+			if err := brep.AddThroughHole(p, "bar-upper", hole[0], hole[1], 2.5); err != nil {
+				return nil, err
+			}
+		}
+		return p, nil
+	case "sphere":
+		p, err := brep.NewRectPrism("prism", geom.V3(25.4, 12.7, 12.7))
+		if err != nil {
+			return nil, err
+		}
+		err = brep.EmbedSphere(p, "prism", geom.V3(12.7, 6.35, 6.35), 3.175, brep.EmbedOpts{})
+		if err != nil {
+			return nil, err
+		}
+		return p, nil
+	default:
+		return nil, fmt.Errorf("unknown part %q", name)
+	}
+}
+
+func run(partName, cadFile, resName, orient, printerName, stlOut, gcodeOut string,
+	replicates int, inspect bool) error {
+	var part *brep.Part
+	var err error
+	if cadFile != "" {
+		data, err := os.ReadFile(cadFile)
+		if err != nil {
+			return err
+		}
+		part, err = brep.Load(data)
+		if err != nil {
+			return err
+		}
+	} else {
+		part, err = buildPart(partName)
+		if err != nil {
+			return err
+		}
+	}
+
+	res, err := tessellate.ByName(resName)
+	if err != nil {
+		return err
+	}
+	var o mech.Orientation
+	switch orient {
+	case "xy":
+		o = mech.XY
+	case "xz":
+		o = mech.XZ
+	default:
+		return fmt.Errorf("unknown orientation %q", orient)
+	}
+	var prof printer.Profile
+	switch printerName {
+	case "fdm":
+		prof = printer.DimensionElite()
+	case "polyjet":
+		prof = printer.Objet30Pro()
+	default:
+		return fmt.Errorf("unknown printer %q", printerName)
+	}
+
+	pl := supplychain.Pipeline{
+		Resolution:  res,
+		Orientation: o,
+		Printer:     prof,
+		RunFEA:      true,
+	}
+	fmt.Printf("amsim: part %q through %s at %s resolution, %s orientation\n\n",
+		part.Name, prof.Name, res.Name, o)
+	runRes, err := pl.Execute(part)
+	if err != nil {
+		return err
+	}
+
+	sim, err := gcode.Simulate(runRes.GCode, gcode.DimensionEliteEnvelope())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("CAD:       %d bodies, %d history entries, %d bytes\n",
+		len(part.Bodies), len(part.History), len(runRes.CADBytes))
+	fmt.Printf("STL:       %d triangles, %d bytes, volume %.1f mm^3\n",
+		runRes.STLStats.Triangles, len(runRes.STLBytes), runRes.STLStats.Volume)
+	fmt.Printf("Slicing:   %d layers @ %.4f mm\n",
+		len(runRes.Sliced.Layers), runRes.Sliced.Opts.LayerHeight)
+	fmt.Printf("G-code:    %d commands, %.1f min print, %.0f mm extruded, violations: %d\n",
+		len(runRes.GCode.Commands), sim.PrintTime/60, sim.ExtrudeLength, len(sim.Violations))
+	fmt.Printf("Build:     %.0f mm^3 model, %.0f mm^3 support, %d seams\n",
+		runRes.Build.ModelVolume, runRes.Build.SupportVolume, len(runRes.Build.Seams))
+	fmt.Printf("FEA:       Kt = %.2f\n", runRes.DesignKt)
+	fmt.Printf("Inspect:   %d internal cavities, surface disruption %.3f mm (visible: %t)\n",
+		len(runRes.Build.Grid.InternalCavities()), runRes.Build.SurfaceDisruption,
+		runRes.Build.SurfaceDisrupted())
+	for _, s := range runRes.Build.Seams {
+		fmt.Printf("Seam:      %s|%s bond %.2f, discontinuous layers %.0f%%\n",
+			s.BodyA, s.BodyB, s.BondQuality, 100*s.DiscontinuousFraction)
+	}
+
+	if replicates > 0 {
+		g, err := pl.TestPrinted(runRes, "tensile", replicates, 1)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Tensile:   E %s GPa, UTS %s MPa, failure strain %s, toughness %s kJ/m^3 (n=%d)\n",
+			g.Young, g.UTS, g.FailureStrain, g.Toughness, g.N)
+	}
+
+	if stlOut != "" {
+		if err := os.WriteFile(stlOut, runRes.STLBytes, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", stlOut)
+	}
+	if gcodeOut != "" {
+		data, err := gcode.Marshal(runRes.GCode)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(gcodeOut, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", gcodeOut)
+	}
+	if inspect {
+		g := runRes.Build.Grid
+		fmt.Printf("\ncut-open mid section (x-z plane at y midplane; '#' model, 's' support):\n")
+		section, err := g.SectionASCII(voxel.AxisY, g.NY/2, 100)
+		if err != nil {
+			return err
+		}
+		fmt.Print(section)
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"obfuscade/internal/brep"
+)
+
+func TestBuildPartVariants(t *testing.T) {
+	for _, name := range []string{"bar", "split-bar", "prism", "sphere", "plate", "shaft"} {
+		p, err := buildPart(name)
+		if err != nil {
+			t.Errorf("buildPart(%s): %v", name, err)
+			continue
+		}
+		if len(p.Bodies) == 0 {
+			t.Errorf("buildPart(%s): no bodies", name)
+		}
+	}
+	if _, err := buildPart("widget"); err == nil {
+		t.Error("expected error for unknown part")
+	}
+}
+
+func TestRunWritesArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	stlPath := filepath.Join(dir, "out.stl")
+	gcodePath := filepath.Join(dir, "out.gcode")
+	if err := run("bar", "", "coarse", "xy", "fdm", stlPath, gcodePath, 2, false); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{stlPath, gcodePath} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("missing artifact %s: %v", p, err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("empty artifact %s", p)
+		}
+	}
+}
+
+func TestRunFromCADFile(t *testing.T) {
+	dir := t.TempDir()
+	part, err := buildPart("split-bar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := brep.Save(part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cadPath := filepath.Join(dir, "part.ocad")
+	if err := os.WriteFile(cadPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", cadPath, "coarse", "xz", "fdm", "", "", 0, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadArguments(t *testing.T) {
+	if err := run("bar", "", "ultra", "xy", "fdm", "", "", 0, false); err == nil {
+		t.Error("expected error for bad resolution")
+	}
+	if err := run("bar", "", "coarse", "diagonal", "fdm", "", "", 0, false); err == nil {
+		t.Error("expected error for bad orientation")
+	}
+	if err := run("bar", "", "coarse", "xy", "sls", "", "", 0, false); err == nil {
+		t.Error("expected error for bad printer")
+	}
+	if err := run("bar", "/nonexistent/file.ocad", "coarse", "xy", "fdm", "", "", 0, false); err == nil {
+		t.Error("expected error for missing CAD file")
+	}
+}

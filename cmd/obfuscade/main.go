@@ -1,0 +1,376 @@
+// Command obfuscade is the ObfusCADe protection CLI: it embeds security
+// features in CAD models, manufactures them under chosen processing keys,
+// evaluates the full quality matrix, and authenticates printed parts.
+//
+// Subcommands:
+//
+//	obfuscade protect -out design.ocad -manifest manifest.json [-with-sphere]
+//	obfuscade manufacture -in design.ocad -manifest manifest.json
+//	                      [-res coarse|fine|custom] [-orient xy|xz] [-restore-sphere]
+//	obfuscade matrix -in design.ocad -manifest manifest.json
+//	obfuscade keyspace -in design.ocad -manifest manifest.json
+//	obfuscade advise [-amplitudes 1.0,2.0]
+//	obfuscade mark -in part.stl -out marked.stl -key partner-a
+//	obfuscade trace -original part.stl -suspect leaked.stl -keys partner-a,partner-b
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"obfuscade/internal/brep"
+	"obfuscade/internal/core"
+	"obfuscade/internal/mech"
+	"obfuscade/internal/printer"
+	"obfuscade/internal/stl"
+	"obfuscade/internal/tessellate"
+	"obfuscade/internal/watermark"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "protect":
+		err = cmdProtect(os.Args[2:])
+	case "manufacture":
+		err = cmdManufacture(os.Args[2:])
+	case "matrix":
+		err = cmdMatrix(os.Args[2:])
+	case "keyspace":
+		err = cmdKeyspace(os.Args[2:])
+	case "advise":
+		err = cmdAdvise(os.Args[2:])
+	case "mark":
+		err = cmdMark(os.Args[2:])
+	case "trace":
+		err = cmdTrace(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+		return
+	default:
+		usage()
+		err = fmt.Errorf("unknown subcommand %q", os.Args[1])
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "obfuscade:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: obfuscade <protect|manufacture|matrix|keyspace|advise|mark|trace> [flags]
+run "obfuscade <subcommand> -h" for flags`)
+}
+
+// manifestFile is the on-disk JSON form of the secret manifest.
+type manifestFile struct {
+	PartName      string               `json:"part_name"`
+	Features      []core.FeatureRecord `json:"features"`
+	KeyResolution string               `json:"key_resolution"`
+	KeyOrient     string               `json:"key_orientation"`
+	RestoreSphere bool                 `json:"restore_sphere"`
+	CADDigest     string               `json:"cad_digest"`
+}
+
+func saveManifest(path string, m core.Manifest) error {
+	mf := manifestFile{
+		PartName:      m.PartName,
+		Features:      m.Features,
+		KeyResolution: m.Key.Resolution.Name,
+		KeyOrient:     m.Key.Orientation.String(),
+		RestoreSphere: m.Key.RestoreSphere,
+		CADDigest:     m.CADDigest,
+	}
+	data, err := json.MarshalIndent(mf, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o600)
+}
+
+func loadManifest(path string) (core.Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return core.Manifest{}, err
+	}
+	var mf manifestFile
+	if err := json.Unmarshal(data, &mf); err != nil {
+		return core.Manifest{}, err
+	}
+	res, err := tessellate.ByName(mf.KeyResolution)
+	if err != nil {
+		return core.Manifest{}, err
+	}
+	o := mech.XY
+	if mf.KeyOrient == "x-z" {
+		o = mech.XZ
+	}
+	return core.Manifest{
+		PartName:  mf.PartName,
+		Features:  mf.Features,
+		Key:       core.Key{Resolution: res, Orientation: o, RestoreSphere: mf.RestoreSphere},
+		CADDigest: mf.CADDigest,
+	}, nil
+}
+
+func loadProtected(cadPath, manPath string) (*core.Protected, error) {
+	data, err := os.ReadFile(cadPath)
+	if err != nil {
+		return nil, err
+	}
+	part, err := brep.Load(data)
+	if err != nil {
+		return nil, err
+	}
+	man, err := loadManifest(manPath)
+	if err != nil {
+		return nil, err
+	}
+	prot := &core.Protected{Part: part, Manifest: man}
+	if err := core.VerifyDistribution(prot, data); err != nil {
+		return nil, err
+	}
+	return prot, nil
+}
+
+func cmdProtect(args []string) error {
+	fs := flag.NewFlagSet("protect", flag.ExitOnError)
+	out := fs.String("out", "design.ocad", "output protected CAD file")
+	manOut := fs.String("manifest", "manifest.json", "output secret manifest")
+	withSphere := fs.Bool("with-sphere", false, "also embed the sphere feature")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	prot, err := core.NewProtectedBar("protected-bar", *withSphere)
+	if err != nil {
+		return err
+	}
+	data, err := brep.Save(prot.Part)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	if err := saveManifest(*manOut, prot.Manifest); err != nil {
+		return err
+	}
+	fmt.Printf("protected design written to %s (%d bytes)\n", *out, len(data))
+	fmt.Printf("secret manifest written to %s\n", *manOut)
+	fmt.Printf("correct key: %v\n", prot.Manifest.Key)
+	return nil
+}
+
+func cmdManufacture(args []string) error {
+	fs := flag.NewFlagSet("manufacture", flag.ExitOnError)
+	in := fs.String("in", "design.ocad", "protected CAD file")
+	man := fs.String("manifest", "manifest.json", "manifest file")
+	resName := fs.String("res", "coarse", "STL resolution")
+	orient := fs.String("orient", "xy", "print orientation (xy, xz)")
+	restore := fs.Bool("restore-sphere", false, "apply the secret CAD operation")
+	authenticate := fs.Bool("authenticate", true, "authenticate the printed part")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	prot, err := loadProtected(*in, *man)
+	if err != nil {
+		return err
+	}
+	res, err := tessellate.ByName(*resName)
+	if err != nil {
+		return err
+	}
+	o := mech.XY
+	if *orient == "xz" {
+		o = mech.XZ
+	}
+	key := core.Key{Resolution: res, Orientation: o, RestoreSphere: *restore}
+	result, err := core.Manufacture(prot, key, printer.DimensionElite())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("manufactured under key %v\n", key)
+	fmt.Printf("grade: %s\n", result.Quality.Grade)
+	for _, n := range result.Quality.Notes {
+		fmt.Printf("  - %s\n", n)
+	}
+	if *authenticate {
+		rep := core.Authenticate(result.Run.Build, &prot.Manifest)
+		fmt.Printf("authentication verdict: %s\n", rep.Verdict)
+		for _, n := range rep.Notes {
+			fmt.Printf("  - %s\n", n)
+		}
+	}
+	return nil
+}
+
+func cmdMatrix(args []string) error {
+	fs := flag.NewFlagSet("matrix", flag.ExitOnError)
+	in := fs.String("in", "design.ocad", "protected CAD file")
+	man := fs.String("manifest", "manifest.json", "manifest file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	prot, err := loadProtected(*in, *man)
+	if err != nil {
+		return err
+	}
+	entries, err := core.QualityMatrix(prot, printer.DimensionElite())
+	if err != nil {
+		return err
+	}
+	fmt.Println(core.MatrixTable(entries).Render())
+	good := core.GoodKeys(entries)
+	fmt.Printf("%d of %d keys manufacture a good part:\n", len(good), len(entries))
+	for _, k := range good {
+		fmt.Printf("  %v\n", k)
+	}
+	return nil
+}
+
+func cmdKeyspace(args []string) error {
+	fs := flag.NewFlagSet("keyspace", flag.ExitOnError)
+	in := fs.String("in", "design.ocad", "protected CAD file")
+	man := fs.String("manifest", "manifest.json", "manifest file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	prot, err := loadProtected(*in, *man)
+	if err != nil {
+		return err
+	}
+	rep, _, err := core.AnalyzeKeySpace(prot, printer.DimensionElite())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("key space size:           %d\n", rep.TotalKeys)
+	fmt.Printf("good keys:                %d\n", rep.GoodKeys)
+	fmt.Printf("mean print time:          %.2f h\n", rep.MeanPrintHours)
+	fmt.Printf("expected brute-force:     %.2f h of printing + testing\n", rep.ExpectedBruteForceHours)
+	return nil
+}
+
+func cmdAdvise(args []string) error {
+	fs := flag.NewFlagSet("advise", flag.ExitOnError)
+	amps := fs.String("amplitudes", "1.0,1.5,2.0,2.5", "comma-separated candidate amplitudes (mm)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var candidates []float64
+	for _, tok := range strings.Split(*amps, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+		if err != nil {
+			return fmt.Errorf("bad amplitude %q: %w", tok, err)
+		}
+		candidates = append(candidates, v)
+	}
+	advice, best, err := core.AdviseSplit(brep.DefaultTensileBar(), candidates, printer.DimensionElite())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-10s %-9s %-9s %-10s %-9s %-10s %s\n",
+		"amplitude", "arc/width", "genuine", "gen-bond", "wrong", "sab-bond", "STL overhead")
+	for i, a := range advice {
+		mark := ""
+		if i == best {
+			mark = "  <-- recommended"
+		}
+		fmt.Printf("%-10.2f %-9.2f %-9s %-10.2f %-9s %-10.2f %.0f%%%s\n",
+			a.Amplitude, a.ArcRatio, a.GenuineGrade, a.GenuineBond,
+			a.WrongKeyGrade, a.SabotageBond, 100*a.STLOverhead, mark)
+	}
+	if best < 0 {
+		return fmt.Errorf("no candidate satisfies the genuine-good / wrong-defective constraint")
+	}
+	return nil
+}
+
+func cmdMark(args []string) error {
+	fs := flag.NewFlagSet("mark", flag.ExitOnError)
+	in := fs.String("in", "", "input STL file")
+	out := fs.String("out", "", "output marked STL file")
+	key := fs.String("key", "", "watermark key (e.g. the partner name)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *out == "" || *key == "" {
+		return fmt.Errorf("mark requires -in, -out and -key")
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	m, err := stl.Unmarshal(data)
+	if err != nil {
+		return err
+	}
+	n, err := watermark.Embed(m, []byte(*key), watermark.DefaultAmplitude)
+	if err != nil {
+		return err
+	}
+	marked, err := stl.Marshal(m, stl.Binary, "marked")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, marked, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("marked %d vertices; wrote %s (%d bytes)\n", n, *out, len(marked))
+	return nil
+}
+
+func cmdTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	original := fs.String("original", "", "the owner's unmarked STL")
+	suspect := fs.String("suspect", "", "the leaked STL to analyse")
+	keys := fs.String("keys", "", "comma-separated candidate keys")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *original == "" || *suspect == "" || *keys == "" {
+		return fmt.Errorf("trace requires -original, -suspect and -keys")
+	}
+	origData, err := os.ReadFile(*original)
+	if err != nil {
+		return err
+	}
+	origMesh, err := stl.Unmarshal(origData)
+	if err != nil {
+		return err
+	}
+	susData, err := os.ReadFile(*suspect)
+	if err != nil {
+		return err
+	}
+	susMesh, err := stl.Unmarshal(susData)
+	if err != nil {
+		return err
+	}
+	found := false
+	for _, key := range strings.Split(*keys, ",") {
+		key = strings.TrimSpace(key)
+		res, err := watermark.Detect(origMesh, susMesh, []byte(key), watermark.DefaultAmplitude)
+		if err != nil {
+			return err
+		}
+		verdict := ""
+		if res.Present() {
+			verdict = "  <-- LEAK SOURCE"
+			found = true
+		}
+		fmt.Printf("%-20s correlation %5.2f (matched %d/%d)%s\n",
+			key, res.Score, res.Matched, res.Total, verdict)
+	}
+	if !found {
+		fmt.Println("no candidate key matches; the copy is unmarked or from an unknown source")
+	}
+	return nil
+}

@@ -1,0 +1,154 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"obfuscade/internal/core"
+	"obfuscade/internal/mech"
+	"obfuscade/internal/stl"
+	"obfuscade/internal/tessellate"
+)
+
+func TestManifestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "manifest.json")
+	prot, err := core.NewProtectedBar("bar", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := saveManifest(path, prot.Manifest); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.PartName != prot.Manifest.PartName {
+		t.Errorf("part name = %q", got.PartName)
+	}
+	if got.Key.Resolution.Name != prot.Manifest.Key.Resolution.Name {
+		t.Errorf("key resolution = %q", got.Key.Resolution.Name)
+	}
+	if got.Key.Orientation != mech.XY {
+		t.Errorf("key orientation = %v", got.Key.Orientation)
+	}
+	if !got.Key.RestoreSphere {
+		t.Error("restore-sphere bit lost")
+	}
+	if len(got.Features) != 2 {
+		t.Errorf("features = %d", len(got.Features))
+	}
+	if got.CADDigest != prot.Manifest.CADDigest {
+		t.Error("digest lost")
+	}
+}
+
+func TestLoadManifestErrors(t *testing.T) {
+	if _, err := loadManifest("/nonexistent.json"); err == nil {
+		t.Error("expected error for missing file")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadManifest(bad); err == nil {
+		t.Error("expected error for malformed manifest")
+	}
+}
+
+func TestProtectManufactureSubcommands(t *testing.T) {
+	dir := t.TempDir()
+	cad := filepath.Join(dir, "design.ocad")
+	man := filepath.Join(dir, "manifest.json")
+
+	if err := cmdProtect([]string{"-out", cad, "-manifest", man}); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cad, man} {
+		if _, err := os.Stat(p); err != nil {
+			t.Fatalf("missing %s: %v", p, err)
+		}
+	}
+	// Manufacture under an arbitrary key; authentication runs too.
+	if err := cmdManufacture([]string{
+		"-in", cad, "-manifest", man, "-res", tessellate.Coarse.Name, "-orient", "xy",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Tampered CAD file is rejected by the distribution check.
+	data, err := os.ReadFile(cad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[50] ^= 0xFF
+	tampered := filepath.Join(dir, "tampered.ocad")
+	if err := os.WriteFile(tampered, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdManufacture([]string{"-in", tampered, "-manifest", man}); err == nil {
+		t.Error("tampered design should be rejected")
+	}
+}
+
+func TestKeyspaceSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	cad := filepath.Join(dir, "design.ocad")
+	man := filepath.Join(dir, "manifest.json")
+	if err := cmdProtect([]string{"-out", cad, "-manifest", man}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdKeyspace([]string{"-in", cad, "-manifest", man}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdviseSubcommand(t *testing.T) {
+	if err := cmdAdvise([]string{"-amplitudes", "2.0"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdAdvise([]string{"-amplitudes", "nope"}); err == nil {
+		t.Error("expected error for bad amplitude list")
+	}
+}
+
+func TestMarkAndTraceSubcommands(t *testing.T) {
+	dir := t.TempDir()
+	// Produce an original STL.
+	prot, err := core.NewProtectedBar("bar", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := core.ClonePart(prot.Part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := tessellate.Tessellate(part, tessellate.Fine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := stl.Marshal(m, stl.Binary, "bar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := filepath.Join(dir, "orig.stl")
+	if err := os.WriteFile(orig, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	marked := filepath.Join(dir, "marked.stl")
+	if err := cmdMark([]string{"-in", orig, "-out", marked, "-key", "partner-x"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdTrace([]string{"-original", orig, "-suspect", marked,
+		"-keys", "partner-x,partner-y"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdMark([]string{"-in", orig}); err == nil {
+		t.Error("expected error for missing flags")
+	}
+	if err := cmdTrace([]string{"-original", orig}); err == nil {
+		t.Error("expected error for missing flags")
+	}
+}

@@ -1,0 +1,246 @@
+// Command paperbench regenerates every table and figure of the
+// ObfusCADe paper's evaluation.
+//
+// Usage:
+//
+//	paperbench [-exp all|table1|table2|table3|fig1..fig10|polyjet|sidechannel|keyspace|ablation]
+//	           [-n replicates] [-seed n] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"obfuscade/internal/experiments"
+	"obfuscade/internal/report"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (all, table1..3, fig1..fig10, polyjet, sidechannel, keyspace, stltheft, ndt, servicelife, ablation)")
+	n := flag.Int("n", 5, "tensile replicates per group")
+	seed := flag.Int64("seed", 1, "process noise seed")
+	csv := flag.Bool("csv", false, "emit tables as CSV")
+	flag.Parse()
+
+	if err := run(*exp, *n, *seed, *csv); err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, n int, seed int64, csv bool) error {
+	emit := func(t *report.Table) {
+		if csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Println(t.Render())
+		}
+	}
+	want := func(name string) bool { return exp == "all" || strings.EqualFold(exp, name) }
+	ran := false
+
+	if want("table1") {
+		ran = true
+		t, err := experiments.Table1()
+		if err != nil {
+			return err
+		}
+		emit(t)
+	}
+	if want("table2") {
+		ran = true
+		t, groups, err := experiments.Table2(n, seed)
+		if err != nil {
+			return err
+		}
+		emit(t)
+		if err := experiments.Table2ShapeCheck(groups); err != nil {
+			fmt.Printf("shape check: FAILED: %v\n\n", err)
+		} else {
+			fmt.Printf("shape check: OK (split parts lose >=50%% failure strain, >=2x toughness)\n\n")
+		}
+		ext, err := experiments.Table2Extended(n, seed)
+		if err != nil {
+			return err
+		}
+		emit(ext)
+	}
+	if want("table3") {
+		ran = true
+		t, err := experiments.Table3()
+		if err != nil {
+			return err
+		}
+		emit(t)
+	}
+	if want("fig1") {
+		ran = true
+		t, err := experiments.Fig1()
+		if err != nil {
+			return err
+		}
+		emit(t)
+	}
+	if want("fig2") {
+		ran = true
+		fmt.Println(experiments.Fig2())
+		emit(experiments.RiskMatrix())
+	}
+	if want("fig3") {
+		ran = true
+		t, err := experiments.Fig3()
+		if err != nil {
+			return err
+		}
+		emit(t)
+	}
+	if want("fig4") {
+		ran = true
+		series, t, err := experiments.Fig4()
+		if err != nil {
+			return err
+		}
+		fmt.Println(series.Render())
+		emit(t)
+	}
+	if want("fig5") {
+		ran = true
+		t, err := experiments.Fig5()
+		if err != nil {
+			return err
+		}
+		emit(t)
+	}
+	if want("fig6") {
+		ran = true
+		t, err := experiments.Fig6()
+		if err != nil {
+			return err
+		}
+		emit(t)
+	}
+	if want("fig7") {
+		ran = true
+		t, err := experiments.Fig7()
+		if err != nil {
+			return err
+		}
+		emit(t)
+	}
+	if want("fig8") {
+		ran = true
+		t, err := experiments.Fig8()
+		if err != nil {
+			return err
+		}
+		emit(t)
+	}
+	if want("fig9") {
+		ran = true
+		t, err := experiments.Fig9()
+		if err != nil {
+			return err
+		}
+		emit(t)
+		if !csv {
+			field, err := experiments.Fig9Field()
+			if err != nil {
+				return err
+			}
+			fmt.Println("von Mises field around the split tip ('o' = slit, '@' = peak):")
+			fmt.Println(field)
+		}
+	}
+	if want("fig10") {
+		ran = true
+		t, err := experiments.Fig10()
+		if err != nil {
+			return err
+		}
+		emit(t)
+		if !csv {
+			hollow, dense, err := experiments.Fig10Sections()
+			if err != nil {
+				return err
+			}
+			fmt.Println("Fig. 10c analogue — sphere without material removal, cut open after wash-out:")
+			fmt.Println(hollow)
+			fmt.Println("Fig. 10d analogue — material removal + solid sphere, fully dense:")
+			fmt.Println(dense)
+		}
+	}
+	if want("polyjet") {
+		ran = true
+		t, err := experiments.PolyJetReplication()
+		if err != nil {
+			return err
+		}
+		emit(t)
+	}
+	if want("sidechannel") {
+		ran = true
+		t, err := experiments.SideChannelLeakage()
+		if err != nil {
+			return err
+		}
+		emit(t)
+	}
+	if want("keyspace") {
+		ran = true
+		t, rep, err := experiments.KeySpace()
+		if err != nil {
+			return err
+		}
+		emit(t)
+		fmt.Printf("key space: %d keys, %d good; mean print %.2f h; expected brute force %.2f h\n\n",
+			rep.TotalKeys, rep.GoodKeys, rep.MeanPrintHours, rep.ExpectedBruteForceHours)
+	}
+	if want("ndt") {
+		ran = true
+		t, err := experiments.NDT()
+		if err != nil {
+			return err
+		}
+		emit(t)
+	}
+	if want("servicelife") {
+		ran = true
+		t, err := experiments.ServiceLife()
+		if err != nil {
+			return err
+		}
+		emit(t)
+	}
+	if want("stltheft") {
+		ran = true
+		t, err := experiments.STLTheft()
+		if err != nil {
+			return err
+		}
+		emit(t)
+	}
+	if want("ablation") {
+		ran = true
+		t, err := experiments.AblationHealing()
+		if err != nil {
+			return err
+		}
+		emit(t)
+		t2, err := experiments.AblationAmplitude()
+		if err != nil {
+			return err
+		}
+		emit(t2)
+		t3, err := experiments.AblationMultiSplit()
+		if err != nil {
+			return err
+		}
+		emit(t3)
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}

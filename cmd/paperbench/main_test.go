@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+func TestRunSingleExperiments(t *testing.T) {
+	// The fast experiments, one by one; the slow ones (table2, polyjet)
+	// are covered by the experiments package tests and the benchmarks.
+	for _, exp := range []string{"table1", "fig2", "fig5", "fig6", "fig9"} {
+		if err := run(exp, 2, 1, false); err != nil {
+			t.Errorf("run(%s): %v", exp, err)
+		}
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	if err := run("fig5", 2, 1, true); err != nil {
+		t.Errorf("run csv: %v", err)
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if err := run("nope", 2, 1, false); err == nil {
+		t.Error("expected error for unknown experiment")
+	}
+}

@@ -1,0 +1,17 @@
+// Package obfuscade is a full reproduction of "ObfusCADe: Obfuscating
+// Additive Manufacturing CAD Models Against Counterfeiting" (Gupta, Chen,
+// Tsoutsos, Maniatakos — DAC 2017).
+//
+// The implementation lives under internal/: a CAD kernel (brep), STL
+// tessellation and file I/O (tessellate, stl), a slicer and G-code stack
+// (slicer, gcode), a virtual FDM/PolyJet printer (printer, voxel), FEA
+// and tensile-testing substrates (fea, mech), the cloud-aware supply
+// chain with executable attacks and mitigations (supplychain), acoustic
+// side-channel simulation (sidechannel), and the ObfusCADe protection
+// methodology itself (core). The experiments package regenerates every
+// table and figure of the paper; bench_test.go in this directory times
+// each of them.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// modelling decisions, and EXPERIMENTS.md for paper-vs-measured results.
+package obfuscade

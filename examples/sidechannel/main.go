@@ -1,0 +1,64 @@
+// Side-channel scenario: a smartphone near the printer records stepper
+// emanations and reconstructs the tool path (paper §2, refs [4] and
+// [16]) — demonstrating why CAD-level protection matters even when files
+// never leak.
+//
+//	go run ./examples/sidechannel
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"obfuscade/internal/brep"
+	"obfuscade/internal/sidechannel"
+	"obfuscade/internal/slicer"
+	"obfuscade/internal/supplychain"
+)
+
+func main() {
+	part, err := brep.NewTensileBar("secret-part", brep.DefaultTensileBar())
+	if err != nil {
+		log.Fatal(err)
+	}
+	pl := supplychain.DefaultPipeline()
+	run, err := pl.Execute(part)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trueLen := slicer.TotalExtruded(run.Toolpaths)
+	fmt.Printf("victim prints %q: %d layers, %.0f mm extruded\n\n",
+		part.Name, len(run.Toolpaths), trueLen)
+
+	for _, scenario := range []struct {
+		label string
+		noise float64
+	}{
+		{"phone on the printer table", 0.005},
+		{"phone across the room", 0.05},
+		{"phone in the next room", 0.20},
+	} {
+		opts := sidechannel.DefaultOptions()
+		opts.FreqNoiseStd = scenario.noise
+		trace, err := sidechannel.Emanate(run.Toolpaths, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rec, err := sidechannel.Reconstruct(trace, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		truth := sidechannel.GroundTruth(run.Toolpaths)
+		meanErr, err := sidechannel.MeanError(rec, truth)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s mean error %7.2f mm, recovered extrusion %.0f mm (%.0f%%)\n",
+			scenario.label, meanErr, rec.ExtrudedLength, 100*rec.ExtrudedLength/trueLen)
+	}
+
+	fmt.Println()
+	fmt.Println("a close-proximity recording leaks the design with millimetre accuracy;")
+	fmt.Println("file-level access controls cannot stop this channel, but an ObfusCADe-")
+	fmt.Println("protected model is useless to the eavesdropper without the process key.")
+}

@@ -1,0 +1,58 @@
+// STL-theft scenario: the most common counterfeiting path is a stolen
+// STL, not a stolen CAD file. Because tessellation happens at export, the
+// STL *freezes* the resolution component of the ObfusCADe process key —
+// an IP owner who only releases Coarse exports leaves the thief no
+// processing combination that prints cleanly.
+//
+//	go run ./examples/stltheft
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"obfuscade/internal/core"
+	"obfuscade/internal/mech"
+	"obfuscade/internal/printer"
+	"obfuscade/internal/stl"
+	"obfuscade/internal/tessellate"
+)
+
+func main() {
+	prot, err := core.NewProtectedBar("impeller", false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prof := printer.DimensionElite()
+
+	for _, res := range tessellate.Presets() {
+		// The owner exports at this resolution; the thief steals the file.
+		part, err := core.ClonePart(prot.Part)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := tessellate.Tessellate(part, res)
+		if err != nil {
+			log.Fatal(err)
+		}
+		stolen, err := stl.Marshal(m, stl.Binary, part.Name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("stolen %s export (%d bytes):\n", res.Name, len(stolen))
+
+		// The thief's only remaining knob is the print orientation.
+		for _, o := range []mech.Orientation{mech.XY, mech.XZ} {
+			_, q, err := core.ManufactureFromSTL(stolen, o, prof)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  print %-4s -> %-9s (disruption %.3f mm, %.0f%% discontinuous layers)\n",
+				o, q.Grade, q.SurfaceDisruptionMM, 100*q.DiscontinuousFraction)
+		}
+	}
+
+	fmt.Println()
+	fmt.Println("release policy: ship partners Coarse STL only; keep the Custom export —")
+	fmt.Println("the usable half of the process key — inside the trusted boundary.")
+}

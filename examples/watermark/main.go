@@ -1,0 +1,66 @@
+// Watermark scenario: the IP owner ships each partner an individually
+// marked copy of the design. When a copy leaks to a counterfeiter, the
+// keyed vertex-perturbation mark identifies which partner leaked it —
+// Table 1's "identification codes and marks", with traitor tracing.
+//
+//	go run ./examples/watermark
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"obfuscade/internal/brep"
+	"obfuscade/internal/stl"
+	"obfuscade/internal/tessellate"
+	"obfuscade/internal/watermark"
+)
+
+func main() {
+	part, err := brep.NewTensileBar("impeller", brep.DefaultTensileBar())
+	if err != nil {
+		log.Fatal(err)
+	}
+	original, err := tessellate.Tessellate(part, tessellate.Fine)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	partners := []string{"partner-alpha", "partner-beta", "partner-gamma"}
+	copies := map[string][]byte{}
+	for _, name := range partners {
+		marked := original.Clone()
+		n, err := watermark.Embed(marked, []byte(name), watermark.DefaultAmplitude)
+		if err != nil {
+			log.Fatal(err)
+		}
+		data, err := stl.Marshal(marked, stl.Binary, part.Name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		copies[name] = data
+		fmt.Printf("shipped %s a copy with %d marked vertices (%d bytes)\n",
+			name, n, len(data))
+	}
+
+	// A counterfeit file surfaces; it is partner-beta's copy.
+	leaked, err := stl.Unmarshal(copies["partner-beta"])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nforensic analysis of the leaked file:")
+	for _, name := range partners {
+		res, err := watermark.Detect(original, leaked, []byte(name), watermark.DefaultAmplitude)
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := ""
+		if res.Present() {
+			verdict = "  <-- LEAK SOURCE"
+		}
+		fmt.Printf("  %-14s correlation %5.2f (matched %d/%d vertices)%s\n",
+			name, res.Score, res.Matched, res.Total, verdict)
+	}
+	fmt.Println("\nthe 1 µm marks are below printer resolution and survive STL export;")
+	fmt.Println("combined with ObfusCADe features the design is traceable AND unusable.")
+}

@@ -1,0 +1,3 @@
+module obfuscade
+
+go 1.22

@@ -1,0 +1,301 @@
+package brep
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"obfuscade/internal/geom"
+	"obfuscade/internal/spline"
+)
+
+func mustBar(t *testing.T) *Part {
+	t.Helper()
+	p, err := NewTensileBar("bar", DefaultTensileBar())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestDefaultTensileBarValid(t *testing.T) {
+	if err := DefaultTensileBar().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTensileBarDimsValidate(t *testing.T) {
+	bad := DefaultTensileBar()
+	bad.GaugeWidth = 25 // wider than grip
+	if err := bad.Validate(); err == nil {
+		t.Error("expected error for gauge wider than grip")
+	}
+	bad = DefaultTensileBar()
+	bad.FilletRadius = 1 // too small for the width drop
+	if err := bad.Validate(); err == nil {
+		t.Error("expected error for tiny fillet")
+	}
+	bad = DefaultTensileBar()
+	bad.Thickness = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("expected error for negative thickness")
+	}
+	bad = DefaultTensileBar()
+	bad.Length = 40 // gauge + transitions will not fit
+	if err := bad.Validate(); err == nil {
+		t.Error("expected error for too-short bar")
+	}
+}
+
+func TestHalfWidthProfile(t *testing.T) {
+	d := DefaultTensileBar()
+	if got := d.HalfWidth(0); !geom.ApproxEq(got, d.GripWidth/2, 1e-12) {
+		t.Errorf("grip half-width = %v", got)
+	}
+	mid := d.Length / 2
+	if got := d.HalfWidth(mid); !geom.ApproxEq(got, d.GaugeWidth/2, 1e-12) {
+		t.Errorf("gauge half-width = %v", got)
+	}
+	// Continuity at the transition endpoints.
+	gs := d.GaugeStart()
+	tl := d.transitionLength()
+	if got := d.HalfWidth(gs - tl + 1e-9); math.Abs(got-d.GripWidth/2) > 1e-3 {
+		t.Errorf("half-width at grip end = %v, want ~%v", got, d.GripWidth/2)
+	}
+	if got := d.HalfWidth(gs - 1e-9); math.Abs(got-d.GaugeWidth/2) > 1e-3 {
+		t.Errorf("half-width at gauge start = %v, want ~%v", got, d.GaugeWidth/2)
+	}
+	// Monotone decrease across the left transition.
+	prev := math.Inf(1)
+	for x := gs - tl; x <= gs; x += 0.1 {
+		h := d.HalfWidth(x)
+		if h > prev+1e-9 {
+			t.Fatalf("half-width not monotone at x=%g", x)
+		}
+		prev = h
+	}
+}
+
+func TestTensileBarVolume(t *testing.T) {
+	p := mustBar(t)
+	d := DefaultTensileBar()
+	v := p.Volume()
+	// Sanity bracket: between all-gauge-width and all-grip-width slabs.
+	lo := d.Length * d.GaugeWidth * d.Thickness
+	hi := d.Length * d.GripWidth * d.Thickness
+	if v <= lo || v >= hi {
+		t.Errorf("volume %v outside (%v, %v)", v, lo, hi)
+	}
+}
+
+func TestPrismProfileClosedCCW(t *testing.T) {
+	p := mustBar(t)
+	prism := p.Bodies[0].Shape.(*Prism)
+	poly, err := prism.Profile(spline.FlattenOpts{Deviation: 0.05, Angle: 0.3}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !poly.IsCCW() {
+		t.Error("profile should be CCW")
+	}
+	if poly.Area() <= 0 {
+		t.Error("profile area should be positive")
+	}
+}
+
+func TestNewRectPrism(t *testing.T) {
+	p, err := NewRectPrism("prism", geom.V3(25.4, 12.7, 12.7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Volume(); !geom.ApproxEq(got, 25.4*12.7*12.7, 1e-6) {
+		t.Errorf("prism volume = %v", got)
+	}
+	if _, err := NewRectPrism("bad", geom.V3(-1, 1, 1)); err == nil {
+		t.Error("expected error for negative size")
+	}
+}
+
+func TestSplitSplineThroughGauge(t *testing.T) {
+	d := DefaultTensileBar()
+	s, err := SplitSplineThroughGauge(d, 2.2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !geom.ApproxEq(s.Start().X, 0, 1e-9) || !geom.ApproxEq(s.End().X, d.Length, 1e-9) {
+		t.Errorf("spline span [%g,%g]", s.Start().X, s.End().X)
+	}
+	// Arc length exceeds the straight-line length because of the waves.
+	if s.ArcLength() <= d.Length {
+		t.Errorf("wavy spline arc length %v should exceed %v", s.ArcLength(), d.Length)
+	}
+	// Invalid parameters.
+	if _, err := SplitSplineThroughGauge(d, 0, 3); err == nil {
+		t.Error("expected error for zero amplitude")
+	}
+	if _, err := SplitSplineThroughGauge(d, 5, 3); err == nil {
+		t.Error("expected error for amplitude beyond gauge half-width")
+	}
+	if _, err := SplitSplineThroughGauge(d, 1, 0); err == nil {
+		t.Error("expected error for zero waves")
+	}
+}
+
+func TestSplitBySpline(t *testing.T) {
+	p := mustBar(t)
+	d := DefaultTensileBar()
+	s, err := SplitSplineThroughGauge(d, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := p.Volume()
+	if err := SplitBySpline(p, "bar", s); err != nil {
+		t.Fatal(err)
+	}
+	if p.Body("bar") != nil {
+		t.Error("original body should be replaced")
+	}
+	up := p.Body("bar-upper")
+	lo := p.Body("bar-lower")
+	if up == nil || lo == nil {
+		t.Fatal("split bodies missing")
+	}
+	if up.Phase == lo.Phase {
+		t.Error("split bodies must have distinct tessellation phases")
+	}
+	// Zero-volume separation: volumes sum to the original.
+	after := up.Volume() + lo.Volume()
+	if math.Abs(after-before)/before > 0.01 {
+		t.Errorf("split changed volume: %v -> %v", before, after)
+	}
+	if len(p.History) != 2 || !strings.Contains(p.History[1], "split-by-spline") {
+		t.Errorf("history = %v", p.History)
+	}
+}
+
+func TestSplitBySplineErrors(t *testing.T) {
+	d := DefaultTensileBar()
+	s, _ := SplitSplineThroughGauge(d, 2, 3)
+
+	p := mustBar(t)
+	if err := SplitBySpline(p, "missing", s); err == nil {
+		t.Error("expected error for missing body")
+	}
+	// Spline not spanning the body.
+	short, _ := spline.Interpolate([]geom.Vec2{geom.V2(10, 9.5), geom.V2(50, 9.5)})
+	if err := SplitBySpline(p, "bar", short); err == nil {
+		t.Error("expected error for non-spanning spline")
+	}
+	// Spline leaving the body interior.
+	wild, _ := spline.Interpolate([]geom.Vec2{
+		geom.V2(0, 9.5), geom.V2(d.Length/2, 25), geom.V2(d.Length, 9.5),
+	})
+	if err := SplitBySpline(p, "bar", wild); err == nil {
+		t.Error("expected error for spline leaving interior")
+	}
+}
+
+func TestEmbedSphereVariants(t *testing.T) {
+	size := geom.V3(25.4, 12.7, 12.7)
+	c := geom.V3(12.7, 6.35, 6.35)
+	const r = 3.175
+
+	for _, tc := range []struct {
+		name     string
+		opts     EmbedOpts
+		kind     Kind
+		cavities int
+	}{
+		{"solid-no-removal", EmbedOpts{}, Solid, 0},
+		{"surface-no-removal", EmbedOpts{SurfaceBody: true}, Surface, 0},
+		{"solid-removal", EmbedOpts{MaterialRemoval: true}, Solid, 1},
+		{"surface-removal", EmbedOpts{MaterialRemoval: true, SurfaceBody: true}, Surface, 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := NewRectPrism("prism", size)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := EmbedSphere(p, "prism", c, r, tc.opts); err != nil {
+				t.Fatal(err)
+			}
+			sph := p.Body("sphere")
+			if sph == nil {
+				t.Fatal("sphere body missing")
+			}
+			if sph.Kind != tc.kind {
+				t.Errorf("kind = %v, want %v", sph.Kind, tc.kind)
+			}
+			if got := len(p.Body("prism").Cavities); got != tc.cavities {
+				t.Errorf("cavities = %d, want %d", got, tc.cavities)
+			}
+		})
+	}
+}
+
+func TestEmbedSphereErrors(t *testing.T) {
+	p, _ := NewRectPrism("prism", geom.V3(25.4, 12.7, 12.7))
+	c := geom.V3(12.7, 6.35, 6.35)
+	if err := EmbedSphere(p, "nope", c, 1, EmbedOpts{}); err == nil {
+		t.Error("expected error for missing host")
+	}
+	if err := EmbedSphere(p, "prism", c, -1, EmbedOpts{}); err == nil {
+		t.Error("expected error for negative radius")
+	}
+	if err := EmbedSphere(p, "prism", geom.V3(1, 1, 1), 5, EmbedOpts{}); err == nil {
+		t.Error("expected error for sphere outside host")
+	}
+	if err := EmbedSphere(p, "prism", c, 3, EmbedOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := EmbedSphere(p, "prism", c, 2, EmbedOpts{}); err == nil {
+		t.Error("expected error for duplicate sphere")
+	}
+}
+
+func TestEmbeddedSphereVolumeSemantics(t *testing.T) {
+	size := geom.V3(25.4, 12.7, 12.7)
+	c := geom.V3(12.7, 6.35, 6.35)
+	const r = 3.175
+	boxVol := size.X * size.Y * size.Z
+	sphVol := 4.0 / 3 * math.Pi * r * r * r
+
+	// Without removal the solid sphere overlaps host material; total CAD
+	// volume double-counts (two independent bodies).
+	p1, _ := NewRectPrism("prism", size)
+	_ = EmbedSphere(p1, "prism", c, r, EmbedOpts{})
+	if got := p1.Volume(); !geom.ApproxEq(got, boxVol+sphVol, 1e-6) {
+		t.Errorf("no-removal volume = %v, want %v", got, boxVol+sphVol)
+	}
+	// With removal the cavity subtracts and the solid sphere adds back.
+	p2, _ := NewRectPrism("prism", size)
+	_ = EmbedSphere(p2, "prism", c, r, EmbedOpts{MaterialRemoval: true})
+	if got := p2.Volume(); !geom.ApproxEq(got, boxVol, 1e-6) {
+		t.Errorf("removal volume = %v, want %v", got, boxVol)
+	}
+	// Surface sphere adds no volume.
+	p3, _ := NewRectPrism("prism", size)
+	_ = EmbedSphere(p3, "prism", c, r, EmbedOpts{MaterialRemoval: true, SurfaceBody: true})
+	if got := p3.Volume(); !geom.ApproxEq(got, boxVol-sphVol, 1e-6) {
+		t.Errorf("surface removal volume = %v, want %v", got, boxVol-sphVol)
+	}
+}
+
+func TestPartBodyOps(t *testing.T) {
+	p := mustBar(t)
+	if p.Body("bar") == nil {
+		t.Error("Body lookup failed")
+	}
+	if !p.RemoveBody("bar") {
+		t.Error("RemoveBody should succeed")
+	}
+	if p.RemoveBody("bar") {
+		t.Error("double RemoveBody should fail")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Solid.String() != "solid" || Surface.String() != "surface" {
+		t.Error("Kind.String misbehaves")
+	}
+}

@@ -1,0 +1,126 @@
+package brep
+
+import (
+	"math"
+	"testing"
+
+	"obfuscade/internal/geom"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	p := mustBar(t)
+	d := DefaultTensileBar()
+	s, err := SplitSplineThroughGauge(d, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SplitBySpline(p, "bar", s); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := Save(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != p.Name || len(got.Bodies) != len(p.Bodies) {
+		t.Fatalf("round-trip structure mismatch: %d bodies", len(got.Bodies))
+	}
+	if len(got.History) != len(p.History) {
+		t.Errorf("history lost: %v", got.History)
+	}
+	// Volume is preserved within the sampling tolerance of analytic
+	// boundaries.
+	if math.Abs(got.Volume()-p.Volume())/p.Volume() > 0.01 {
+		t.Errorf("volume changed: %v -> %v", p.Volume(), got.Volume())
+	}
+	up := got.Body("bar-upper")
+	if up == nil || up.Phase != upperBodyPhase {
+		t.Error("upper body phase lost in round trip")
+	}
+}
+
+func TestSaveLoadSphereVariants(t *testing.T) {
+	size := geom.V3(25.4, 12.7, 12.7)
+	c := geom.V3(12.7, 6.35, 6.35)
+	p, _ := NewRectPrism("prism", size)
+	if err := EmbedSphere(p, "prism", c, 3.175, EmbedOpts{MaterialRemoval: true, SurfaceBody: true}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := Save(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sph := got.Body("sphere")
+	if sph == nil || sph.Kind != Surface {
+		t.Fatal("surface sphere lost")
+	}
+	if len(got.Body("prism").Cavities) != 1 {
+		t.Error("cavity lost")
+	}
+}
+
+// The paper's §3.2 file-size observations, reproduced at CAD level:
+// solid and surface sphere parts serialise to different sizes, and
+// material-removal variants are larger than no-removal variants.
+func TestCADFileSizeObservations(t *testing.T) {
+	size := geom.V3(25.4, 12.7, 12.7)
+	c := geom.V3(12.7, 6.35, 6.35)
+	const r = 3.175
+
+	sizes := map[string]int{}
+	for name, opts := range map[string]EmbedOpts{
+		"intact":          {},
+		"solid":           {},
+		"surface":         {SurfaceBody: true},
+		"solid-removal":   {MaterialRemoval: true},
+		"surface-removal": {MaterialRemoval: true, SurfaceBody: true},
+	} {
+		p, _ := NewRectPrism("prism", size)
+		if name != "intact" {
+			if err := EmbedSphere(p, "prism", c, r, opts); err != nil {
+				t.Fatal(err)
+			}
+		}
+		data, err := Save(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes[name] = len(data)
+	}
+
+	if sizes["solid"] <= sizes["intact"] {
+		t.Errorf("embedding a sphere should enlarge the CAD file: %v", sizes)
+	}
+	if sizes["solid"] == sizes["surface"] {
+		t.Errorf("solid and surface sphere CAD files should differ in size: %v", sizes)
+	}
+	if sizes["solid-removal"] <= sizes["solid"] {
+		t.Errorf("material removal should enlarge the CAD file: %v", sizes)
+	}
+	if sizes["surface-removal"] <= sizes["surface"] {
+		t.Errorf("material removal should enlarge the surface CAD file: %v", sizes)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load([]byte("not json")); err == nil {
+		t.Error("expected error for garbage input")
+	}
+	if _, err := Load([]byte(`{"format":"OTHER-9"}`)); err == nil {
+		t.Error("expected error for unknown format")
+	}
+	if _, err := Load([]byte(`{"format":"OCAD-1","bodies":[{"name":"x","kind":"gas","shape":{"kind":"sphere","r":1}}]}`)); err == nil {
+		t.Error("expected error for unknown body kind")
+	}
+	if _, err := Load([]byte(`{"format":"OCAD-1","bodies":[{"name":"x","kind":"solid","shape":{"kind":"torus"}}]}`)); err == nil {
+		t.Error("expected error for unknown shape kind")
+	}
+}

@@ -1,0 +1,58 @@
+package brep_test
+
+import (
+	"fmt"
+	"log"
+
+	"obfuscade/internal/brep"
+	"obfuscade/internal/geom"
+)
+
+// Build the paper's protected tensile bar: a dogbone with the spline
+// split feature dividing it into two bodies with zero separation.
+func Example() {
+	part, err := brep.NewTensileBar("bar", brep.DefaultTensileBar())
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := brep.SplitSplineThroughGauge(brep.DefaultTensileBar(), 2, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	before := part.Volume()
+	if err := brep.SplitBySpline(part, "bar", s); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("bodies:", len(part.Bodies))
+	fmt.Printf("volume preserved: %t\n", equalWithin(part.Volume(), before, 0.01))
+	// Output:
+	// bodies: 2
+	// volume preserved: true
+}
+
+// Embed the Table 3 sphere feature in its sabotaged (no material removal)
+// state.
+func ExampleEmbedSphere() {
+	part, err := brep.NewRectPrism("prism", geom.V3(25.4, 12.7, 12.7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	err = brep.EmbedSphere(part, "prism", geom.V3(12.7, 6.35, 6.35), 3.175, brep.EmbedOpts{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sphere := part.Body("sphere")
+	fmt.Println("sphere kind:", sphere.Kind)
+	fmt.Println("host cavities:", len(part.Body("prism").Cavities))
+	// Output:
+	// sphere kind: solid
+	// host cavities: 0
+}
+
+func equalWithin(a, b, rel float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= rel*b
+}

@@ -1,0 +1,254 @@
+package brep
+
+import (
+	"fmt"
+	"math"
+
+	"obfuscade/internal/geom"
+	"obfuscade/internal/spline"
+)
+
+// Phases assigned to the two bodies produced by a split. Distinct phases
+// make the shared spline boundary tessellate with mismatched vertices,
+// reproducing the gaps of paper Fig. 4.
+const (
+	upperBodyPhase = 0.25
+	lowerBodyPhase = 0.75
+)
+
+// SplitBySpline applies the paper's §3.1 spline split feature: the named
+// prismatic body is divided into an upper and a lower body by a sketch
+// spline that crosses the body's full x extent. The two bodies share the
+// spline as their boundary with zero separation; no material is removed.
+//
+// The new bodies are named <body>-upper and <body>-lower.
+func SplitBySpline(p *Part, bodyName string, s *spline.Spline) error {
+	body := p.Body(bodyName)
+	if body == nil {
+		return fmt.Errorf("brep: no body %q in part %q", bodyName, p.Name)
+	}
+	if body.Kind != Solid {
+		return fmt.Errorf("brep: cannot split %s body %q", body.Kind, bodyName)
+	}
+	prism, ok := body.Shape.(*Prism)
+	if !ok {
+		return fmt.Errorf("brep: split requires a prismatic body, got %T", body.Shape)
+	}
+	if len(body.Cavities) > 0 {
+		return fmt.Errorf("brep: cannot split body %q with cavities", bodyName)
+	}
+	x0 := prism.Bottom.Start().X
+	x1 := prism.Bottom.End().X
+	const tol = 1e-6
+	if math.Abs(s.Start().X-x0) > tol || math.Abs(s.End().X-x1) > tol {
+		return fmt.Errorf("brep: split spline must span x=[%g,%g], spans [%g,%g]",
+			x0, x1, s.Start().X, s.End().X)
+	}
+	// The spline must stay strictly between the body's boundaries so that
+	// the split yields two non-degenerate bodies.
+	sb := &SplineBoundary{S: s}
+	sLo, sHi := sb.YRange()
+	_, botHi := prism.Bottom.YRange()
+	topLo, _ := prism.Top.YRange()
+	if sLo <= botHi || sHi >= topLo {
+		return fmt.Errorf("brep: split spline y range [%g,%g] leaves the body interior (bottom max %g, top min %g)",
+			sLo, sHi, botHi, topLo)
+	}
+
+	upper := &Body{
+		Name:  body.Name + "-upper",
+		Kind:  Solid,
+		Phase: upperBodyPhase,
+		Shape: &Prism{Top: prism.Top, Bottom: sb, Z0: prism.Z0, Z1: prism.Z1},
+	}
+	lower := &Body{
+		Name:  body.Name + "-lower",
+		Kind:  Solid,
+		Phase: lowerBodyPhase,
+		Shape: &Prism{Top: sb, Bottom: prism.Bottom, Z0: prism.Z0, Z1: prism.Z1},
+	}
+	p.RemoveBody(bodyName)
+	p.Bodies = append(p.Bodies, upper, lower)
+	p.record("split-by-spline body=%s arc-length=%.3g", bodyName, s.ArcLength())
+	return nil
+}
+
+// EmbedOpts selects the CAD operation variant for EmbedSphere, the four
+// combinations of the paper's Table 3.
+type EmbedOpts struct {
+	// MaterialRemoval first cuts a spherical cavity in the host body and
+	// then inserts the new sphere body into the empty space (§3.2.2).
+	// Without it, the sphere body simply coexists with the host solid
+	// (§3.2.1).
+	MaterialRemoval bool
+	// SurfaceBody creates the sphere as a zero-thickness surface body
+	// instead of a solid body.
+	SurfaceBody bool
+}
+
+// EmbedSphere applies the §3.2 embedded-sphere feature: a sphere of radius
+// r centred at c is embedded inside the named host body. The new body is
+// named "sphere".
+func EmbedSphere(p *Part, hostName string, c geom.Vec3, r float64, opts EmbedOpts) error {
+	host := p.Body(hostName)
+	if host == nil {
+		return fmt.Errorf("brep: no body %q in part %q", hostName, p.Name)
+	}
+	if host.Kind != Solid {
+		return fmt.Errorf("brep: host body %q must be solid", hostName)
+	}
+	if r <= 0 {
+		return fmt.Errorf("brep: sphere radius must be positive, got %g", r)
+	}
+	hb := host.Shape.Bounds()
+	sb := (&Sphere{Center: c, R: r}).Bounds()
+	if !hb.Contains(sb.Min) || !hb.Contains(sb.Max) {
+		return fmt.Errorf("brep: sphere %v r=%g not fully inside host bounds %v..%v",
+			c, r, hb.Min, hb.Max)
+	}
+	if p.Body("sphere") != nil {
+		return fmt.Errorf("brep: part already has a sphere body")
+	}
+	if opts.MaterialRemoval {
+		host.Cavities = append(host.Cavities, &Sphere{Center: c, R: r})
+	}
+	kind := Solid
+	if opts.SurfaceBody {
+		kind = Surface
+	}
+	p.Bodies = append(p.Bodies, &Body{
+		Name:  "sphere",
+		Kind:  kind,
+		Shape: &Sphere{Center: c, R: r},
+	})
+	p.record("embed-sphere host=%s c=%v r=%g removal=%t surface=%t",
+		hostName, c, r, opts.MaterialRemoval, opts.SurfaceBody)
+	return nil
+}
+
+// AddThroughHole cuts a circular hole of radius r through the full
+// thickness of a prismatic solid body at (cx, cy). Real engineering
+// designs "often include complex and multi-component systems" (§3.1);
+// holes let the demo parts carry realistic mounting features alongside
+// the security features.
+func AddThroughHole(p *Part, bodyName string, cx, cy, r float64) error {
+	body := p.Body(bodyName)
+	if body == nil {
+		return fmt.Errorf("brep: no body %q in part %q", bodyName, p.Name)
+	}
+	if body.Kind != Solid {
+		return fmt.Errorf("brep: host body %q must be solid", bodyName)
+	}
+	prism, ok := body.Shape.(*Prism)
+	if !ok {
+		return fmt.Errorf("brep: through holes require a prismatic body, got %T", body.Shape)
+	}
+	if r <= 0 {
+		return fmt.Errorf("brep: hole radius must be positive, got %g", r)
+	}
+	// The hole disc must lie inside the body's profile over its x span
+	// (evaluated locally: a hole in a wide grip is fine even when the
+	// gauge section is narrower).
+	x0 := prism.Bottom.Start().X
+	x1 := prism.Bottom.End().X
+	if cx-r <= x0 || cx+r >= x1 {
+		return fmt.Errorf("brep: hole at (%g,%g) r=%g leaves the body in x", cx, cy, r)
+	}
+	_, botHi, err := boundaryRangeOver(prism.Bottom, cx-r, cx+r)
+	if err != nil {
+		return err
+	}
+	topLo, _, err := boundaryRangeOver(prism.Top, cx-r, cx+r)
+	if err != nil {
+		return err
+	}
+	if cy-r <= botHi || cy+r >= topLo {
+		return fmt.Errorf("brep: hole at (%g,%g) r=%g leaves the body interior (local y range %g..%g)",
+			cx, cy, r, botHi, topLo)
+	}
+	circle := func(sign float64) Boundary {
+		return &FuncBoundary{
+			X0: cx - r, X1: cx + r, Tag: "hole-arc",
+			F: func(x float64) float64 {
+				dx := geom.Clamp(x-cx, -r, r)
+				return cy + sign*math.Sqrt(math.Max(0, r*r-dx*dx))
+			},
+		}
+	}
+	body.Cavities = append(body.Cavities, &Prism{
+		Top:    circle(+1),
+		Bottom: circle(-1),
+		Z0:     prism.Z0,
+		Z1:     prism.Z1,
+	})
+	p.record("through-hole body=%s c=(%g,%g) r=%g", bodyName, cx, cy, r)
+	return nil
+}
+
+// boundaryRangeOver returns the min/max y of a boundary restricted to the
+// x interval [x0, x1], using a reference-resolution flattening.
+func boundaryRangeOver(b Boundary, x0, x1 float64) (lo, hi float64, err error) {
+	pts, err := b.Flatten(refOpts)
+	if err != nil {
+		return 0, 0, err
+	}
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for i := 0; i+1 < len(pts); i++ {
+		a, c := pts[i], pts[i+1]
+		if c.X < x0 || a.X > x1 || c.X <= a.X {
+			continue
+		}
+		// Clip the segment's parameter range to the window.
+		f0 := geom.Clamp((x0-a.X)/(c.X-a.X), 0, 1)
+		f1 := geom.Clamp((x1-a.X)/(c.X-a.X), 0, 1)
+		for _, f := range [3]float64{f0, (f0 + f1) / 2, f1} {
+			p := a.Lerp(c, f)
+			lo = math.Min(lo, p.Y)
+			hi = math.Max(hi, p.Y)
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return 0, 0, fmt.Errorf("brep: boundary has no span over [%g,%g]", x0, x1)
+	}
+	return lo, hi, nil
+}
+
+// SplitSplineThroughGauge builds the paper's split curve for a tensile
+// bar: straight runs along the centreline in the grips, with a wavy spline
+// crossing the gauge section whose arc length is controlled by the wave
+// amplitude. amplitude is the peak y offset from the centreline (must keep
+// the curve inside the gauge width), waves is the number of half-waves.
+func SplitSplineThroughGauge(d TensileBarDims, amplitude float64, waves int) (*spline.Spline, error) {
+	return SplitSplineAt(d, d.MidY(), amplitude, waves)
+}
+
+// SplitSplineAt builds a split curve routed along y = centerY instead of
+// the specimen centreline, enabling multiple stacked split features in one
+// body ("such features can overlap or cut across other design features",
+// paper §3.1). The wave band [centerY-amplitude, centerY+amplitude] must
+// stay inside the gauge width.
+func SplitSplineAt(d TensileBarDims, centerY, amplitude float64, waves int) (*spline.Spline, error) {
+	if waves < 1 {
+		return nil, fmt.Errorf("brep: waves must be >= 1, got %d", waves)
+	}
+	lo := d.MidY() - d.GaugeWidth/2
+	hi := d.MidY() + d.GaugeWidth/2
+	if amplitude <= 0 || centerY-amplitude <= lo || centerY+amplitude >= hi {
+		return nil, fmt.Errorf("brep: wave band [%g,%g] must stay inside gauge (%g,%g)",
+			centerY-amplitude, centerY+amplitude, lo, hi)
+	}
+	mid := centerY
+	gs, ge := d.GaugeStart(), d.GaugeEnd()
+	// Control points: straight through the grips, sinusoidal through the
+	// gauge region.
+	pts := []geom.Vec2{geom.V2(0, mid), geom.V2(gs-d.transitionLength(), mid)}
+	const perWave = 4
+	n := waves * perWave
+	for i := 0; i <= n; i++ {
+		x := gs + float64(i)/float64(n)*(ge-gs)
+		y := mid + amplitude*math.Sin(float64(waves)*math.Pi*float64(i)/float64(n))
+		pts = append(pts, geom.V2(x, y))
+	}
+	pts = append(pts, geom.V2(ge+d.transitionLength(), mid), geom.V2(d.Length, mid))
+	return spline.Interpolate(pts)
+}

@@ -1,0 +1,87 @@
+package brep
+
+import (
+	"math"
+	"testing"
+
+	"obfuscade/internal/geom"
+)
+
+func TestAddThroughHole(t *testing.T) {
+	p, err := NewRectPrism("plate", geom.V3(40, 20, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := p.Volume()
+	const r = 3
+	if err := AddThroughHole(p, "prism", 10, 10, r); err != nil {
+		t.Fatal(err)
+	}
+	holeVol := math.Pi * r * r * 3
+	got := p.Volume()
+	if math.Abs(got-(before-holeVol))/before > 0.01 {
+		t.Errorf("volume after hole = %v, want ~%v", got, before-holeVol)
+	}
+	if len(p.Body("prism").Cavities) != 1 {
+		t.Error("cavity not recorded")
+	}
+	// Two holes are fine.
+	if err := AddThroughHole(p, "prism", 30, 10, r); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.Volume()-(before-2*holeVol))/before > 0.01 {
+		t.Errorf("volume after 2 holes = %v", p.Volume())
+	}
+}
+
+func TestAddThroughHoleErrors(t *testing.T) {
+	p, _ := NewRectPrism("plate", geom.V3(40, 20, 3))
+	if err := AddThroughHole(p, "missing", 10, 10, 3); err == nil {
+		t.Error("expected error for missing body")
+	}
+	if err := AddThroughHole(p, "prism", 10, 10, -1); err == nil {
+		t.Error("expected error for negative radius")
+	}
+	if err := AddThroughHole(p, "prism", 1, 10, 3); err == nil {
+		t.Error("expected error for hole leaving the body")
+	}
+	if err := AddThroughHole(p, "prism", 10, 19.5, 3); err == nil {
+		t.Error("expected error for hole through the top edge")
+	}
+}
+
+func TestShaftSaveLoadRoundTrip(t *testing.T) {
+	p, err := NewShaft("shaft", 10, 6, 25, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := EmbedSphere(p, "shaft", geom.V3(5, 0, 0), 2, EmbedOpts{MaterialRemoval: true}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := Save(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Bodies) != 2 {
+		t.Fatalf("bodies = %d, want 2", len(got.Bodies))
+	}
+	if math.Abs(got.Volume()-p.Volume())/p.Volume() > 0.01 {
+		t.Errorf("round-trip volume %v vs %v", got.Volume(), p.Volume())
+	}
+	rev, ok := got.Body("shaft").Shape.(*Revolve)
+	if !ok {
+		t.Fatal("shape type lost")
+	}
+	if len(rev.Breaks) != 1 || math.Abs(rev.Breaks[0]-10) > 1e-9 {
+		t.Errorf("breaks lost: %v", rev.Breaks)
+	}
+	// The step stays sharp: radius just left and right of the break.
+	if math.Abs(rev.Radius(9.999)-6) > 0.01 || math.Abs(rev.Radius(10.001)-3) > 0.01 {
+		t.Errorf("step smeared: R(10-) = %v, R(10+) = %v",
+			rev.Radius(9.999), rev.Radius(10.001))
+	}
+}

@@ -1,0 +1,168 @@
+package brep
+
+import (
+	"fmt"
+	"math"
+
+	"obfuscade/internal/geom"
+)
+
+// TensileBarDims parametrises a flat dogbone tensile specimen in the style
+// of ASTM D638 Type IV, the geometry class used for the paper's Table 2
+// experiments (gauge width 6 mm).
+type TensileBarDims struct {
+	// Length is the overall specimen length (x), mm.
+	Length float64
+	// GripWidth is the width of the wide grip ends (y), mm.
+	GripWidth float64
+	// GaugeWidth is the width of the narrow gauge section, mm.
+	GaugeWidth float64
+	// GaugeLength is the length of the constant-width gauge section, mm.
+	GaugeLength float64
+	// FilletRadius is the grip-to-gauge transition radius, mm.
+	FilletRadius float64
+	// Thickness is the specimen thickness (z), mm.
+	Thickness float64
+}
+
+// DefaultTensileBar returns ASTM D638 Type IV-style dimensions matching
+// the paper's 6 mm gauge width.
+func DefaultTensileBar() TensileBarDims {
+	return TensileBarDims{
+		Length:       115,
+		GripWidth:    19,
+		GaugeWidth:   6,
+		GaugeLength:  33,
+		FilletRadius: 14,
+		Thickness:    3.2,
+	}
+}
+
+// Validate reports whether the dimensions describe a buildable dogbone.
+func (d TensileBarDims) Validate() error {
+	switch {
+	case d.Length <= 0 || d.GripWidth <= 0 || d.GaugeWidth <= 0 ||
+		d.GaugeLength <= 0 || d.FilletRadius <= 0 || d.Thickness <= 0:
+		return fmt.Errorf("brep: tensile bar dimensions must be positive: %+v", d)
+	case d.GaugeWidth >= d.GripWidth:
+		return fmt.Errorf("brep: gauge width %g must be narrower than grip width %g",
+			d.GaugeWidth, d.GripWidth)
+	}
+	drop := (d.GripWidth - d.GaugeWidth) / 2
+	if d.FilletRadius < drop {
+		return fmt.Errorf("brep: fillet radius %g too small for width drop %g",
+			d.FilletRadius, drop)
+	}
+	if d.GaugeLength+2*d.transitionLength() >= d.Length {
+		return fmt.Errorf("brep: gauge+transitions (%g) exceed length %g",
+			d.GaugeLength+2*d.transitionLength(), d.Length)
+	}
+	return nil
+}
+
+// transitionLength returns the x extent of one fillet transition.
+func (d TensileBarDims) transitionLength() float64 {
+	drop := (d.GripWidth - d.GaugeWidth) / 2
+	return math.Sqrt(d.FilletRadius*d.FilletRadius -
+		(d.FilletRadius-drop)*(d.FilletRadius-drop))
+}
+
+// GaugeStart returns the x coordinate where the constant-width gauge
+// section begins.
+func (d TensileBarDims) GaugeStart() float64 { return (d.Length - d.GaugeLength) / 2 }
+
+// GaugeEnd returns the x coordinate where the gauge section ends.
+func (d TensileBarDims) GaugeEnd() float64 { return (d.Length + d.GaugeLength) / 2 }
+
+// MidY returns the y coordinate of the specimen centreline.
+func (d TensileBarDims) MidY() float64 { return d.GripWidth / 2 }
+
+// HalfWidth returns the half-width h(x) of the dogbone profile about the
+// centreline.
+func (d TensileBarDims) HalfWidth(x float64) float64 {
+	gs, ge := d.GaugeStart(), d.GaugeEnd()
+	tl := d.transitionLength()
+	hw := d.GripWidth / 2
+	gw := d.GaugeWidth / 2
+	r := d.FilletRadius
+	switch {
+	case x <= gs-tl || x >= ge+tl:
+		return hw
+	case x >= gs && x <= ge:
+		return gw
+	case x < gs: // left transition; fillet circle centred above gauge edge
+		dx := gs - x
+		return gw + r - math.Sqrt(r*r-dx*dx)
+	default: // right transition
+		dx := x - ge
+		return gw + r - math.Sqrt(r*r-dx*dx)
+	}
+}
+
+// outlineBoundary builds one side of the dogbone outline (side = +1 for
+// top, -1 for bottom) as a composite of smooth pieces: flat grips, fillet
+// arcs and the flat gauge. Tessellating each smooth piece separately keeps
+// the adaptive flattening well-posed — the tangent kinks at the
+// grip-to-fillet junctions are genuine model edges, always represented by
+// a vertex.
+func (d TensileBarDims) outlineBoundary(side float64) Boundary {
+	mid := d.MidY()
+	gs, ge := d.GaugeStart(), d.GaugeEnd()
+	tl := d.transitionLength()
+	grip := mid + side*d.GripWidth/2
+	gauge := mid + side*d.GaugeWidth/2
+	at := func(x float64) float64 { return mid + side*d.HalfWidth(x) }
+	return &CompositeBoundary{Parts: []Boundary{
+		&LineBoundary{X0: 0, Y0: grip, X1: gs - tl, Y1: grip},
+		&FuncBoundary{X0: gs - tl, X1: gs, Tag: "fillet-left", F: at},
+		&LineBoundary{X0: gs, Y0: gauge, X1: ge, Y1: gauge},
+		&FuncBoundary{X0: ge, X1: ge + tl, Tag: "fillet-right", F: at},
+		&LineBoundary{X0: ge + tl, Y0: grip, X1: d.Length, Y1: grip},
+	}}
+}
+
+// NewTensileBar creates a single-body dogbone part named name, spanning
+// x in [0, Length], centred on y = GripWidth/2, z in [0, Thickness].
+func NewTensileBar(name string, d TensileBarDims) (*Part, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	top := d.outlineBoundary(+1)
+	bottom := d.outlineBoundary(-1)
+	body := &Body{
+		Name: "bar",
+		Kind: Solid,
+		Shape: &Prism{
+			Top:    top,
+			Bottom: bottom,
+			Z0:     0,
+			Z1:     d.Thickness,
+		},
+	}
+	p := &Part{Name: name, Bodies: []*Body{body}}
+	p.record("tensile-bar L=%g W=%g w=%g l=%g R=%g t=%g",
+		d.Length, d.GripWidth, d.GaugeWidth, d.GaugeLength, d.FilletRadius, d.Thickness)
+	return p, nil
+}
+
+// NewRectPrism creates a single-body rectangular prism part, the host
+// geometry of the §3.2 embedded-sphere experiments (default
+// 25.4 x 12.7 x 12.7 mm = 1 x 0.5 x 0.5 in).
+func NewRectPrism(name string, size geom.Vec3) (*Part, error) {
+	if size.X <= 0 || size.Y <= 0 || size.Z <= 0 {
+		return nil, fmt.Errorf("brep: prism size must be positive: %v", size)
+	}
+	body := &Body{
+		Name: "prism",
+		Kind: Solid,
+		Shape: &Prism{
+			Top:    &LineBoundary{X0: 0, Y0: size.Y, X1: size.X, Y1: size.Y},
+			Bottom: &LineBoundary{X0: 0, Y0: 0, X1: size.X, Y1: 0},
+			Z0:     0,
+			Z1:     size.Z,
+		},
+	}
+	p := &Part{Name: name, Bodies: []*Body{body}}
+	p.record("rect-prism %gx%gx%g", size.X, size.Y, size.Z)
+	return p, nil
+}

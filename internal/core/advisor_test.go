@@ -1,0 +1,53 @@
+package core
+
+import (
+	"testing"
+
+	"obfuscade/internal/brep"
+	"obfuscade/internal/printer"
+)
+
+func TestAdviseSplit(t *testing.T) {
+	dims := brep.DefaultTensileBar()
+	advice, best, err := AdviseSplit(dims, []float64{1.0, 2.0}, printer.DimensionElite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(advice) != 2 {
+		t.Fatalf("advice entries = %d", len(advice))
+	}
+	if best < 0 {
+		t.Fatal("no usable amplitude found")
+	}
+	rec := advice[best]
+	if !rec.Usable() {
+		t.Errorf("recommended candidate not usable: %+v", rec)
+	}
+	if rec.GenuineGrade != Good || rec.WrongKeyGrade != Defective {
+		t.Errorf("recommendation grades: %+v", rec)
+	}
+	for _, a := range advice {
+		if a.ArcRatio <= dims.Length/dims.GaugeWidth*0.9 {
+			t.Errorf("amplitude %g: arc ratio %v implausibly small", a.Amplitude, a.ArcRatio)
+		}
+		if a.STLOverhead <= 0 {
+			t.Errorf("amplitude %g: split should enlarge the STL (%v)", a.Amplitude, a.STLOverhead)
+		}
+		if a.STLOverhead > 10 {
+			t.Errorf("amplitude %g: STL overhead %v out of expected range", a.Amplitude, a.STLOverhead)
+		}
+	}
+	// Larger amplitude sabotages at least as strongly (weaker bond).
+	if advice[1].SabotageBond > advice[0].SabotageBond+0.15 {
+		t.Errorf("larger amplitude should not bond better: %+v", advice)
+	}
+}
+
+func TestAdviseSplitErrors(t *testing.T) {
+	if _, _, err := AdviseSplit(brep.DefaultTensileBar(), nil, printer.DimensionElite()); err == nil {
+		t.Error("expected error for no candidates")
+	}
+	if _, _, err := AdviseSplit(brep.DefaultTensileBar(), []float64{99}, printer.DimensionElite()); err == nil {
+		t.Error("expected error for impossible amplitude")
+	}
+}

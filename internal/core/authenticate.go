@@ -1,0 +1,154 @@
+package core
+
+import (
+	"fmt"
+
+	"obfuscade/internal/mech"
+	"obfuscade/internal/printer"
+	"obfuscade/internal/voxel"
+)
+
+// Verdict is the outcome of authenticating a physical part.
+type Verdict int
+
+const (
+	// Genuine parts match the manifest's expected feature signature.
+	Genuine Verdict = iota
+	// Counterfeit parts show the sabotage signature (the features
+	// manifested as defects) or lack the expected marks.
+	Counterfeit
+	// Suspect parts show mixed evidence.
+	Suspect
+)
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	switch v {
+	case Genuine:
+		return "genuine"
+	case Counterfeit:
+		return "counterfeit"
+	case Suspect:
+		return "suspect"
+	default:
+		return fmt.Sprintf("Verdict(%d)", int(v))
+	}
+}
+
+// AuthReport details the authentication evidence.
+type AuthReport struct {
+	Verdict Verdict
+	// CavityFound reports a washed-out internal cavity (CT scan).
+	CavityFound bool
+	// CavityMatchesSphere reports that the cavity matches the embedded
+	// sphere's position and volume.
+	CavityMatchesSphere bool
+	// SurfaceDisrupted reports visible split-feature disruption.
+	SurfaceDisrupted bool
+	// SeamDefective reports a structurally discontinuous seam.
+	SeamDefective bool
+	// Notes explain the evidence.
+	Notes []string
+}
+
+// Authenticate inspects a printed artifact (its virtual build: CT-style
+// voxel inspection plus visual surface review) against the IP owner's
+// manifest. This is the paper's genuine-part identification: features
+// must be *absent as defects* on genuine parts, and counterfeit prints
+// betray themselves by manifesting them.
+func Authenticate(b *printer.Build, man *Manifest) AuthReport {
+	rep := AuthReport{}
+	hasSphere := false
+	var sphere *SphereOptions
+	hasSplit := false
+	for _, f := range man.Features {
+		switch f.Kind {
+		case FeatureEmbeddedSphere:
+			hasSphere = true
+			sphere = f.Sphere
+		case FeatureSplineSplit:
+			hasSplit = true
+		}
+	}
+
+	cavities := b.Grid.InternalCavities()
+	if len(cavities) > 0 {
+		rep.CavityFound = true
+		if hasSphere && sphere != nil {
+			for _, c := range cavities {
+				if cavityMatches(b.Grid, c, sphere) {
+					rep.CavityMatchesSphere = true
+					rep.Notes = append(rep.Notes,
+						"CT: internal cavity matches the embedded sphere signature")
+				}
+			}
+		}
+		if !rep.CavityMatchesSphere {
+			rep.Notes = append(rep.Notes, "CT: unexpected internal cavity")
+		}
+	}
+	if b.SurfaceDisrupted() {
+		rep.SurfaceDisrupted = true
+		rep.Notes = append(rep.Notes, "visual: split-feature surface disruption present")
+	}
+	for _, s := range b.Seams {
+		if s.DiscontinuousFraction > defectiveDiscontinuity || s.BondQuality < defectiveBond {
+			rep.SeamDefective = true
+			rep.Notes = append(rep.Notes, "structural: discontinuous split seam")
+		}
+	}
+
+	// Genuine parts print the sphere dense (no cavity) and the split
+	// invisible (no disruption, bonded seam).
+	counterfeitSignals := 0
+	if hasSphere && rep.CavityFound {
+		counterfeitSignals++
+	}
+	if hasSplit && (rep.SurfaceDisrupted || rep.SeamDefective) {
+		counterfeitSignals++
+	}
+	unexpected := rep.CavityFound && !hasSphere
+	switch {
+	case counterfeitSignals > 0:
+		rep.Verdict = Counterfeit
+	case unexpected:
+		rep.Verdict = Suspect
+	default:
+		rep.Verdict = Genuine
+	}
+	return rep
+}
+
+// DestructiveCheck authenticates by tensile testing a sampled group of
+// parts against the intact reference material (Table 1's "tensile
+// strength test" mitigation). Counterfeits printed under wrong conditions
+// fracture early: a mean failure strain more than deficitTol below the
+// reference ductility flags the batch.
+func DestructiveCheck(g mech.GroupResult, reference mech.Material, deficitTol float64) Verdict {
+	if reference.FailureStrain <= 0 {
+		return Suspect
+	}
+	ratio := g.FailureStrain.Mean / reference.FailureStrain
+	switch {
+	case ratio >= 1-deficitTol:
+		return Genuine
+	case ratio >= 1-2*deficitTol:
+		return Suspect
+	default:
+		return Counterfeit
+	}
+}
+
+// cavityMatches checks a cavity against the sphere signature: centre
+// within one radius and volume within 40% of the sphere volume.
+func cavityMatches(g *voxel.Grid, c voxel.Component, s *SphereOptions) bool {
+	wb := c.BoundsWorld(g)
+	centre := wb.Center()
+	if centre.Dist(s.Center) > s.Radius {
+		return false
+	}
+	vol := float64(c.Voxels) * g.VoxelVolume()
+	sphVol := 4.0 / 3 * 3.141592653589793 * s.Radius * s.Radius * s.Radius
+	ratio := vol / sphVol
+	return ratio > 0.6 && ratio < 1.4
+}

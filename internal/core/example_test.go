@@ -1,0 +1,57 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"obfuscade/internal/core"
+	"obfuscade/internal/mech"
+	"obfuscade/internal/printer"
+	"obfuscade/internal/tessellate"
+)
+
+// Protect a design, manufacture it with the correct and a wrong key, and
+// compare the outcomes — the minimal ObfusCADe workflow.
+func Example() {
+	prot, err := core.NewProtectedBar("demo", false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prof := printer.DimensionElite()
+
+	good, err := core.Manufacture(prot, prot.Manifest.Key, prof)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wrong := core.Key{Resolution: tessellate.Coarse, Orientation: mech.XZ}
+	bad, err := core.Manufacture(prot, wrong, prof)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("correct key:", good.Quality.Grade)
+	fmt.Println("wrong key:  ", bad.Quality.Grade)
+	// Output:
+	// correct key: good
+	// wrong key:   defective
+}
+
+// Authenticate a printed part against the secret manifest.
+func ExampleAuthenticate() {
+	prot, err := core.NewProtectedPrism("valve")
+	if err != nil {
+		log.Fatal(err)
+	}
+	prof := printer.DimensionElite()
+	counterfeitKey := prot.Manifest.Key
+	counterfeitKey.RestoreSphere = false
+	fake, err := core.Manufacture(prot, counterfeitKey, prof)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := core.Authenticate(fake.Run.Build, &prot.Manifest)
+	fmt.Println("verdict:", rep.Verdict)
+	fmt.Println("cavity found:", rep.CavityFound)
+	// Output:
+	// verdict: counterfeit
+	// cavity found: true
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"obfuscade/internal/gcode"
+	"obfuscade/internal/mech"
+	"obfuscade/internal/printer"
+	"obfuscade/internal/report"
+	"obfuscade/internal/tessellate"
+)
+
+// AllKeys enumerates the processing-condition key space: every STL
+// resolution preset x both orientations x the CAD-operation bit (included
+// only when the protected part carries a sphere feature).
+func AllKeys(prot *Protected) []Key {
+	hasSphere := false
+	for _, f := range prot.Manifest.Features {
+		if f.Kind == FeatureEmbeddedSphere {
+			hasSphere = true
+		}
+	}
+	var keys []Key
+	for _, res := range tessellate.Presets() {
+		for _, o := range []mech.Orientation{mech.XY, mech.XZ} {
+			if hasSphere {
+				for _, rs := range []bool{false, true} {
+					keys = append(keys, Key{Resolution: res, Orientation: o, RestoreSphere: rs})
+				}
+			} else {
+				keys = append(keys, Key{Resolution: res, Orientation: o})
+			}
+		}
+	}
+	return keys
+}
+
+// MatrixEntry is one row of the quality matrix.
+type MatrixEntry struct {
+	Key     Key
+	Quality QualityReport
+}
+
+// QualityMatrix manufactures the protected part under every key in the
+// key space and grades each artifact — the paper's central claim
+// ("the model should print in high quality only under a specific set of
+// process flow and printing conditions") made measurable.
+func QualityMatrix(prot *Protected, prof printer.Profile) ([]MatrixEntry, error) {
+	var out []MatrixEntry
+	for _, key := range AllKeys(prot) {
+		res, err := Manufacture(prot, key, prof)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, MatrixEntry{Key: key, Quality: res.Quality})
+	}
+	return out, nil
+}
+
+// GoodKeys filters the matrix for keys that produce Good parts.
+func GoodKeys(entries []MatrixEntry) []Key {
+	var out []Key
+	for _, e := range entries {
+		if e.Quality.Grade == Good {
+			out = append(out, e.Key)
+		}
+	}
+	return out
+}
+
+// MatrixTable renders the quality matrix.
+func MatrixTable(entries []MatrixEntry) *report.Table {
+	t := &report.Table{
+		Title: "ObfusCADe quality matrix (processing conditions vs artifact grade)",
+		Headers: []string{"STL resolution", "Orientation", "CAD op", "Grade",
+			"Surface", "Bond", "Discont."},
+	}
+	for _, e := range entries {
+		op := "-"
+		if e.Key.RestoreSphere {
+			op = "restore-sphere"
+		}
+		surface := "clean"
+		if e.Quality.SurfaceDisrupted {
+			surface = "disrupted"
+		}
+		t.AddRow(
+			e.Key.Resolution.Name,
+			e.Key.Orientation.String(),
+			op,
+			e.Quality.Grade.String(),
+			surface,
+			fmt.Sprintf("%.2f", e.Quality.SeamBondQuality),
+			fmt.Sprintf("%.0f%%", 100*e.Quality.DiscontinuousFraction),
+		)
+	}
+	return t
+}
+
+// KeySpaceReport quantifies the logic-locking analogy (ref [10]): how
+// large the key space is and what a brute-force attempt costs, given that
+// each wrong key requires a full print-and-test cycle.
+type KeySpaceReport struct {
+	// TotalKeys is the size of the enumerated key space.
+	TotalKeys int
+	// GoodKeys is the number of keys yielding Good parts.
+	GoodKeys int
+	// MeanPrintHours is the average simulated print time per attempt.
+	MeanPrintHours float64
+	// ExpectedBruteForceHours is the expected printing time to find a
+	// good key by random search without replacement.
+	ExpectedBruteForceHours float64
+}
+
+// AnalyzeKeySpace manufactures under every key and measures brute-force
+// cost using the G-code simulator's print-time estimates.
+func AnalyzeKeySpace(prot *Protected, prof printer.Profile) (KeySpaceReport, []MatrixEntry, error) {
+	keys := AllKeys(prot)
+	var entries []MatrixEntry
+	var totalHours float64
+	for _, key := range keys {
+		res, err := Manufacture(prot, key, prof)
+		if err != nil {
+			return KeySpaceReport{}, nil, err
+		}
+		entries = append(entries, MatrixEntry{Key: key, Quality: res.Quality})
+		rep, err := gcode.Simulate(res.Run.GCode, gcode.DimensionEliteEnvelope())
+		if err != nil {
+			return KeySpaceReport{}, nil, err
+		}
+		totalHours += rep.PrintTime / 3600
+	}
+	good := len(GoodKeys(entries))
+	rep := KeySpaceReport{
+		TotalKeys:      len(keys),
+		GoodKeys:       good,
+		MeanPrintHours: totalHours / float64(len(keys)),
+	}
+	if good > 0 {
+		// Expected draws without replacement until the first success:
+		// (N+1)/(G+1).
+		expectedTries := float64(rep.TotalKeys+1) / float64(good+1)
+		rep.ExpectedBruteForceHours = expectedTries * rep.MeanPrintHours
+	} else {
+		rep.ExpectedBruteForceHours = math.Inf(1)
+	}
+	return rep, entries, nil
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fmt"
+
+	"obfuscade/internal/brep"
+	"obfuscade/internal/geom"
+	"obfuscade/internal/mech"
+	"obfuscade/internal/supplychain"
+	"obfuscade/internal/tessellate"
+)
+
+// NewProtectedBar builds the paper's protected tensile bar: the dogbone
+// with the spline split feature, and optionally an embedded sphere in the
+// upper grip (combining both §3.1 and §3.2 features enlarges the key
+// space). The correct key is (Fine STL, x-y orientation, restore-sphere
+// when present).
+func NewProtectedBar(name string, withSphere bool) (*Protected, error) {
+	part, err := brep.NewTensileBar(name, brep.DefaultTensileBar())
+	if err != nil {
+		return nil, err
+	}
+	var features []FeatureRecord
+	fr, err := ProtectSplineSplit(part, SplitOptions{})
+	if err != nil {
+		return nil, err
+	}
+	features = append(features, fr)
+	if withSphere {
+		sr, err := ProtectEmbeddedSphere(part, SphereOptions{
+			Host:   "bar-upper",
+			Center: geom.V3(15, 14, 1.6),
+			Radius: 1.2,
+		})
+		if err != nil {
+			return nil, err
+		}
+		features = append(features, sr)
+	}
+	cad, err := brep.Save(part)
+	if err != nil {
+		return nil, err
+	}
+	return &Protected{
+		Part: part,
+		Manifest: Manifest{
+			PartName: name,
+			Features: features,
+			Key: Key{
+				Resolution:    tessellate.Custom,
+				Orientation:   mech.XY,
+				RestoreSphere: withSphere,
+			},
+			CADDigest: supplychain.Digest(cad),
+		},
+	}, nil
+}
+
+// NewDoubleSplitBar builds a bar carrying two stacked spline split
+// features — the multi-surface variation §3.1 suggests for complex
+// industrial designs ("addition of one or more surfaces ... such features
+// can overlap or cut across other design features"). The first split runs
+// along the centreline, the second cuts the upper body again.
+func NewDoubleSplitBar(name string) (*Protected, error) {
+	d := brep.DefaultTensileBar()
+	part, err := brep.NewTensileBar(name, d)
+	if err != nil {
+		return nil, err
+	}
+	s1, err := brep.SplitSplineAt(d, d.MidY(), 1.0, 3)
+	if err != nil {
+		return nil, err
+	}
+	if err := brep.SplitBySpline(part, "bar", s1); err != nil {
+		return nil, err
+	}
+	s2, err := brep.SplitSplineAt(d, d.MidY()+1.8, 0.5, 2)
+	if err != nil {
+		return nil, err
+	}
+	if err := brep.SplitBySpline(part, "bar-upper", s2); err != nil {
+		return nil, err
+	}
+	cad, err := brep.Save(part)
+	if err != nil {
+		return nil, err
+	}
+	return &Protected{
+		Part: part,
+		Manifest: Manifest{
+			PartName: name,
+			Features: []FeatureRecord{
+				{Kind: FeatureSplineSplit, Detail: "centreline split, amplitude 1.0, 3 half-waves"},
+				{Kind: FeatureSplineSplit, Detail: "upper split, amplitude 0.5, 2 half-waves"},
+			},
+			Key:       Key{Resolution: tessellate.Custom, Orientation: mech.XY},
+			CADDigest: supplychain.Digest(cad),
+		},
+	}, nil
+}
+
+// NewProtectedPrism builds the paper's §3.2 demonstrator: the rectangular
+// prism (1 x 0.5 x 0.5 in) with the embedded sphere feature in its
+// sabotaged no-removal state.
+func NewProtectedPrism(name string) (*Protected, error) {
+	part, err := brep.NewRectPrism(name, geom.V3(25.4, 12.7, 12.7))
+	if err != nil {
+		return nil, err
+	}
+	fr, err := ProtectEmbeddedSphere(part, SphereOptions{
+		Host:   "prism",
+		Center: geom.V3(12.7, 6.35, 6.35),
+		Radius: 3.175,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cad, err := brep.Save(part)
+	if err != nil {
+		return nil, err
+	}
+	return &Protected{
+		Part: part,
+		Manifest: Manifest{
+			PartName:  name,
+			Features:  []FeatureRecord{fr},
+			Key:       Key{Resolution: tessellate.Fine, Orientation: mech.XY, RestoreSphere: true},
+			CADDigest: supplychain.Digest(cad),
+		},
+	}, nil
+}
+
+// VerifyDistribution checks that a received CAD file is the authentic
+// protected design (digest match) — the integrity control the IP owner's
+// partners apply on receipt.
+func VerifyDistribution(prot *Protected, cadBytes []byte) error {
+	if !supplychain.VerifyDigest(cadBytes, prot.Manifest.CADDigest) {
+		return fmt.Errorf("core: CAD file does not match the protected design manifest")
+	}
+	return nil
+}

@@ -1,0 +1,193 @@
+package fea
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestNewModelErrors(t *testing.T) {
+	if _, err := NewModel(0, 5, 1, 1, 2000, 0.3, 1); err == nil {
+		t.Error("expected error for zero elements")
+	}
+	if _, err := NewModel(5, 5, -1, 1, 2000, 0.3, 1); err == nil {
+		t.Error("expected error for negative size")
+	}
+	if _, err := NewModel(5, 5, 1, 1, 0, 0.3, 1); err == nil {
+		t.Error("expected error for zero modulus")
+	}
+	if _, err := NewModel(5, 5, 1, 1, 2000, 0.6, 1); err == nil {
+		t.Error("expected error for invalid Poisson ratio")
+	}
+	if _, err := NewModel(3000, 3000, 1, 1, 2000, 0.3, 1); err == nil {
+		t.Error("expected error for oversized model")
+	}
+}
+
+func TestUniformTension(t *testing.T) {
+	// A pristine strip under uniform tension: stress = E * strain
+	// everywhere, Kt = 1.
+	const e, nu, strain = 2000.0, 0.0, 0.01
+	m, err := NewModel(20, 8, 1, 1, e, nu, 3.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := m.SolveTension(strain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := e * strain
+	max, _, _ := sol.MaxStress()
+	if math.Abs(max-want)/want > 0.02 {
+		t.Errorf("max stress = %v, want ~%v", max, want)
+	}
+	if kt := sol.Kt(); kt > 1.05 {
+		t.Errorf("pristine Kt = %v, want ~1", kt)
+	}
+	// All active elements near nominal stress.
+	for _, vm := range sol.VonMises {
+		if math.Abs(vm-want)/want > 0.05 {
+			t.Fatalf("non-uniform stress %v in uniform tension", vm)
+		}
+	}
+}
+
+func TestPoissonContraction(t *testing.T) {
+	// With nu > 0, uniaxial stretch produces lateral contraction.
+	m, err := NewModel(20, 10, 1, 1, 2000, 0.35, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := m.SolveTension(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare top-edge mid node y displacement: should be negative
+	// (moving down) for the upper half.
+	top := m.nodeID(10, 10)
+	bottom := m.nodeID(10, 0)
+	contraction := sol.U[2*top+1] - sol.U[2*bottom+1]
+	if contraction >= 0 {
+		t.Errorf("expected lateral contraction, got %v", contraction)
+	}
+}
+
+func TestCentreHoleConcentration(t *testing.T) {
+	// A strip with a small interior void concentrates stress near the
+	// void; the classical value for a circular hole is ~3.
+	m, err := NewModel(60, 30, 1, 1, 2000, 0.3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 2x2 element void at the centre.
+	for _, d := range [][2]int{{29, 14}, {30, 14}, {29, 15}, {30, 15}} {
+		m.Deactivate(d[0], d[1])
+	}
+	sol, err := m.SolveTension(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kt := sol.Kt()
+	if kt < 1.5 || kt > 5 {
+		t.Errorf("hole Kt = %v, want in [1.5, 5]", kt)
+	}
+	// Peak stress adjacent to the hole.
+	_, ix, iy := sol.MaxStress()
+	if ix < 25 || ix > 35 || iy < 10 || iy > 19 {
+		t.Errorf("peak stress at (%d,%d), expected near the hole", ix, iy)
+	}
+}
+
+func TestDeactivateSlit(t *testing.T) {
+	m, err := NewModel(40, 20, 1, 1, 2000, 0.3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := m.ActiveCount()
+	m.DeactivateSlit([][2]float64{{5, 0}, {20, 10}})
+	if m.ActiveCount() >= before {
+		t.Error("slit should deactivate elements")
+	}
+	if m.Active(5, 0) {
+		t.Error("slit start element should be inactive")
+	}
+}
+
+// The Fig. 9 reproduction: an edge slit (the unbonded spline seam)
+// concentrates stress at its tip, and deeper slits concentrate more.
+func TestSplitTipAnalysis(t *testing.T) {
+	_, kt0, err := SplitTipAnalysis(33, 6, 3.2, 2000, 0.35, 0, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kt0 > 1.1 {
+		t.Errorf("no-slit Kt = %v, want ~1", kt0)
+	}
+	sol, kt1, err := SplitTipAnalysis(33, 6, 3.2, 2000, 0.35, 1.5, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kt1 < 1.5 {
+		t.Errorf("slit Kt = %v, want > 1.5", kt1)
+	}
+	// Failure initiates at the slit tip: peak stress near (l/2, depth).
+	_, ix, iy := sol.MaxStress()
+	x := float64(ix) * sol.Model.DX
+	y := float64(iy) * sol.Model.DY
+	if math.Abs(x-16.5) > 5 || y > 4 {
+		t.Errorf("peak stress at (%.1f, %.1f), expected near slit tip (16.5, 1.5)", x, y)
+	}
+	// A deeper slit still concentrates stress well above nominal. (Kt is
+	// not monotone in depth for shallow-angle slits under prescribed end
+	// displacement: the specimen also becomes globally more compliant.)
+	_, kt2, err := SplitTipAnalysis(33, 6, 3.2, 2000, 0.35, 2.5, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kt2 < 1.5 || kt2 > 8 {
+		t.Errorf("deeper slit Kt = %v, want in [1.5, 8]", kt2)
+	}
+}
+
+func TestSplitTipAnalysisErrors(t *testing.T) {
+	if _, _, err := SplitTipAnalysis(33, 6, 3.2, 2000, 0.35, 7, 60); err == nil {
+		t.Error("expected error for slit deeper than width")
+	}
+}
+
+func TestSolveAllInactive(t *testing.T) {
+	m, _ := NewModel(2, 2, 1, 1, 2000, 0.3, 1)
+	for iy := 0; iy < 2; iy++ {
+		for ix := 0; ix < 2; ix++ {
+			m.Deactivate(ix, iy)
+		}
+	}
+	if _, err := m.SolveTension(0.01); err == nil {
+		t.Error("expected error with no active elements")
+	}
+}
+
+func TestFieldASCII(t *testing.T) {
+	sol, _, err := SplitTipAnalysis(33, 6, 3.2, 2000, 0.35, 1.5, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	art := sol.FieldASCII()
+	lines := 0
+	for _, c := range art {
+		if c == '\n' {
+			lines++
+		}
+	}
+	if lines != sol.Model.NY {
+		t.Errorf("field lines = %d, want %d", lines, sol.Model.NY)
+	}
+	// The slit (inactive elements) renders as 'o' and the hottest cell
+	// as '@'.
+	if !strings.ContainsRune(art, 'o') {
+		t.Error("slit not rendered")
+	}
+	if !strings.ContainsRune(art, '@') {
+		t.Error("peak stress not rendered")
+	}
+}

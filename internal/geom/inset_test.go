@@ -1,0 +1,141 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestInsetSquare(t *testing.T) {
+	p := Polygon{V2(0, 0), V2(10, 0), V2(10, 10), V2(0, 10)}
+	in, ok := p.Inset(1)
+	if !ok {
+		t.Fatal("inset failed")
+	}
+	if !ApproxEq(in.Area(), 64, 1e-9) {
+		t.Errorf("inset area = %v, want 64", in.Area())
+	}
+	if !in.IsCCW() {
+		t.Error("inset should stay CCW")
+	}
+	// All inset vertices strictly inside the original.
+	for _, v := range in {
+		if !p.Contains(v) {
+			t.Errorf("inset vertex %v outside original", v)
+		}
+	}
+}
+
+func TestInsetCWPolygonOffsetsOutward(t *testing.T) {
+	p := Polygon{V2(0, 0), V2(0, 10), V2(10, 10), V2(10, 0)} // CW
+	out, ok := p.Inset(1)
+	if !ok {
+		t.Fatal("CW inset failed")
+	}
+	if got := out.Area(); !ApproxEq(got, 144, 1e-9) {
+		t.Errorf("CW offset area = %v, want 144", got)
+	}
+}
+
+func TestInsetTooNarrow(t *testing.T) {
+	p := Polygon{V2(0, 0), V2(10, 0), V2(10, 1), V2(0, 1)}
+	if _, ok := p.Inset(0.6); ok {
+		t.Error("inset wider than half-height should degenerate")
+	}
+}
+
+func TestInsetInvalidInput(t *testing.T) {
+	if _, ok := (Polygon{V2(0, 0), V2(1, 0)}).Inset(0.1); ok {
+		t.Error("2-gon inset should fail")
+	}
+	p := Polygon{V2(0, 0), V2(10, 0), V2(10, 10), V2(0, 10)}
+	if _, ok := p.Inset(0); ok {
+		t.Error("zero-distance inset should fail")
+	}
+	if _, ok := p.Inset(-1); ok {
+		t.Error("negative inset should fail")
+	}
+}
+
+func TestInsetConcave(t *testing.T) {
+	// An L-shape: inset shrinks area and keeps orientation.
+	p := Polygon{V2(0, 0), V2(8, 0), V2(8, 3), V2(3, 3), V2(3, 8), V2(0, 8)}
+	in, ok := p.Inset(0.5)
+	if !ok {
+		t.Fatal("concave inset failed")
+	}
+	if in.Area() >= p.Area() {
+		t.Errorf("inset area %v should shrink from %v", in.Area(), p.Area())
+	}
+	if !in.IsCCW() {
+		t.Error("concave inset lost orientation")
+	}
+}
+
+func TestInsetRepeatedConverges(t *testing.T) {
+	p := Polygon{V2(0, 0), V2(20, 0), V2(20, 20), V2(0, 20)}
+	count := 0
+	loop := p
+	for {
+		in, ok := loop.Inset(1)
+		if !ok {
+			break
+		}
+		loop = in
+		count++
+		if count > 30 {
+			t.Fatal("inset should eventually degenerate")
+		}
+	}
+	if count < 8 || count > 10 {
+		t.Errorf("20mm square should allow ~9 insets of 1mm, got %d", count)
+	}
+}
+
+func TestInsetAreaLowerBound(t *testing.T) {
+	// Inset of a convex polygon by d shrinks area by at least
+	// perimeter*d - pi*d^2 ... approximately; check the simple bound
+	// area_new <= area_old - 0.5*perimeter_new*d.
+	p := Polygon{V2(0, 0), V2(12, 0), V2(12, 7), V2(0, 7)}
+	const d = 0.8
+	in, ok := p.Inset(d)
+	if !ok {
+		t.Fatal("inset failed")
+	}
+	want := (12 - 2*d) * (7 - 2*d)
+	if math.Abs(in.Area()-want) > 1e-9 {
+		t.Errorf("rect inset area = %v, want %v", in.Area(), want)
+	}
+}
+
+// Property: for random CCW rectangles, insetting shrinks the area by the
+// exact analytic amount and every vertex stays inside.
+func TestInsetRectangleProperty(t *testing.T) {
+	f := func(w, h, d float64) bool {
+		w = Clamp(math.Abs(w), 2, 100)
+		h = Clamp(math.Abs(h), 2, 100)
+		d = Clamp(math.Abs(d), 0.01, math.Min(w, h)/2*0.9)
+		p := Polygon{V2(0, 0), V2(w, 0), V2(w, h), V2(0, h)}
+		in, ok := p.Inset(d)
+		if !ok {
+			return false
+		}
+		want := (w - 2*d) * (h - 2*d)
+		if math.Abs(in.Area()-want) > 1e-9*(1+want) {
+			return false
+		}
+		for _, v := range in {
+			if !p.Contains(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quickCheck(f); err != nil {
+		t.Error(err)
+	}
+}
+
+func quickCheck(f func(w, h, d float64) bool) error {
+	return quick.Check(f, &quick.Config{MaxCount: 100})
+}

@@ -1,0 +1,138 @@
+package geom
+
+import "math"
+
+// Mat4 is a 4x4 row-major homogeneous transformation matrix.
+type Mat4 [16]float64
+
+// Identity returns the identity transform.
+func Identity() Mat4 {
+	return Mat4{
+		1, 0, 0, 0,
+		0, 1, 0, 0,
+		0, 0, 1, 0,
+		0, 0, 0, 1,
+	}
+}
+
+// Translate returns a translation by t.
+func Translate(t Vec3) Mat4 {
+	return Mat4{
+		1, 0, 0, t.X,
+		0, 1, 0, t.Y,
+		0, 0, 1, t.Z,
+		0, 0, 0, 1,
+	}
+}
+
+// ScaleUniform returns a uniform scaling about the origin.
+func ScaleUniform(s float64) Mat4 { return Scale(Vec3{s, s, s}) }
+
+// Scale returns an anisotropic scaling about the origin.
+func Scale(s Vec3) Mat4 {
+	return Mat4{
+		s.X, 0, 0, 0,
+		0, s.Y, 0, 0,
+		0, 0, s.Z, 0,
+		0, 0, 0, 1,
+	}
+}
+
+// RotateX returns a rotation of angle radians about the +X axis.
+func RotateX(angle float64) Mat4 {
+	c, s := math.Cos(angle), math.Sin(angle)
+	return Mat4{
+		1, 0, 0, 0,
+		0, c, -s, 0,
+		0, s, c, 0,
+		0, 0, 0, 1,
+	}
+}
+
+// RotateY returns a rotation of angle radians about the +Y axis.
+func RotateY(angle float64) Mat4 {
+	c, s := math.Cos(angle), math.Sin(angle)
+	return Mat4{
+		c, 0, s, 0,
+		0, 1, 0, 0,
+		-s, 0, c, 0,
+		0, 0, 0, 1,
+	}
+}
+
+// RotateZ returns a rotation of angle radians about the +Z axis.
+func RotateZ(angle float64) Mat4 {
+	c, s := math.Cos(angle), math.Sin(angle)
+	return Mat4{
+		c, -s, 0, 0,
+		s, c, 0, 0,
+		0, 0, 1, 0,
+		0, 0, 0, 1,
+	}
+}
+
+// Mul returns the matrix product m * n (n applied first).
+func (m Mat4) Mul(n Mat4) Mat4 {
+	var r Mat4
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			var sum float64
+			for k := 0; k < 4; k++ {
+				sum += m[i*4+k] * n[k*4+j]
+			}
+			r[i*4+j] = sum
+		}
+	}
+	return r
+}
+
+// Apply transforms point p (w = 1).
+func (m Mat4) Apply(p Vec3) Vec3 {
+	return Vec3{
+		m[0]*p.X + m[1]*p.Y + m[2]*p.Z + m[3],
+		m[4]*p.X + m[5]*p.Y + m[6]*p.Z + m[7],
+		m[8]*p.X + m[9]*p.Y + m[10]*p.Z + m[11],
+	}
+}
+
+// ApplyDir transforms direction d (w = 0), ignoring translation.
+func (m Mat4) ApplyDir(d Vec3) Vec3 {
+	return Vec3{
+		m[0]*d.X + m[1]*d.Y + m[2]*d.Z,
+		m[4]*d.X + m[5]*d.Y + m[6]*d.Z,
+		m[8]*d.X + m[9]*d.Y + m[10]*d.Z,
+	}
+}
+
+// ApplyNormal transforms a normal vector and re-normalises it. For the
+// rigid and uniform-scale transforms used in this repository the inverse
+// transpose equals the linear part up to scale, so this is exact.
+func (m Mat4) ApplyNormal(n Vec3) Vec3 { return m.ApplyDir(n).Normalized() }
+
+// Det returns the determinant of the upper-left 3x3 linear part.
+func (m Mat4) Det3() float64 {
+	return m[0]*(m[5]*m[10]-m[6]*m[9]) -
+		m[1]*(m[4]*m[10]-m[6]*m[8]) +
+		m[2]*(m[4]*m[9]-m[5]*m[8])
+}
+
+// IsRigid reports whether the linear part of m is orthonormal with
+// determinant +1 (rotation + translation only), within tol.
+func (m Mat4) IsRigid(tol float64) bool {
+	cols := [3]Vec3{
+		{m[0], m[4], m[8]},
+		{m[1], m[5], m[9]},
+		{m[2], m[6], m[10]},
+	}
+	for i := 0; i < 3; i++ {
+		if !ApproxEq(cols[i].Len(), 1, tol) {
+			return false
+		}
+		for j := i + 1; j < 3; j++ {
+			if !ApproxEq(cols[i].Dot(cols[j]), 0, tol) {
+				return false
+			}
+		}
+	}
+	return ApproxEq(m.Det3(), 1, tol)
+}

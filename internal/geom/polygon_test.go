@@ -1,0 +1,161 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func square(cx, cy, half float64) Polygon {
+	return Polygon{
+		V2(cx-half, cy-half), V2(cx+half, cy-half),
+		V2(cx+half, cy+half), V2(cx-half, cy+half),
+	}
+}
+
+func TestPolygonArea(t *testing.T) {
+	p := square(0, 0, 1)
+	if got := p.SignedArea(); !ApproxEq(got, 4, 1e-12) {
+		t.Errorf("SignedArea = %v, want 4", got)
+	}
+	if got := p.Reversed().SignedArea(); !ApproxEq(got, -4, 1e-12) {
+		t.Errorf("reversed SignedArea = %v, want -4", got)
+	}
+	if !p.IsCCW() || p.Reversed().IsCCW() {
+		t.Error("orientation predicates inconsistent")
+	}
+	if got := p.Perimeter(); !ApproxEq(got, 8, 1e-12) {
+		t.Errorf("Perimeter = %v, want 8", got)
+	}
+}
+
+func TestPolygonCentroid(t *testing.T) {
+	p := square(3, -2, 1)
+	if got := p.Centroid(); !got.Eq(V2(3, -2), 1e-12) {
+		t.Errorf("Centroid = %v", got)
+	}
+}
+
+func TestWindingNumber(t *testing.T) {
+	p := square(0, 0, 1)
+	if got := p.WindingNumber(V2(0, 0)); got != 1 {
+		t.Errorf("inside winding = %d, want 1", got)
+	}
+	if got := p.WindingNumber(V2(5, 5)); got != 0 {
+		t.Errorf("outside winding = %d, want 0", got)
+	}
+	if got := p.Reversed().WindingNumber(V2(0, 0)); got != -1 {
+		t.Errorf("CW inside winding = %d, want -1", got)
+	}
+	if !p.Contains(V2(0.5, -0.5)) {
+		t.Error("Contains should include interior point")
+	}
+	if p.Contains(V2(1.5, 0)) {
+		t.Error("Contains should exclude exterior point")
+	}
+}
+
+func TestPolygonSetFillRules(t *testing.T) {
+	outer := square(0, 0, 2)
+	hole := square(0, 0, 1).Reversed() // CW hole
+	s := PolygonSet{outer, hole}
+	if s.ContainsNonZero(V2(0, 0)) {
+		t.Error("hole interior should be outside (non-zero)")
+	}
+	if !s.ContainsNonZero(V2(1.5, 0)) {
+		t.Error("annulus should be inside (non-zero)")
+	}
+	if got := s.Area(); !ApproxEq(got, 16-4, 1e-12) {
+		t.Errorf("set Area = %v, want 12", got)
+	}
+
+	// Two nested CCW loops (raw STL nested shells): even-odd makes the
+	// inner region hollow even though winding is 2. This is the slicer
+	// behaviour the embedded-sphere feature (§3.2) exploits.
+	nested := PolygonSet{square(0, 0, 2), square(0, 0, 1)}
+	if nested.ContainsEvenOdd(V2(0, 0)) {
+		t.Error("even-odd: doubly-enclosed point should be hollow")
+	}
+	if !nested.ContainsNonZero(V2(0, 0)) {
+		t.Error("non-zero: doubly-enclosed point should be solid")
+	}
+	if !nested.ContainsEvenOdd(V2(1.5, 0)) {
+		t.Error("even-odd: singly-enclosed point should be solid")
+	}
+}
+
+func TestDistToBoundary(t *testing.T) {
+	p := square(0, 0, 1)
+	if got := p.DistToBoundary(V2(0, 0)); !ApproxEq(got, 1, 1e-12) {
+		t.Errorf("DistToBoundary center = %v, want 1", got)
+	}
+	if got := p.DistToBoundary(V2(3, 0)); !ApproxEq(got, 2, 1e-12) {
+		t.Errorf("DistToBoundary outside = %v, want 2", got)
+	}
+}
+
+func TestMinDist(t *testing.T) {
+	a := square(0, 0, 1)
+	b := square(5, 0, 1)
+	if got := a.MinDist(b); !ApproxEq(got, 3, 1e-12) {
+		t.Errorf("MinDist = %v, want 3", got)
+	}
+}
+
+func TestSimplify(t *testing.T) {
+	p := Polygon{
+		V2(0, 0), V2(0.5, 1e-9), V2(1, 0), // middle vertex collinear
+		V2(1, 1), V2(1, 1), // duplicate
+		V2(0, 1),
+	}
+	s := p.Simplify(1e-6)
+	if len(s) != 4 {
+		t.Fatalf("Simplify len = %d, want 4 (%v)", len(s), s)
+	}
+	if !ApproxEq(s.Area(), 1, 1e-6) {
+		t.Errorf("Simplify changed area: %v", s.Area())
+	}
+}
+
+func TestTranslatePolygon(t *testing.T) {
+	p := square(0, 0, 1).Translate(V2(10, 20))
+	if got := p.Centroid(); !got.Eq(V2(10, 20), 1e-12) {
+		t.Errorf("translated centroid = %v", got)
+	}
+}
+
+// Property: area is translation-invariant and negates under reversal.
+func TestAreaInvariants(t *testing.T) {
+	f := func(coords [8]float64, dx, dy float64) bool {
+		p := Polygon{
+			V2(clampMag(coords[0]), clampMag(coords[1])),
+			V2(clampMag(coords[2]), clampMag(coords[3])),
+			V2(clampMag(coords[4]), clampMag(coords[5])),
+			V2(clampMag(coords[6]), clampMag(coords[7])),
+		}
+		a := p.SignedArea()
+		scale := 1 + math.Abs(a)
+		moved := p.Translate(V2(clampMag(dx), clampMag(dy))).SignedArea()
+		rev := p.Reversed().SignedArea()
+		return math.Abs(moved-a) <= 1e-4*scale && math.Abs(rev+a) <= 1e-9*scale
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: points reported inside a CCW simple polygon have winding 1, and
+// winding is 0 far outside the bounding box.
+func TestWindingOutsideBounds(t *testing.T) {
+	f := func(cx, cy, r float64) bool {
+		cx, cy = clampMag(cx), clampMag(cy)
+		r = Clamp(math.Abs(clampMag(r)), 0.1, 1e3)
+		p := square(cx, cy, r)
+		far := V2(cx+10*r, cy+10*r)
+		return p.WindingNumber(far) == 0 && p.WindingNumber(V2(cx, cy)) == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,111 @@
+package geom
+
+import "fmt"
+
+// Triangulate decomposes a simple polygon (no self-intersections, no holes)
+// into triangles using ear clipping. The polygon may wind either way; the
+// returned index triples reference the input vertices and wind the same way
+// as the input polygon. The algorithm is O(n^2), which is ample for the
+// profile sizes produced by CAD tessellation.
+func Triangulate(p Polygon) ([][3]int, error) {
+	n := len(p)
+	if n < 3 {
+		return nil, fmt.Errorf("geom: cannot triangulate %d-gon", n)
+	}
+	ccw := p.IsCCW()
+	// Work on a CCW copy, mapping indices back at the end.
+	idx := make([]int, n)
+	for i := range idx {
+		if ccw {
+			idx[i] = i
+		} else {
+			idx[i] = n - 1 - i
+		}
+	}
+	verts := func(i int) Vec2 { return p[idx[i]] }
+
+	var out [][3]int
+	emit := func(a, b, c int) {
+		if ccw {
+			out = append(out, [3]int{a, b, c})
+		} else {
+			out = append(out, [3]int{c, b, a})
+		}
+	}
+
+	remaining := make([]int, n)
+	for i := range remaining {
+		remaining[i] = i
+	}
+	isConvex := func(prev, cur, next int) bool {
+		return verts(cur).Sub(verts(prev)).Cross(verts(next).Sub(verts(cur))) > 0
+	}
+	inTriangle := func(q, a, b, c Vec2) bool {
+		d1 := b.Sub(a).Cross(q.Sub(a))
+		d2 := c.Sub(b).Cross(q.Sub(b))
+		d3 := a.Sub(c).Cross(q.Sub(c))
+		hasNeg := d1 < 0 || d2 < 0 || d3 < 0
+		hasPos := d1 > 0 || d2 > 0 || d3 > 0
+		return !(hasNeg && hasPos)
+	}
+
+	guard := 0
+	for len(remaining) > 3 {
+		guard++
+		if guard > 4*n*n {
+			return nil, fmt.Errorf("geom: ear clipping failed to converge (self-intersecting polygon?)")
+		}
+		clipped := false
+		m := len(remaining)
+		for i := 0; i < m; i++ {
+			prev := remaining[(i-1+m)%m]
+			cur := remaining[i]
+			next := remaining[(i+1)%m]
+			if !isConvex(prev, cur, next) {
+				continue
+			}
+			// No other remaining vertex may lie inside the candidate ear.
+			ok := true
+			for _, j := range remaining {
+				if j == prev || j == cur || j == next {
+					continue
+				}
+				if inTriangle(verts(j), verts(prev), verts(cur), verts(next)) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			emit(idx[prev], idx[cur], idx[next])
+			remaining = append(remaining[:i], remaining[i+1:]...)
+			clipped = true
+			break
+		}
+		if !clipped {
+			// Degenerate input (collinear runs). Clip the least-reflex
+			// vertex to make progress; this keeps the area correct for
+			// the near-degenerate polygons tessellation can produce.
+			best, bestCross := -1, -1.0
+			m := len(remaining)
+			for i := 0; i < m; i++ {
+				prev := remaining[(i-1+m)%m]
+				cur := remaining[i]
+				next := remaining[(i+1)%m]
+				cr := verts(cur).Sub(verts(prev)).Cross(verts(next).Sub(verts(cur)))
+				if best == -1 || cr > bestCross {
+					best, bestCross = i, cr
+				}
+			}
+			i := best
+			prev := remaining[(i-1+m)%m]
+			cur := remaining[i]
+			next := remaining[(i+1)%m]
+			emit(idx[prev], idx[cur], idx[next])
+			remaining = append(remaining[:i], remaining[i+1:]...)
+		}
+	}
+	emit(idx[remaining[0]], idx[remaining[1]], idx[remaining[2]])
+	return out, nil
+}

@@ -1,0 +1,95 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+func triangulatedArea(t *testing.T, p Polygon) float64 {
+	t.Helper()
+	tris, err := Triangulate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tris) != len(p)-2 {
+		t.Fatalf("triangle count = %d, want %d", len(tris), len(p)-2)
+	}
+	var a float64
+	for _, tr := range tris {
+		a += Polygon{p[tr[0]], p[tr[1]], p[tr[2]]}.SignedArea()
+	}
+	return a
+}
+
+func TestTriangulateSquare(t *testing.T) {
+	p := Polygon{V2(0, 0), V2(2, 0), V2(2, 2), V2(0, 2)}
+	if a := triangulatedArea(t, p); !ApproxEq(a, 4, 1e-12) {
+		t.Errorf("area = %v, want 4", a)
+	}
+}
+
+func TestTriangulateCWSquare(t *testing.T) {
+	p := Polygon{V2(0, 0), V2(0, 2), V2(2, 2), V2(2, 0)}
+	if a := triangulatedArea(t, p); !ApproxEq(a, -4, 1e-12) {
+		t.Errorf("area = %v, want -4 (CW preserved)", a)
+	}
+}
+
+func TestTriangulateConcave(t *testing.T) {
+	// An L-shape.
+	p := Polygon{
+		V2(0, 0), V2(4, 0), V2(4, 1), V2(1, 1), V2(1, 3), V2(0, 3),
+	}
+	want := p.SignedArea()
+	if a := triangulatedArea(t, p); !ApproxEq(a, want, 1e-9) {
+		t.Errorf("area = %v, want %v", a, want)
+	}
+}
+
+func TestTriangulateStar(t *testing.T) {
+	// A 5-pointed star outline (concave decagon).
+	var p Polygon
+	for i := 0; i < 10; i++ {
+		r := 2.0
+		if i%2 == 1 {
+			r = 0.8
+		}
+		ang := float64(i) * math.Pi / 5
+		p = append(p, V2(r*math.Cos(ang), r*math.Sin(ang)))
+	}
+	want := p.SignedArea()
+	if a := triangulatedArea(t, p); !ApproxEq(a, want, 1e-9) {
+		t.Errorf("star area = %v, want %v", a, want)
+	}
+}
+
+func TestTriangulateWithCollinearRuns(t *testing.T) {
+	// Square with extra collinear vertices on one edge.
+	p := Polygon{
+		V2(0, 0), V2(1, 0), V2(2, 0), V2(3, 0),
+		V2(3, 3), V2(0, 3),
+	}
+	if a := triangulatedArea(t, p); !ApproxEq(a, 9, 1e-9) {
+		t.Errorf("area = %v, want 9", a)
+	}
+}
+
+func TestTriangulateTooFew(t *testing.T) {
+	if _, err := Triangulate(Polygon{V2(0, 0), V2(1, 1)}); err == nil {
+		t.Error("expected error for 2-gon")
+	}
+}
+
+func TestTriangulateWavyProfile(t *testing.T) {
+	// Emulates a tessellated split-body profile: flat bottom, wavy top.
+	var p Polygon
+	p = append(p, V2(0, 0), V2(20, 0))
+	for i := 0; i <= 40; i++ {
+		x := 20 - float64(i)*0.5
+		p = append(p, V2(x, 2+0.5*math.Sin(x)))
+	}
+	want := p.SignedArea()
+	if a := triangulatedArea(t, p); math.Abs(a-want) > 1e-9*math.Abs(want) {
+		t.Errorf("wavy area = %v, want %v", a, want)
+	}
+}

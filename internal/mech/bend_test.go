@@ -1,0 +1,75 @@
+package mech
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBendSetupValidate(t *testing.T) {
+	if err := DefaultBendSetup().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultBendSetup()
+	bad.Span = 5 // < 4x depth
+	if err := bad.Validate(); err == nil {
+		t.Error("expected error for shear-dominated span")
+	}
+	bad = DefaultBendSetup()
+	bad.Width = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("expected error for zero width")
+	}
+}
+
+func TestBendTestIntact(t *testing.T) {
+	p, err := BendTest(Specimen{Mat: ABS(XY)}, DefaultBendSetup(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flexural modulus equals tensile modulus in this model.
+	if math.Abs(p.FlexuralModulusGPa-1.98) > 0.01 {
+		t.Errorf("flexural modulus = %v", p.FlexuralModulusGPa)
+	}
+	// Strength ~ 1.5x tensile flow stress at the failure strain.
+	if p.FlexuralStrengthMPa < 40 || p.FlexuralStrengthMPa > 50 {
+		t.Errorf("flexural strength = %v, want ~45 (1.5 x ~30)", p.FlexuralStrengthMPa)
+	}
+	// Deflection: eps*L^2/(6d) = 0.029*51.2^2/(6*3.2).
+	want := 0.029 * 51.2 * 51.2 / (6 * 3.2)
+	if math.Abs(p.FailureDeflectionMM-want) > 0.01*want {
+		t.Errorf("deflection = %v, want %v", p.FailureDeflectionMM, want)
+	}
+}
+
+func TestBendTestSplitKnockdown(t *testing.T) {
+	setup := DefaultBendSetup()
+	intact, err := BendTest(Specimen{Mat: ABS(XY)}, setup, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := BendTest(Specimen{
+		Mat: ABS(XY), SeamPresent: true, SeamQuality: 0.35, Kt: 2.6,
+	}, setup, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if split.FailureDeflectionMM > 0.55*intact.FailureDeflectionMM {
+		t.Errorf("split deflection %v vs intact %v: want >= 45%% loss",
+			split.FailureDeflectionMM, intact.FailureDeflectionMM)
+	}
+	if split.FlexuralStrengthMPa >= intact.FlexuralStrengthMPa {
+		t.Error("split flexural strength should drop")
+	}
+	if split.FlexuralModulusGPa < 0.9*intact.FlexuralModulusGPa {
+		t.Error("modulus should barely change")
+	}
+}
+
+func TestBendTestErrors(t *testing.T) {
+	if _, err := BendTest(Specimen{}, DefaultBendSetup(), nil); err == nil {
+		t.Error("expected error for invalid specimen")
+	}
+	if _, err := BendTest(Specimen{Mat: ABS(XY)}, BendSetup{}, nil); err == nil {
+		t.Error("expected error for invalid setup")
+	}
+}

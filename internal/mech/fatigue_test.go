@@ -1,0 +1,79 @@
+package mech
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFatigueLifeBasics(t *testing.T) {
+	spec := Specimen{Mat: ABS(XY)}
+	n, err := FatigueLife(spec, 0.005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n <= 1 {
+		t.Errorf("life at low amplitude = %v, want >> 1", n)
+	}
+	// Amplitude at/above ductility fails immediately.
+	n, err = FatigueLife(spec, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0.5 {
+		t.Errorf("overload life = %v, want 0.5", n)
+	}
+	if _, err := FatigueLife(spec, -1); err == nil {
+		t.Error("expected error for negative amplitude")
+	}
+	if _, err := FatigueLife(Specimen{}, 0.005); err == nil {
+		t.Error("expected error for invalid specimen")
+	}
+}
+
+func TestFatigueLifeMonotoneInAmplitude(t *testing.T) {
+	spec := Specimen{Mat: ABS(XY)}
+	prev := math.Inf(1)
+	for _, ea := range []float64{0.002, 0.004, 0.008, 0.016} {
+		n, err := FatigueLife(spec, ea)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n >= prev {
+			t.Fatalf("life should fall with amplitude: %v at %v", n, ea)
+		}
+		prev = n
+	}
+}
+
+// The paper's "inferior service life" claim: split specimens survive far
+// fewer cycles than intact ones at the same duty amplitude.
+func TestSplitServiceLifeInferior(t *testing.T) {
+	const amplitude = 0.004
+	intact, err := FatigueLife(Specimen{Mat: ABS(XY)}, amplitude)
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := FatigueLife(Specimen{
+		Mat: ABS(XY), SeamPresent: true, SeamQuality: 0.35, Kt: 2.6,
+	}, amplitude)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if split >= intact/3 {
+		t.Errorf("split life %v vs intact %v: want >= 3x reduction", split, intact)
+	}
+	// x-z counterfeits are worse still.
+	xz, err := FatigueLife(Specimen{
+		Mat: ABS(XZ), SeamPresent: true, SeamQuality: 0.11, Kt: 2.6,
+	}, amplitude)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xzIntact, err := FatigueLife(Specimen{Mat: ABS(XZ)}, amplitude)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xz >= xzIntact/10 {
+		t.Errorf("x-z split life %v vs intact %v: want >= 10x reduction", xz, xzIntact)
+	}
+}

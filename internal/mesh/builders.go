@@ -1,0 +1,71 @@
+package mesh
+
+import (
+	"math"
+
+	"obfuscade/internal/geom"
+)
+
+// BoxShell builds a closed, outward-oriented rectangular box shell spanning
+// [min, max].
+func BoxShell(name, body string, min, max geom.Vec3) Shell {
+	v := [8]geom.Vec3{
+		geom.V3(min.X, min.Y, min.Z), geom.V3(max.X, min.Y, min.Z),
+		geom.V3(max.X, max.Y, min.Z), geom.V3(min.X, max.Y, min.Z),
+		geom.V3(min.X, min.Y, max.Z), geom.V3(max.X, min.Y, max.Z),
+		geom.V3(max.X, max.Y, max.Z), geom.V3(min.X, max.Y, max.Z),
+	}
+	quads := [][4]int{
+		{3, 2, 1, 0}, // bottom, outward -Z
+		{4, 5, 6, 7}, // top, outward +Z
+		{0, 1, 5, 4}, // front y=min
+		{2, 3, 7, 6}, // back y=max
+		{1, 2, 6, 5}, // right x=max
+		{3, 0, 4, 7}, // left x=min
+	}
+	s := Shell{Name: name, Body: body, Orient: Outward}
+	for _, q := range quads {
+		s.Tris = append(s.Tris,
+			geom.Triangle{A: v[q[0]], B: v[q[1]], C: v[q[2]]},
+			geom.Triangle{A: v[q[0]], B: v[q[2]], C: v[q[3]]},
+		)
+	}
+	return s
+}
+
+// SphereShell builds a closed, outward-oriented UV sphere with the given
+// number of latitude and longitude subdivisions. Orientation may be flipped
+// afterwards for cavity shells.
+func SphereShell(name, body string, center geom.Vec3, radius float64, latSeg, lonSeg int) Shell {
+	if latSeg < 2 {
+		latSeg = 2
+	}
+	if lonSeg < 3 {
+		lonSeg = 3
+	}
+	point := func(i, j int) geom.Vec3 {
+		theta := math.Pi * float64(i) / float64(latSeg) // 0..pi from +Z
+		phi := 2 * math.Pi * float64(j) / float64(lonSeg)
+		return geom.Vec3{
+			X: center.X + radius*math.Sin(theta)*math.Cos(phi),
+			Y: center.Y + radius*math.Sin(theta)*math.Sin(phi),
+			Z: center.Z + radius*math.Cos(theta),
+		}
+	}
+	s := Shell{Name: name, Body: body, Orient: Outward}
+	for i := 0; i < latSeg; i++ {
+		for j := 0; j < lonSeg; j++ {
+			p00 := point(i, j)
+			p01 := point(i, j+1)
+			p10 := point(i+1, j)
+			p11 := point(i+1, j+1)
+			if i > 0 { // skip degenerate cap triangles at the north pole
+				s.Tris = append(s.Tris, geom.Triangle{A: p00, B: p10, C: p01})
+			}
+			if i < latSeg-1 { // skip south pole degenerates
+				s.Tris = append(s.Tris, geom.Triangle{A: p01, B: p10, C: p11})
+			}
+		}
+	}
+	return s
+}

@@ -1,0 +1,101 @@
+package mesh
+
+import (
+	"fmt"
+
+	"obfuscade/internal/geom"
+)
+
+// SplitEdgeComponents partitions the shell into edge-connected components:
+// triangles belong to the same component when they share a (welded) edge.
+// STL decoding flattens a multi-body export into one anonymous soup; this
+// recovers the individual closed shells, because two bodies produced by a
+// spline split share at most isolated vertices (the split curve endpoints),
+// never edges.
+//
+// Component shells are named <shell>-c0, <shell>-c1, ... in descending
+// triangle-count order, and inherit the source shell's body name if set,
+// otherwise the component name.
+func (s *Shell) SplitEdgeComponents(tol float64) []Shell {
+	idx := IndexShell(s, tol)
+	if len(idx.Faces) == 0 {
+		return nil
+	}
+	// Union-find over faces via shared edges.
+	parent := make([]int, len(idx.Faces))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	// Only 2-manifold edges (used by exactly two faces) connect faces.
+	// Edges used four times are body-body contact lines — e.g. the
+	// vertical edges where a spline split curve meets the part ends,
+	// which both split bodies legitimately contain — and must not fuse
+	// the components.
+	edgeFaces := make(map[edgeKey][]int)
+	for fi, f := range idx.Faces {
+		for e := 0; e < 3; e++ {
+			k := mkEdge(f[e], f[(e+1)%3])
+			edgeFaces[k] = append(edgeFaces[k], fi)
+		}
+	}
+	for _, faces := range edgeFaces {
+		if len(faces) == 2 {
+			union(faces[0], faces[1])
+		}
+	}
+	groups := make(map[int][]int)
+	for fi := range idx.Faces {
+		r := find(fi)
+		groups[r] = append(groups[r], fi)
+	}
+	// Deterministic order: descending size, ties by smallest face index.
+	type comp struct {
+		faces []int
+	}
+	comps := make([]comp, 0, len(groups))
+	for _, faces := range groups {
+		comps = append(comps, comp{faces: faces})
+	}
+	for i := 0; i < len(comps); i++ {
+		for j := i + 1; j < len(comps); j++ {
+			ci, cj := comps[i], comps[j]
+			if len(cj.faces) > len(ci.faces) ||
+				(len(cj.faces) == len(ci.faces) && cj.faces[0] < ci.faces[0]) {
+				comps[i], comps[j] = comps[j], comps[i]
+			}
+		}
+	}
+	out := make([]Shell, 0, len(comps))
+	for ci, c := range comps {
+		name := fmt.Sprintf("%s-c%d", s.Name, ci)
+		body := s.Body
+		if body == "" {
+			body = name
+		}
+		ns := Shell{Name: name, Body: body, Orient: s.Orient}
+		for _, fi := range c.faces {
+			f := idx.Faces[fi]
+			ns.Tris = append(ns.Tris, geom.Triangle{
+				A: idx.Verts[f[0]],
+				B: idx.Verts[f[1]],
+				C: idx.Verts[f[2]],
+			})
+		}
+		out = append(out, ns)
+	}
+	return out
+}

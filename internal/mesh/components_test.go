@@ -1,0 +1,62 @@
+package mesh
+
+import (
+	"testing"
+
+	"obfuscade/internal/geom"
+)
+
+func TestSplitEdgeComponentsTwoBoxes(t *testing.T) {
+	a := BoxShell("a", "", geom.V3(0, 0, 0), geom.V3(1, 1, 1))
+	b := BoxShell("b", "", geom.V3(5, 0, 0), geom.V3(7, 1, 1))
+	soup := Shell{Name: "soup", Tris: append(append([]geom.Triangle{}, a.Tris...), b.Tris...)}
+	comps := soup.SplitEdgeComponents(1e-9)
+	if len(comps) != 2 {
+		t.Fatalf("components = %d, want 2", len(comps))
+	}
+	// Descending size: the 2x1x1 box has the same triangle count, so the
+	// tie-break picks the one containing face 0.
+	if len(comps[0].Tris) != 12 || len(comps[1].Tris) != 12 {
+		t.Errorf("component sizes = %d, %d", len(comps[0].Tris), len(comps[1].Tris))
+	}
+	for _, c := range comps {
+		rep := IndexShell(&c, 1e-9).Analyze()
+		if !rep.Watertight() {
+			t.Errorf("component %s not watertight", c.Name)
+		}
+	}
+	if comps[0].Body == comps[1].Body {
+		t.Error("anonymous components should get distinct body names")
+	}
+}
+
+func TestSplitEdgeComponentsSingle(t *testing.T) {
+	a := BoxShell("solo", "bar", geom.V3(0, 0, 0), geom.V3(1, 1, 1))
+	comps := a.SplitEdgeComponents(1e-9)
+	if len(comps) != 1 {
+		t.Fatalf("components = %d, want 1", len(comps))
+	}
+	if comps[0].Body != "bar" {
+		t.Errorf("body name should be inherited, got %q", comps[0].Body)
+	}
+}
+
+func TestSplitEdgeComponentsVertexTouch(t *testing.T) {
+	// Two boxes sharing exactly one corner vertex must remain separate
+	// components (edge connectivity, not vertex connectivity) — this is
+	// what keeps split bodies separable after STL round-trip.
+	a := BoxShell("a", "", geom.V3(0, 0, 0), geom.V3(1, 1, 1))
+	b := BoxShell("b", "", geom.V3(1, 1, 1), geom.V3(2, 2, 2))
+	soup := Shell{Name: "s", Tris: append(append([]geom.Triangle{}, a.Tris...), b.Tris...)}
+	comps := soup.SplitEdgeComponents(1e-9)
+	if len(comps) != 2 {
+		t.Fatalf("vertex-touching boxes: components = %d, want 2", len(comps))
+	}
+}
+
+func TestSplitEdgeComponentsEmpty(t *testing.T) {
+	s := Shell{Name: "empty"}
+	if comps := s.SplitEdgeComponents(1e-9); comps != nil {
+		t.Errorf("empty shell components = %v", comps)
+	}
+}

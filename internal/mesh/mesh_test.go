@@ -1,0 +1,257 @@
+package mesh
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"obfuscade/internal/geom"
+)
+
+func TestBoxShellVolumeArea(t *testing.T) {
+	s := BoxShell("box", "b", geom.V3(0, 0, 0), geom.V3(2, 3, 4))
+	m := &Mesh{Shells: []Shell{s}}
+	if got := m.Volume(); !geom.ApproxEq(got, 24, 1e-9) {
+		t.Errorf("Volume = %v, want 24", got)
+	}
+	want := 2 * (2*3 + 3*4 + 2*4)
+	if got := m.SurfaceArea(); !geom.ApproxEq(got, float64(want), 1e-9) {
+		t.Errorf("SurfaceArea = %v, want %d", got, want)
+	}
+	if got := m.TriangleCount(); got != 12 {
+		t.Errorf("TriangleCount = %d, want 12", got)
+	}
+}
+
+func TestBoxShellWatertight(t *testing.T) {
+	s := BoxShell("box", "b", geom.V3(0, 0, 0), geom.V3(1, 1, 1))
+	rep := IndexShell(&s, 1e-9).Analyze()
+	if !rep.Watertight() {
+		t.Errorf("box should be watertight: %+v", rep)
+	}
+	if rep.EulerCharacteristic != 2 {
+		t.Errorf("Euler characteristic = %d, want 2", rep.EulerCharacteristic)
+	}
+	if rep.Verts != 8 || rep.Faces != 12 || rep.Edges != 18 {
+		t.Errorf("V/E/F = %d/%d/%d, want 8/18/12", rep.Verts, rep.Edges, rep.Faces)
+	}
+}
+
+func TestSphereShellWatertightAndVolume(t *testing.T) {
+	s := SphereShell("sph", "b", geom.V3(1, 2, 3), 5, 24, 48)
+	rep := IndexShell(&s, 1e-9).Analyze()
+	if !rep.Watertight() {
+		t.Errorf("sphere should be watertight: %+v", rep)
+	}
+	if rep.EulerCharacteristic != 2 {
+		t.Errorf("Euler characteristic = %d, want 2", rep.EulerCharacteristic)
+	}
+	vol := (&Mesh{Shells: []Shell{s}}).Volume()
+	exact := 4.0 / 3 * math.Pi * 125
+	if math.Abs(vol-exact)/exact > 0.02 {
+		t.Errorf("sphere volume = %v, want ~%v", vol, exact)
+	}
+	if vol >= exact {
+		t.Errorf("inscribed polyhedral volume %v should be below exact %v", vol, exact)
+	}
+}
+
+func TestFlipOrientationNegatesVolume(t *testing.T) {
+	s := BoxShell("box", "b", geom.V3(0, 0, 0), geom.V3(1, 1, 1))
+	v := s.ShellVolume()
+	s.FlipOrientation()
+	if got := s.ShellVolume(); !geom.ApproxEq(got, -v, 1e-12) {
+		t.Errorf("flipped volume = %v, want %v", got, -v)
+	}
+	rep := IndexShell(&s, 1e-9).Analyze()
+	if !rep.Watertight() {
+		t.Errorf("flipped shell should still be watertight: %+v", rep)
+	}
+}
+
+func TestCavityMeshVolume(t *testing.T) {
+	outer := BoxShell("outer", "b", geom.V3(0, 0, 0), geom.V3(4, 4, 4))
+	inner := BoxShell("cavity", "b", geom.V3(1, 1, 1), geom.V3(3, 3, 3))
+	inner.FlipOrientation()
+	inner.Orient = Inward
+	m := &Mesh{Shells: []Shell{outer, inner}}
+	if got := m.Volume(); !geom.ApproxEq(got, 64-8, 1e-9) {
+		t.Errorf("cavity volume = %v, want 56", got)
+	}
+}
+
+func TestTransformAndBounds(t *testing.T) {
+	s := BoxShell("box", "b", geom.V3(0, 0, 0), geom.V3(1, 2, 3))
+	m := &Mesh{Shells: []Shell{s}}
+	m.Transform(geom.RotateX(math.Pi / 2).Mul(geom.Translate(geom.V3(0, 0, 0))))
+	b := m.Bounds()
+	// Rotating +90 about X maps y->z, z->-y: new bounds y in [-3,0], z in [0,2].
+	if !geom.ApproxEq(b.Min.Y, -3, 1e-9) || !geom.ApproxEq(b.Max.Z, 2, 1e-9) {
+		t.Errorf("rotated bounds = %+v", b)
+	}
+	// Volume invariant under rigid transform.
+	if got := m.Volume(); !geom.ApproxEq(got, 6, 1e-9) {
+		t.Errorf("rotated volume = %v, want 6", got)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	s := BoxShell("box", "b", geom.V3(0, 0, 0), geom.V3(1, 1, 1))
+	m := &Mesh{Shells: []Shell{s}}
+	c := m.Clone()
+	c.Transform(geom.Translate(geom.V3(100, 0, 0)))
+	if m.Bounds().Max.X > 2 {
+		t.Error("Clone should not share triangle storage")
+	}
+}
+
+func TestShellByName(t *testing.T) {
+	m := &Mesh{Shells: []Shell{
+		BoxShell("a", "b1", geom.V3(0, 0, 0), geom.V3(1, 1, 1)),
+		BoxShell("c", "b2", geom.V3(2, 0, 0), geom.V3(3, 1, 1)),
+	}}
+	if got := m.ShellByName("c"); got == nil || got.Body != "b2" {
+		t.Errorf("ShellByName(c) = %v", got)
+	}
+	if got := m.ShellByName("missing"); got != nil {
+		t.Errorf("ShellByName(missing) = %v", got)
+	}
+}
+
+func TestValidateCleanBox(t *testing.T) {
+	m := &Mesh{Shells: []Shell{BoxShell("box", "b", geom.V3(0, 0, 0), geom.V3(1, 1, 1))}}
+	if issues := m.Validate(1e-9); len(issues) != 0 {
+		t.Errorf("clean box issues: %v", issues)
+	}
+}
+
+func TestValidateDetectsHole(t *testing.T) {
+	s := BoxShell("box", "b", geom.V3(0, 0, 0), geom.V3(1, 1, 1))
+	s.Tris = s.Tris[:len(s.Tris)-1] // remove one triangle -> hole
+	m := &Mesh{Shells: []Shell{s}}
+	issues := m.Validate(1e-9)
+	found := false
+	for _, is := range issues {
+		if is.Kind == "open-boundary" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected open-boundary issue, got %v", issues)
+	}
+}
+
+func TestValidateDetectsFlippedTriangle(t *testing.T) {
+	s := BoxShell("box", "b", geom.V3(0, 0, 0), geom.V3(1, 1, 1))
+	s.Tris[0].B, s.Tris[0].C = s.Tris[0].C, s.Tris[0].B
+	m := &Mesh{Shells: []Shell{s}}
+	issues := m.Validate(1e-9)
+	found := false
+	for _, is := range issues {
+		if is.Kind == "winding" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected winding issue, got %v", issues)
+	}
+}
+
+func TestValidateDetectsDegenerate(t *testing.T) {
+	s := Shell{Name: "bad", Orient: OpenSurface, Tris: []geom.Triangle{
+		{A: geom.V3(0, 0, 0), B: geom.V3(1, 0, 0), C: geom.V3(2, 0, 0)},
+	}}
+	m := &Mesh{Shells: []Shell{s}}
+	issues := m.Validate(1e-9)
+	if len(issues) == 0 || issues[0].Kind != "degenerate" {
+		t.Errorf("expected degenerate issue, got %v", issues)
+	}
+}
+
+func TestValidateOpenSurfaceAllowed(t *testing.T) {
+	// A single triangle marked as an open surface should not raise
+	// open-boundary issues: surface bodies legitimately have boundaries.
+	s := Shell{Name: "surf", Orient: OpenSurface, Tris: []geom.Triangle{
+		{A: geom.V3(0, 0, 0), B: geom.V3(1, 0, 0), C: geom.V3(0, 1, 0)},
+	}}
+	m := &Mesh{Shells: []Shell{s}}
+	for _, is := range m.Validate(1e-9) {
+		if is.Kind == "open-boundary" {
+			t.Errorf("open surface should not report open-boundary: %v", is)
+		}
+	}
+}
+
+func TestBoundaryLoops(t *testing.T) {
+	s := BoxShell("box", "b", geom.V3(0, 0, 0), geom.V3(1, 1, 1))
+	idx := IndexShell(&s, 1e-9)
+	if loops := idx.BoundaryLoops(); len(loops) != 0 {
+		t.Errorf("watertight shell should have no boundary loops, got %d", len(loops))
+	}
+	// Remove the two top-face triangles -> one square boundary loop.
+	open := Shell{Name: "open", Tris: s.Tris[:2*1]}
+	open.Tris = append([]geom.Triangle{}, s.Tris...)
+	open.Tris = append(open.Tris[:2], open.Tris[4:]...) // drop the top quad pair
+	idx = IndexShell(&open, 1e-9)
+	loops := idx.BoundaryLoops()
+	if len(loops) != 1 {
+		t.Fatalf("expected 1 boundary loop, got %d", len(loops))
+	}
+	if len(loops[0]) != 4 {
+		t.Errorf("boundary loop should have 4 vertices, got %d", len(loops[0]))
+	}
+}
+
+func TestIndexShellWelds(t *testing.T) {
+	s := BoxShell("box", "b", geom.V3(0, 0, 0), geom.V3(1, 1, 1))
+	idx := IndexShell(&s, 1e-9)
+	if len(idx.Verts) != 8 {
+		t.Errorf("welded verts = %d, want 8", len(idx.Verts))
+	}
+	if len(idx.Faces) != 12 {
+		t.Errorf("faces = %d, want 12", len(idx.Faces))
+	}
+}
+
+// Property: rigid transforms preserve mesh volume and surface area.
+func TestRigidInvariants(t *testing.T) {
+	f := func(angle, tx, ty, tz float64) bool {
+		if math.IsNaN(angle) || math.IsInf(angle, 0) {
+			angle = 0.5
+		}
+		angle = geom.Clamp(angle, -10, 10)
+		clean := func(v float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0
+			}
+			return geom.Clamp(v, -1e3, 1e3)
+		}
+		m := &Mesh{Shells: []Shell{BoxShell("box", "b", geom.V3(0, 0, 0), geom.V3(1, 2, 3))}}
+		m.Transform(geom.Translate(geom.V3(clean(tx), clean(ty), clean(tz))).Mul(geom.RotateZ(angle)))
+		return math.Abs(m.Volume()-6) < 1e-6 && math.Abs(m.SurfaceArea()-22) < 1e-6
+	}
+	cfg := &quick.Config{MaxCount: 50}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: welding never increases vertex count beyond 3x face count and
+// the box always stays watertight under rigid motion.
+func TestWatertightUnderRigidMotion(t *testing.T) {
+	f := func(angle float64) bool {
+		if math.IsNaN(angle) || math.IsInf(angle, 0) {
+			angle = 1
+		}
+		angle = geom.Clamp(angle, -10, 10)
+		s := BoxShell("box", "b", geom.V3(0, 0, 0), geom.V3(1, 1, 1))
+		m := &Mesh{Shells: []Shell{s}}
+		m.Transform(geom.RotateY(angle))
+		rep := IndexShell(&m.Shells[0], 1e-9).Analyze()
+		return rep.Watertight()
+	}
+	cfg := &quick.Config{MaxCount: 50}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,129 @@
+package mesh
+
+import (
+	"math/rand"
+	"testing"
+
+	"obfuscade/internal/geom"
+)
+
+func TestRepairWindingFixesFlips(t *testing.T) {
+	s := BoxShell("box", "b", geom.V3(0, 0, 0), geom.V3(2, 3, 4))
+	// Flip a few triangles.
+	rng := rand.New(rand.NewSource(5))
+	for _, i := range rng.Perm(len(s.Tris))[:4] {
+		s.Tris[i].B, s.Tris[i].C = s.Tris[i].C, s.Tris[i].B
+	}
+	rep := IndexShell(&s, 1e-9).Analyze()
+	if rep.OrientationConflicts == 0 {
+		t.Fatal("setup should create conflicts")
+	}
+	flips := s.RepairWinding(1e-9)
+	if flips == 0 {
+		t.Error("repair should flip triangles")
+	}
+	rep = IndexShell(&s, 1e-9).Analyze()
+	if !rep.Watertight() {
+		t.Errorf("repaired shell not watertight: %+v", rep)
+	}
+	if v := s.ShellVolume(); !geom.ApproxEq(v, 24, 1e-9) {
+		t.Errorf("repaired volume = %v, want 24 (outward)", v)
+	}
+}
+
+func TestRepairWindingInsideOut(t *testing.T) {
+	s := BoxShell("box", "b", geom.V3(0, 0, 0), geom.V3(1, 1, 1))
+	s.FlipOrientation() // fully inside-out but self-consistent
+	s.RepairWinding(1e-9)
+	if v := s.ShellVolume(); v <= 0 {
+		t.Errorf("inside-out shell not re-inverted: volume %v", v)
+	}
+}
+
+func TestFillSmallHoles(t *testing.T) {
+	s := BoxShell("box", "b", geom.V3(0, 0, 0), geom.V3(2, 2, 2))
+	// Remove one triangle: a 3-vertex hole.
+	s.Tris = append(s.Tris[:3], s.Tris[4:]...)
+	rep := IndexShell(&s, 1e-9).Analyze()
+	if rep.BoundaryEdges != 3 {
+		t.Fatalf("setup boundary edges = %d", rep.BoundaryEdges)
+	}
+	filled, err := s.FillSmallHoles(1e-9, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filled != 1 {
+		t.Fatalf("filled = %d, want 1", filled)
+	}
+	rep = IndexShell(&s, 1e-9).Analyze()
+	if !rep.Watertight() {
+		t.Errorf("filled shell not watertight: %+v", rep)
+	}
+	if v := s.ShellVolume(); !geom.ApproxEq(v, 8, 1e-9) {
+		t.Errorf("filled volume = %v, want 8", v)
+	}
+}
+
+func TestFillSmallHolesRespectsLimit(t *testing.T) {
+	s := BoxShell("box", "b", geom.V3(0, 0, 0), geom.V3(2, 2, 2))
+	// Remove a whole face (two triangles): a 4-vertex hole.
+	s.Tris = append(s.Tris[:2], s.Tris[4:]...)
+	filled, err := s.FillSmallHoles(1e-9, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filled != 0 {
+		t.Errorf("hole larger than limit should be left open, filled %d", filled)
+	}
+	filled, err = s.FillSmallHoles(1e-9, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filled != 1 {
+		t.Errorf("filled = %d, want 1", filled)
+	}
+	if !IndexShell(&s, 1e-9).Analyze().Watertight() {
+		t.Error("quad hole fill not watertight")
+	}
+	if _, err := s.FillSmallHoles(1e-9, 2); err == nil {
+		t.Error("expected error for maxLoopVerts < 3")
+	}
+}
+
+func TestMeshRepairEndToEnd(t *testing.T) {
+	// Simulate a damaged import: flipped triangles and a missing one.
+	s := BoxShell("box", "b", geom.V3(0, 0, 0), geom.V3(3, 3, 3))
+	s.Tris[7].B, s.Tris[7].C = s.Tris[7].C, s.Tris[7].B
+	s.Tris = append(s.Tris[:10], s.Tris[11:]...)
+	m := &Mesh{Shells: []Shell{s}}
+	if len(m.Validate(1e-9)) == 0 {
+		t.Fatal("setup should produce validation issues")
+	}
+	summary, err := m.Repair(1e-9, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if summary == "" {
+		t.Error("empty repair summary")
+	}
+	if issues := m.Validate(1e-9); len(issues) != 0 {
+		t.Errorf("issues after repair: %v", issues)
+	}
+	if v := m.Volume(); !geom.ApproxEq(v, 27, 1e-9) {
+		t.Errorf("repaired volume = %v, want 27", v)
+	}
+}
+
+func TestRepairCleanShellNoop(t *testing.T) {
+	s := BoxShell("box", "b", geom.V3(0, 0, 0), geom.V3(1, 1, 1))
+	if flips := s.RepairWinding(1e-9); flips != 0 {
+		t.Errorf("clean shell flips = %d", flips)
+	}
+	filled, err := s.FillSmallHoles(1e-9, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filled != 0 {
+		t.Errorf("clean shell holes filled = %d", filled)
+	}
+}

@@ -1,0 +1,64 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{
+		Title:   "Demo",
+		Headers: []string{"name", "value"},
+	}
+	tbl.AddRow("alpha", "1")
+	tbl.AddRow("beta-longer", "22")
+	out := tbl.Render()
+	if !strings.HasPrefix(out, "Demo\n") {
+		t.Errorf("missing title: %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d, want 5", len(lines))
+	}
+	// Aligned columns: every line same width prefix for first column.
+	if !strings.Contains(lines[1], "name") || !strings.Contains(lines[2], "---") {
+		t.Errorf("header/separator malformed: %q", out)
+	}
+}
+
+func TestAddRowPadsAndTruncates(t *testing.T) {
+	tbl := &Table{Headers: []string{"a", "b"}}
+	tbl.AddRow("only-one")
+	tbl.AddRow("x", "y", "extra-dropped")
+	if len(tbl.Rows[0]) != 2 || tbl.Rows[0][1] != "" {
+		t.Errorf("padding failed: %v", tbl.Rows[0])
+	}
+	if len(tbl.Rows[1]) != 2 {
+		t.Errorf("truncation failed: %v", tbl.Rows[1])
+	}
+}
+
+func TestCSVQuoting(t *testing.T) {
+	tbl := &Table{Headers: []string{"name", "note"}}
+	tbl.AddRow("a", `contains, comma and "quote"`)
+	csv := tbl.CSV()
+	if !strings.Contains(csv, `"contains, comma and ""quote"""`) {
+		t.Errorf("CSV quoting failed: %q", csv)
+	}
+	if !strings.HasPrefix(csv, "name,note\n") {
+		t.Errorf("CSV header malformed: %q", csv)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := &Series{Name: "fig4", XLabel: "deviation", YLabel: "gap"}
+	s.Add(0.08, 0.041)
+	s.Add(0.02, 0.012)
+	out := s.Render()
+	if !strings.Contains(out, "# fig4") || !strings.Contains(out, "0.08") {
+		t.Errorf("series render = %q", out)
+	}
+	if len(s.X) != 2 || len(s.Y) != 2 {
+		t.Error("series Add failed")
+	}
+}

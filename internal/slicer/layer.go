@@ -1,0 +1,399 @@
+package slicer
+
+import (
+	"math"
+	"sort"
+
+	"obfuscade/internal/geom"
+)
+
+// SignedWinding returns the summed winding number of every closed contour
+// around p. Outward shells contribute positively around material, cavity
+// and reversed-surface shells negatively.
+func (l *Layer) SignedWinding(p geom.Vec2) int {
+	w := 0
+	for _, c := range l.Contours {
+		if !c.Closed {
+			continue
+		}
+		w += c.Poly.WindingNumber(p)
+	}
+	return w
+}
+
+// Material reports whether point p receives model material under the
+// slicer's fill rule: signed winding positive and odd. This single rule
+// reproduces the paper's observations:
+//
+//   - plain solid: w=1 -> material;
+//   - sphere embedded without removal (solid or surface): |w| even inside
+//     the sphere -> no material (support fills it, Table 3 rows 1-2);
+//   - removal + solid sphere: w=1 -> material (Table 3 row 3);
+//   - removal + surface sphere: w=-1 -> no material (Table 3 row 4);
+//   - the doubly-covered slivers where two split bodies overlap: w=2 ->
+//     void micro-band along the spline (Fig. 4/8 mechanism).
+func (l *Layer) Material(p geom.Vec2) bool {
+	w := l.SignedWinding(p)
+	return w > 0 && w%2 == 1
+}
+
+// BodyWinding returns the winding number of one body's own closed
+// contours around p.
+func (l *Layer) BodyWinding(body string, p geom.Vec2) int {
+	w := 0
+	for _, c := range l.Contours {
+		if !c.Closed || c.Body != body {
+			continue
+		}
+		w += c.Poly.WindingNumber(p)
+	}
+	return w
+}
+
+// InsideBody reports whether p is inside the named body's material region.
+func (l *Layer) InsideBody(body string, p geom.Vec2) bool {
+	w := l.BodyWinding(body, p)
+	return w > 0 && w%2 == 1
+}
+
+// Bodies returns the sorted body names present (with closed contours) in
+// this layer.
+func (l *Layer) Bodies() []string {
+	set := map[string]bool{}
+	for _, c := range l.Contours {
+		if c.Closed {
+			set[c.Body] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for b := range set {
+		out = append(out, b)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// InterfaceSample is one probe of the void band between two bodies.
+type InterfaceSample struct {
+	// P is the probe location on body A's boundary.
+	P geom.Vec2
+	// Width is the local void width: the distance to body B's boundary.
+	// Gap and doubly-covered (overlap) slivers are both voids under the
+	// odd-winding fill rule; Overlap distinguishes them.
+	Width float64
+	// Overlap is true when the probe point lies inside body B (the
+	// bodies doubly cover the sliver) and false when it lies outside
+	// (open gap).
+	Overlap bool
+}
+
+// BodyInterface summarises where two bodies meet within one layer.
+type BodyInterface struct {
+	// BodyA and BodyB are the two body names, BodyA < BodyB.
+	BodyA, BodyB string
+	// Samples are probes along the interface.
+	Samples []InterfaceSample
+	// Length is the approximate interface arc length in this layer.
+	Length float64
+	// Crossings counts proper intersections between the two bodies'
+	// contour boundaries. Zero with a non-empty interface means the
+	// bodies are fully separated in this layer — the per-layer
+	// discontinuity of paper Fig. 7a. Interleaved tessellation mismatch
+	// (x-y orientation) yields many crossings in every layer, which is
+	// why the x-y sliced model never shows a discontinuity.
+	Crossings int
+}
+
+// MaxWidth returns the widest void probe of the interface.
+func (bi *BodyInterface) MaxWidth() float64 {
+	var w float64
+	for _, s := range bi.Samples {
+		if s.Width > w {
+			w = s.Width
+		}
+	}
+	return w
+}
+
+// MeanWidth returns the average void width over all probes.
+func (bi *BodyInterface) MeanWidth() float64 {
+	if len(bi.Samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range bi.Samples {
+		sum += s.Width
+	}
+	return sum / float64(len(bi.Samples))
+}
+
+// HasOverlap reports whether any probe found the bodies doubly covering.
+func (bi *BodyInterface) HasOverlap() bool {
+	for _, s := range bi.Samples {
+		if s.Overlap {
+			return true
+		}
+	}
+	return false
+}
+
+// findInterfaces probes each pair of bodies in the layer for near-contact
+// regions.
+func findInterfaces(l *Layer, opts Options) []BodyInterface {
+	bodies := l.Bodies()
+	var out []BodyInterface
+	for i := 0; i < len(bodies); i++ {
+		for j := i + 1; j < len(bodies); j++ {
+			bi := probeInterface(l, bodies[i], bodies[j], opts)
+			if len(bi.Samples) > 0 {
+				out = append(out, bi)
+			}
+		}
+	}
+	return out
+}
+
+// nearTol is the probe distance below which the perpendicularity filters
+// are skipped: offsets this small have numerically meaningless direction.
+const nearTol = 0.02
+
+func probeInterface(l *Layer, a, b string, opts Options) BodyInterface {
+	bi := BodyInterface{BodyA: a, BodyB: b}
+	var bLoops []geom.Polygon
+	for _, c := range l.Contours {
+		if c.Closed && c.Body == b {
+			bLoops = append(bLoops, c.Poly)
+		}
+	}
+	if len(bLoops) == 0 {
+		return bi
+	}
+	// nearestOnB returns the distance from p to B's boundary and the unit
+	// tangent of the nearest boundary segment.
+	nearestOnB := func(p geom.Vec2) (float64, geom.Vec2) {
+		best := math.Inf(1)
+		var tangent geom.Vec2
+		for _, lp := range bLoops {
+			n := len(lp)
+			for i := 0; i < n; i++ {
+				s := geom.Segment2{A: lp[i], B: lp[(i+1)%n]}
+				if d := s.Dist(p); d < best {
+					best = d
+					tangent = s.B.Sub(s.A).Normalized()
+				}
+			}
+		}
+		return best, tangent
+	}
+	// Probe along body A's boundary at road-width/4 spacing. A probe
+	// counts as an interface sample only when the offset to B is mostly
+	// normal to both boundaries: that selects genuine seam geometry and
+	// rejects collinear continuations (e.g. the shared end-cap edges
+	// where a split curve terminates).
+	step := opts.RoadWidth / 4
+	for _, c := range l.Contours {
+		if !c.Closed || c.Body != a {
+			continue
+		}
+		n := len(c.Poly)
+		for i := 0; i < n; i++ {
+			p0 := c.Poly[i]
+			p1 := c.Poly[(i+1)%n]
+			segLen := p0.Dist(p1)
+			tA := p1.Sub(p0).Normalized()
+			steps := int(segLen/step) + 1
+			for k := 0; k < steps; k++ {
+				p := p0.Lerp(p1, (float64(k)+0.5)/float64(steps))
+				d, tB := nearestOnB(p)
+				if d > opts.InterfaceRange {
+					continue
+				}
+				if d > nearTol {
+					if math.Abs(tA.Dot(tB)) < 0.7 {
+						continue // boundaries not locally parallel
+					}
+					// The offset must be mostly normal to B's boundary.
+					off := offsetToBoundary(p, bLoops)
+					if off.Len() > 0 && math.Abs(off.Normalized().Dot(tB)) > 0.5 {
+						continue // offset runs along B's boundary
+					}
+					// The space between the boundaries must be a genuine
+					// void (gap or doubly-covered sliver), not material
+					// of a third body lying between A and B.
+					if l.Material(p.Add(off.Scale(0.5))) {
+						continue
+					}
+				}
+				bi.Samples = append(bi.Samples, InterfaceSample{
+					P:       p,
+					Width:   d,
+					Overlap: l.BodyWinding(b, p) > 0,
+				})
+				bi.Length += segLen / float64(steps)
+			}
+		}
+	}
+	if len(bi.Samples) > 0 {
+		bi.Crossings = countCrossings(l, a, b)
+	}
+	return bi
+}
+
+// offsetToBoundary returns the vector from p to the nearest point on any
+// of the loops.
+func offsetToBoundary(p geom.Vec2, loops []geom.Polygon) geom.Vec2 {
+	best := math.Inf(1)
+	var q geom.Vec2
+	for _, lp := range loops {
+		n := len(lp)
+		for i := 0; i < n; i++ {
+			s := geom.Segment2{A: lp[i], B: lp[(i+1)%n]}
+			c := s.ClosestPoint(p)
+			if d := c.Dist(p); d < best {
+				best = d
+				q = c
+			}
+		}
+	}
+	return q.Sub(p)
+}
+
+// countCrossings counts proper boundary intersections between the two
+// bodies' contours, with bounding-box rejection.
+func countCrossings(l *Layer, a, b string) int {
+	type edge struct {
+		s          geom.Segment2
+		minX, maxX float64
+		minY, maxY float64
+	}
+	collect := func(body string) []edge {
+		var out []edge
+		for _, c := range l.Contours {
+			if !c.Closed || c.Body != body {
+				continue
+			}
+			n := len(c.Poly)
+			for i := 0; i < n; i++ {
+				s := geom.Segment2{A: c.Poly[i], B: c.Poly[(i+1)%n]}
+				out = append(out, edge{
+					s:    s,
+					minX: math.Min(s.A.X, s.B.X), maxX: math.Max(s.A.X, s.B.X),
+					minY: math.Min(s.A.Y, s.B.Y), maxY: math.Max(s.A.Y, s.B.Y),
+				})
+			}
+		}
+		return out
+	}
+	ea := collect(a)
+	eb := collect(b)
+	count := 0
+	for _, x := range ea {
+		for _, y := range eb {
+			if x.maxX < y.minX || y.maxX < x.minX || x.maxY < y.minY || y.maxY < x.minY {
+				continue
+			}
+			if x.s.ProperlyIntersects(y.s) {
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// Discontinuous reports whether the two bodies form an interface in this
+// layer but their boundaries never cross: the cross-sections are fully
+// separated islands, the per-layer discontinuity visible in the paper's
+// Fig. 7a. Interleaved tessellation mismatch (x-y orientation) produces
+// crossings in every layer, so x-y slices are never discontinuous; in the
+// x-z orientation the mismatch at a slice's crossing station is a pure gap
+// in a large fraction of layers at every STL resolution.
+func (l *Layer) Discontinuous(a, b string) bool {
+	for _, bi := range l.Interfaces {
+		if (bi.BodyA == a && bi.BodyB == b) || (bi.BodyA == b && bi.BodyB == a) {
+			// Zero crossings with measurable separation means separated
+			// islands. Zero crossings with (near-)zero width means the
+			// boundaries are exactly coincident — e.g. a solid body
+			// re-embedded into its cavity (§3.2.2) — which prints as
+			// continuous material.
+			const coincidentTol = 1e-7
+			return len(bi.Samples) > 0 && bi.Crossings == 0 && bi.MaxWidth() > coincidentTol
+		}
+	}
+	return false
+}
+
+// DiscontinuousLayerFraction returns the fraction of layers containing
+// both bodies in which their regions are fully separated.
+func (r *Result) DiscontinuousLayerFraction(a, b string) float64 {
+	both, disc := 0, 0
+	for i := range r.Layers {
+		l := &r.Layers[i]
+		present := 0
+		for _, name := range l.Bodies() {
+			if name == a || name == b {
+				present++
+			}
+		}
+		if present != 2 {
+			continue
+		}
+		both++
+		if l.Discontinuous(a, b) {
+			disc++
+		}
+	}
+	if both == 0 {
+		return 0
+	}
+	return float64(disc) / float64(both)
+}
+
+// InterfaceStats aggregates the void-band geometry across all layers.
+type InterfaceStats struct {
+	// Layers is the number of layers with an interface between the pair.
+	Layers int
+	// MaxWidth is the largest void width found anywhere.
+	MaxWidth float64
+	// MeanWidth is the sample-weighted mean void width.
+	MeanWidth float64
+	// Area is the approximate total interface area (length x layer
+	// height summed over layers), mm^2.
+	Area float64
+	// MeanCrossings is the average number of proper boundary crossings
+	// per interface layer — the gap/overlap interleaving count of paper
+	// Fig. 4's magnified views. High in x-y (the contours weave), low or
+	// zero in x-z.
+	MeanCrossings float64
+}
+
+// InterfaceStatsBetween aggregates interface geometry for a body pair
+// over the whole sliced model.
+func (r *Result) InterfaceStatsBetween(a, b string) InterfaceStats {
+	var st InterfaceStats
+	var widthSum float64
+	var nSamples, crossings int
+	for i := range r.Layers {
+		for _, bi := range r.Layers[i].Interfaces {
+			if !((bi.BodyA == a && bi.BodyB == b) || (bi.BodyA == b && bi.BodyB == a)) {
+				continue
+			}
+			st.Layers++
+			st.Area += bi.Length * r.Opts.LayerHeight
+			crossings += bi.Crossings
+			for _, s := range bi.Samples {
+				widthSum += s.Width
+				nSamples++
+				if s.Width > st.MaxWidth {
+					st.MaxWidth = s.Width
+				}
+			}
+		}
+	}
+	if nSamples > 0 {
+		st.MeanWidth = widthSum / float64(nSamples)
+	}
+	if st.Layers > 0 {
+		st.MeanCrossings = float64(crossings) / float64(st.Layers)
+	}
+	return st
+}

@@ -1,0 +1,119 @@
+package slicer
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"obfuscade/internal/geom"
+	"obfuscade/internal/mesh"
+)
+
+// Property: every layer of a sliced axis-aligned box has exactly the
+// box's footprint area, and the number of layers covers the height.
+func TestSliceBoxAreaProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	opts := DefaultOptions()
+	for trial := 0; trial < 25; trial++ {
+		w := 1 + rng.Float64()*30
+		d := 1 + rng.Float64()*20
+		h := 0.5 + rng.Float64()*5
+		m := &mesh.Mesh{Shells: []mesh.Shell{
+			mesh.BoxShell("box", "box", geom.V3(0, 0, 0), geom.V3(w, d, h)),
+		}}
+		res, err := Slice(m, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantLayers := int(math.Ceil(h / opts.LayerHeight))
+		if len(res.Layers) != wantLayers {
+			t.Fatalf("trial %d: layers = %d, want %d", trial, len(res.Layers), wantLayers)
+		}
+		for li := range res.Layers {
+			l := &res.Layers[li]
+			var area float64
+			for _, c := range l.Contours {
+				if !c.Closed {
+					t.Fatalf("trial %d layer %d: open contour", trial, li)
+				}
+				area += c.Poly.SignedArea()
+			}
+			// The final slice plane may land above the solid when the
+			// height is not a multiple of the layer height; that layer
+			// is legitimately empty.
+			if li == len(res.Layers)-1 && len(l.Contours) == 0 && l.Z > h {
+				continue
+			}
+			if math.Abs(area-w*d)/(w*d) > 1e-6 {
+				t.Fatalf("trial %d layer %d: area %v, want %v", trial, li, area, w*d)
+			}
+		}
+	}
+}
+
+// Property: slicing is invariant under in-plane translation.
+func TestSliceTranslationInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	opts := DefaultOptions()
+	base := mesh.BoxShell("box", "box", geom.V3(0, 0, 0), geom.V3(7, 5, 2))
+	ref, err := Slice(&mesh.Mesh{Shells: []mesh.Shell{base}}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 10; trial++ {
+		dx := (rng.Float64() - 0.5) * 100
+		dy := (rng.Float64() - 0.5) * 100
+		m := &mesh.Mesh{Shells: []mesh.Shell{
+			mesh.BoxShell("box", "box", geom.V3(dx, dy, 0), geom.V3(7+dx, 5+dy, 2)),
+		}}
+		moved, err := Slice(m, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(moved.Layers) != len(ref.Layers) {
+			t.Fatalf("trial %d: layer count changed", trial)
+		}
+		for li := range moved.Layers {
+			if len(ref.Layers[li].Contours) == 0 && len(moved.Layers[li].Contours) == 0 {
+				continue
+			}
+			if len(ref.Layers[li].Contours) == 0 || len(moved.Layers[li].Contours) == 0 {
+				t.Fatalf("trial %d layer %d: contour presence differs", trial, li)
+			}
+			a := ref.Layers[li].Contours[0].Poly.Area()
+			b := moved.Layers[li].Contours[0].Poly.Area()
+			if math.Abs(a-b) > 1e-6 {
+				t.Fatalf("trial %d layer %d: area %v vs %v", trial, li, a, b)
+			}
+		}
+	}
+}
+
+// Property: the winding-rule material decision is consistent with the
+// raster classification at cell centres.
+func TestRasterMatchesPointClassification(t *testing.T) {
+	outer := mesh.BoxShell("outer", "host", geom.V3(0, 0, 0), geom.V3(12, 10, 4))
+	inner := mesh.BoxShell("cavity", "host", geom.V3(4, 4, 1), geom.V3(8, 7, 3))
+	inner.FlipOrientation()
+	inner.Orient = mesh.Inward
+	m := &mesh.Mesh{Shells: []mesh.Shell{outer, inner}}
+	res, err := Slice(m, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := &res.Layers[len(res.Layers)/2]
+	r, err := mid.Rasterize(geom.V2(-1, -1), geom.V2(13, 11), 0.5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for iy := 0; iy < r.NY; iy++ {
+		for ix := 0; ix < r.NX; ix++ {
+			p := r.Center(ix, iy)
+			want := mid.Material(p)
+			got := r.At(ix, iy) == Model
+			if want != got {
+				t.Fatalf("cell (%d,%d) at %v: raster %t vs point %t", ix, iy, p, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package slicer
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"obfuscade/internal/geom"
+)
+
+// CellClass classifies one raster cell of a layer.
+type CellClass uint8
+
+const (
+	// Empty cells receive no material.
+	Empty CellClass = iota
+	// Model cells receive model material.
+	Model
+	// Void cells are enclosed by model geometry but receive no model
+	// material (even winding): cavities and split slivers. The printer
+	// decides whether support reaches them.
+	Void
+)
+
+// Raster is the scanline classification of one layer at a fixed cell size.
+type Raster struct {
+	// Origin is the world position of cell (0, 0)'s corner.
+	Origin geom.Vec2
+	// Cell is the cell edge length, mm.
+	Cell float64
+	// NX, NY are the grid dimensions.
+	NX, NY int
+	// Class holds the classification, row-major (y*NX + x).
+	Class []CellClass
+	// Owner holds a bitmask of bodies whose material covers the cell
+	// centre (bit i = Bodies[i]).
+	Owner []uint32
+	// Bodies indexes the owner bits.
+	Bodies []string
+}
+
+// At returns the classification at cell (ix, iy), Empty outside the grid.
+func (r *Raster) At(ix, iy int) CellClass {
+	if ix < 0 || iy < 0 || ix >= r.NX || iy >= r.NY {
+		return Empty
+	}
+	return r.Class[iy*r.NX+ix]
+}
+
+// OwnerAt returns the owner bitmask at (ix, iy).
+func (r *Raster) OwnerAt(ix, iy int) uint32 {
+	if ix < 0 || iy < 0 || ix >= r.NX || iy >= r.NY {
+		return 0
+	}
+	return r.Owner[iy*r.NX+ix]
+}
+
+// Center returns the world coordinates of a cell centre.
+func (r *Raster) Center(ix, iy int) geom.Vec2 {
+	return geom.V2(
+		r.Origin.X+(float64(ix)+0.5)*r.Cell,
+		r.Origin.Y+(float64(iy)+0.5)*r.Cell,
+	)
+}
+
+// CountClass returns the number of cells with the given class.
+func (r *Raster) CountClass(c CellClass) int {
+	n := 0
+	for _, v := range r.Class {
+		if v == c {
+			n++
+		}
+	}
+	return n
+}
+
+// Rasterize classifies the layer over the given 2D bounds with the given
+// cell size, using one scanline pass per row (O(edges + cells)).
+func (l *Layer) Rasterize(min, max geom.Vec2, cell float64, bodies []string) (*Raster, error) {
+	if cell <= 0 {
+		return nil, fmt.Errorf("slicer: cell size must be positive, got %g", cell)
+	}
+	nx := int(math.Ceil((max.X - min.X) / cell))
+	ny := int(math.Ceil((max.Y - min.Y) / cell))
+	if nx <= 0 || ny <= 0 {
+		return nil, fmt.Errorf("slicer: empty raster bounds")
+	}
+	if nx*ny > 50_000_000 {
+		return nil, fmt.Errorf("slicer: raster %dx%d exceeds sanity limit", nx, ny)
+	}
+	bodyBit := make(map[string]int, len(bodies))
+	for i, b := range bodies {
+		if i >= 32 {
+			return nil, fmt.Errorf("slicer: more than 32 bodies not supported")
+		}
+		bodyBit[b] = i
+	}
+	r := &Raster{
+		Origin: min,
+		Cell:   cell,
+		NX:     nx,
+		NY:     ny,
+		Class:  make([]CellClass, nx*ny),
+		Owner:  make([]uint32, nx*ny),
+		Bodies: bodies,
+	}
+
+	type crossing struct {
+		x     float64
+		delta int // contribution to signed winding for points right of x
+		body  int // body bit, -1 if unknown
+	}
+	var crossings []crossing
+	for iy := 0; iy < ny; iy++ {
+		y := min.Y + (float64(iy)+0.5)*cell
+		crossings = crossings[:0]
+		for _, c := range l.Contours {
+			if !c.Closed {
+				continue
+			}
+			bit, okBody := bodyBit[c.Body]
+			if !okBody {
+				bit = -1
+			}
+			n := len(c.Poly)
+			for i := 0; i < n; i++ {
+				a := c.Poly[i]
+				b := c.Poly[(i+1)%n]
+				// Half-open rule [minY, maxY) avoids double counting at
+				// shared vertices.
+				if (a.Y <= y) == (b.Y <= y) {
+					continue
+				}
+				t := (y - a.Y) / (b.Y - a.Y)
+				x := a.X + t*(b.X-a.X)
+				delta := 1
+				if b.Y > a.Y {
+					delta = -1 // upward edge closes the winding to its right
+				}
+				crossings = append(crossings, crossing{x: x, delta: delta, body: bit})
+			}
+		}
+		sort.Slice(crossings, func(i, j int) bool { return crossings[i].x < crossings[j].x })
+
+		w := 0
+		bodyW := make([]int, len(bodies))
+		ci := 0
+		for ix := 0; ix < nx; ix++ {
+			xc := min.X + (float64(ix)+0.5)*cell
+			for ci < len(crossings) && crossings[ci].x <= xc {
+				w += crossings[ci].delta
+				if crossings[ci].body >= 0 {
+					bodyW[crossings[ci].body] += crossings[ci].delta
+				}
+				ci++
+			}
+			idx := iy*nx + ix
+			var owner uint32
+			for bi, bw := range bodyW {
+				if bw > 0 && bw%2 == 1 {
+					owner |= 1 << uint(bi)
+				}
+			}
+			r.Owner[idx] = owner
+			switch {
+			case w > 0 && w%2 == 1:
+				r.Class[idx] = Model
+			case w != 0 || owner != 0:
+				// Inside some geometry but not receiving material:
+				// cavity, doubly-covered sliver, or reversed surface
+				// enclosure.
+				r.Class[idx] = Void
+			default:
+				r.Class[idx] = Empty
+			}
+		}
+	}
+	return r, nil
+}
+
+// SolidArea integrates the model-material area of the layer by scanline at
+// the given x resolution (exact in y per row sample).
+func (l *Layer) SolidArea(min, max geom.Vec2, cell float64) float64 {
+	r, err := l.Rasterize(min, max, cell, nil)
+	if err != nil {
+		return 0
+	}
+	return float64(r.CountClass(Model)) * cell * cell
+}

@@ -1,0 +1,73 @@
+package spline
+
+import (
+	"math"
+	"testing"
+
+	"obfuscade/internal/geom"
+)
+
+func TestCurvatureLineZero(t *testing.T) {
+	s := FromBezier(line(geom.V2(0, 0), geom.V2(10, 5)))
+	for _, tt := range []float64{0.1, 0.5, 0.9} {
+		if k := s.Curvature(tt); k > 1e-9 {
+			t.Errorf("line curvature at %g = %v", tt, k)
+		}
+	}
+}
+
+func TestCurvatureCircleApprox(t *testing.T) {
+	// A cubic Bézier quarter circle of radius 5: control offset
+	// k = 4/3*(sqrt(2)-1)*r.
+	const r = 5.0
+	k := 4.0 / 3.0 * (math.Sqrt2 - 1) * r
+	c := CubicBezier{
+		P0: geom.V2(r, 0),
+		P1: geom.V2(r, k),
+		P2: geom.V2(k, r),
+		P3: geom.V2(0, r),
+	}
+	s := FromBezier(c)
+	for _, tt := range []float64{0.2, 0.5, 0.8} {
+		got := s.Curvature(tt)
+		if math.Abs(got-1/r)/(1/r) > 0.03 {
+			t.Errorf("quarter-circle curvature at %g = %v, want ~%v", tt, got, 1/r)
+		}
+	}
+}
+
+func TestParamAtArcLength(t *testing.T) {
+	s := FromBezier(line(geom.V2(0, 0), geom.V2(20, 0)))
+	for _, tc := range []struct{ target, want float64 }{
+		{0, 0}, {5, 0.25}, {10, 0.5}, {20, 1}, {25, 1}, {-1, 0},
+	} {
+		got := s.ParamAtArcLength(tc.target)
+		if math.Abs(got-tc.want) > 2e-3 {
+			t.Errorf("ParamAtArcLength(%g) = %v, want %v", tc.target, got, tc.want)
+		}
+	}
+}
+
+func TestParamAtArcLengthMonotone(t *testing.T) {
+	s, err := Interpolate([]geom.Vec2{
+		geom.V2(0, 0), geom.V2(5, 4), geom.V2(11, -3), geom.V2(18, 2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := s.ArcLength()
+	prev := -1.0
+	for i := 0; i <= 10; i++ {
+		p := s.ParamAtArcLength(total * float64(i) / 10)
+		if p <= prev {
+			t.Fatalf("param not monotone at step %d: %v after %v", i, p, prev)
+		}
+		prev = p
+	}
+	// Round trip: evaluating at the returned parameters accumulates the
+	// requested arc lengths.
+	half := s.ParamAtArcLength(total / 2)
+	if half < 0.2 || half > 0.8 {
+		t.Errorf("mid-length parameter %v implausible", half)
+	}
+}

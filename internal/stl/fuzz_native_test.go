@@ -1,0 +1,31 @@
+package stl
+
+import "testing"
+
+// Native fuzz target: the decoder must never panic on arbitrary bytes.
+// Run with `go test -fuzz=FuzzUnmarshal ./internal/stl` for deep fuzzing;
+// the seed corpus runs as a regular test.
+func FuzzUnmarshal(f *testing.F) {
+	m := boxMesh()
+	bin, err := Marshal(m, Binary, "seed")
+	if err != nil {
+		f.Fatal(err)
+	}
+	asc, err := Marshal(m, ASCII, "seed")
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(bin)
+	f.Add(asc)
+	f.Add([]byte("solid x\nendsolid x\n"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		if got.TriangleCount() < 0 {
+			t.Fatal("negative triangle count")
+		}
+	})
+}

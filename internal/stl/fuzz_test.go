@@ -1,0 +1,61 @@
+package stl
+
+import (
+	"math/rand"
+	"testing"
+
+	"obfuscade/internal/geom"
+	"obfuscade/internal/mesh"
+)
+
+// Byte-level robustness: mutated STL files must either parse into a
+// well-formed mesh or fail with an error — never panic. This is the
+// property a file parser exposed to untrusted supply-chain inputs needs
+// (Table 1: "file parser ... zero-day" risk).
+func TestUnmarshalMutationRobustness(t *testing.T) {
+	m := &mesh.Mesh{Shells: []mesh.Shell{
+		mesh.BoxShell("box", "b", geom.V3(0, 0, 0), geom.V3(3, 2, 1)),
+	}}
+	rng := rand.New(rand.NewSource(99))
+	for _, format := range []Format{Binary, ASCII} {
+		data, err := Marshal(m, format, "fuzz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 300; trial++ {
+			mutated := append([]byte{}, data...)
+			// Flip 1-4 random bytes.
+			for k := 0; k < 1+rng.Intn(4); k++ {
+				mutated[rng.Intn(len(mutated))] ^= byte(1 + rng.Intn(255))
+			}
+			got, err := Unmarshal(mutated)
+			if err != nil {
+				continue // rejected: fine
+			}
+			if got.TriangleCount() < 0 {
+				t.Fatal("negative triangle count")
+			}
+		}
+		// Truncations at every length band.
+		for cut := 0; cut < len(data); cut += 1 + len(data)/37 {
+			if _, err := Unmarshal(data[:cut]); err == nil {
+				// Some truncations of ASCII remain valid (fewer
+				// facets); binary must keep its count consistent.
+				if format == Binary && cut > 84 {
+					t.Fatalf("truncated binary file at %d accepted", cut)
+				}
+			}
+		}
+	}
+}
+
+// Random garbage must never panic the decoder.
+func TestUnmarshalGarbageRobustness(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(600)
+		data := make([]byte, n)
+		rng.Read(data)
+		_, _ = Unmarshal(data) // must not panic; error is expected
+	}
+}

@@ -1,0 +1,91 @@
+package supplychain
+
+import (
+	"crypto/ed25519"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// Digest returns the SHA-256 hex digest of an artifact — the "file
+// sizes/hashes" verification of Table 1.
+func Digest(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// VerifyDigest reports whether the artifact still matches the recorded
+// digest.
+func VerifyDigest(data []byte, digest string) bool {
+	return Digest(data) == digest
+}
+
+// Signer signs design artifacts on behalf of the IP owner — the "digital
+// signatures" mitigation of Table 1.
+type Signer struct {
+	pub  ed25519.PublicKey
+	priv ed25519.PrivateKey
+}
+
+// NewSigner generates a fresh Ed25519 key pair from the given seed bytes
+// (must be ed25519.SeedSize = 32 bytes) so tests are deterministic; pass
+// nil for a random key.
+func NewSigner(seed []byte) (*Signer, error) {
+	if seed == nil {
+		pub, priv, err := ed25519.GenerateKey(nil)
+		if err != nil {
+			return nil, fmt.Errorf("supplychain: keygen: %w", err)
+		}
+		return &Signer{pub: pub, priv: priv}, nil
+	}
+	if len(seed) != ed25519.SeedSize {
+		return nil, fmt.Errorf("supplychain: seed must be %d bytes, got %d",
+			ed25519.SeedSize, len(seed))
+	}
+	priv := ed25519.NewKeyFromSeed(seed)
+	return &Signer{pub: priv.Public().(ed25519.PublicKey), priv: priv}, nil
+}
+
+// Public returns the verification key to distribute to manufacturers.
+func (s *Signer) Public() ed25519.PublicKey { return s.pub }
+
+// Sign returns a detached signature over the artifact.
+func (s *Signer) Sign(data []byte) []byte {
+	return ed25519.Sign(s.priv, data)
+}
+
+// Verify checks a detached signature against a public key.
+func Verify(pub ed25519.PublicKey, data, sig []byte) bool {
+	return ed25519.Verify(pub, data, sig)
+}
+
+// SignedArtifact bundles an artifact with its provenance metadata as it
+// travels between supply-chain parties.
+type SignedArtifact struct {
+	Name      string
+	Data      []byte
+	Digest    string
+	Signature []byte
+}
+
+// Seal wraps an artifact with digest and signature.
+func (s *Signer) Seal(name string, data []byte) SignedArtifact {
+	return SignedArtifact{
+		Name:      name,
+		Data:      data,
+		Digest:    Digest(data),
+		Signature: s.Sign(data),
+	}
+}
+
+// Check verifies both digest and signature, returning a descriptive error
+// on tampering.
+func (a *SignedArtifact) Check(pub ed25519.PublicKey) error {
+	if !VerifyDigest(a.Data, a.Digest) {
+		return fmt.Errorf("supplychain: artifact %q digest mismatch", a.Name)
+	}
+	if !Verify(pub, a.Data, a.Signature) {
+		return fmt.Errorf("supplychain: artifact %q signature invalid", a.Name)
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+package supplychain
+
+import (
+	"testing"
+
+	"obfuscade/internal/brep"
+	"obfuscade/internal/mesh"
+	"obfuscade/internal/stl"
+	"obfuscade/internal/tessellate"
+)
+
+func TestProtrusionAttackDetected(t *testing.T) {
+	p, err := brep.NewTensileBar("bar", brep.DefaultTensileBar())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := tessellate.Tessellate(p, tessellate.Coarse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := ref.Clone()
+	if err := ProtrusionAttack(tampered, 9, 0.8); err != nil {
+		t.Fatal(err)
+	}
+	// More triangles and more volume than the reference.
+	d := stl.Compare(ref, tampered)
+	if d.Identical(1e-6) {
+		t.Error("protrusion attack not detected by diff")
+	}
+	if d.TriangleDelta <= 0 {
+		t.Errorf("protrusions should add triangles: %+v", d)
+	}
+	if d.VolumeDelta <= 0 {
+		t.Errorf("protrusions should add volume: %+v", d)
+	}
+	// The tampered mesh remains watertight (a stealthy attack), so the
+	// manifold check alone is NOT sufficient — the reference diff is the
+	// effective mitigation for this attack class.
+	rep := mesh.IndexShell(&tampered.Shells[0], 1e-9).Analyze()
+	if !rep.Watertight() {
+		t.Errorf("protrusion mesh should stay watertight: %+v", rep)
+	}
+}
+
+func TestProtrusionAttackErrors(t *testing.T) {
+	m := &mesh.Mesh{}
+	if err := ProtrusionAttack(m, 1, 0.5); err == nil {
+		t.Error("expected error for step < 2")
+	}
+	if err := ProtrusionAttack(m, 5, 0); err == nil {
+		t.Error("expected error for zero height")
+	}
+}
+
+func TestUnitMismatchAttack(t *testing.T) {
+	p, err := brep.NewTensileBar("bar", brep.DefaultTensileBar())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := tessellate.Tessellate(p, tessellate.Coarse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := m.Bounds().Size()
+	shrunk := m.Clone()
+	UnitMismatchAttack(shrunk, true)
+	got := shrunk.Bounds().Size()
+	if !geomApprox(got.X*25.4, want.X) {
+		t.Errorf("mm->inch shrink: %v vs %v", got, want)
+	}
+	inflated := m.Clone()
+	UnitMismatchAttack(inflated, false)
+	if !geomApprox(inflated.Bounds().Size().X, want.X*25.4) {
+		t.Errorf("inch->mm inflate: %v", inflated.Bounds().Size())
+	}
+	// Detected by the reference diff.
+	if stl.Compare(m, shrunk).Identical(1e-6) {
+		t.Error("unit mismatch not detected")
+	}
+}
+
+func geomApprox(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-6*(1+b)
+}

@@ -1,0 +1,82 @@
+package supplychain
+
+import (
+	"fmt"
+	"math"
+
+	"obfuscade/internal/geom"
+	"obfuscade/internal/mesh"
+)
+
+// RemeshAttack is a counterfeiter countermeasure against ObfusCADe's
+// spline split: cluster-weld all vertices on a grid of size cluster so
+// the two split bodies' mismatched boundaries snap together, hoping to
+// heal the massless separation. Degenerate triangles produced by the
+// clustering are dropped.
+//
+// The repository's analysis (see TestRemeshAttackAnalysis and
+// EXPERIMENTS.md) shows the trade-off this attacker faces: clustering
+// coarse enough to fuse the boundaries (>= the tessellation mismatch)
+// deforms the whole surface by up to cluster/2 — an order of magnitude
+// more than the split gap it removes — and leaves non-manifold junk at
+// the seam, so the "cleaned" file fails both metrology and geometry
+// review.
+func RemeshAttack(m *mesh.Mesh, cluster float64) error {
+	if cluster <= 0 {
+		return fmt.Errorf("supplychain: cluster size must be positive")
+	}
+	snap := func(v geom.Vec3) geom.Vec3 {
+		return geom.V3(
+			math.Round(v.X/cluster)*cluster,
+			math.Round(v.Y/cluster)*cluster,
+			math.Round(v.Z/cluster)*cluster,
+		)
+	}
+	for si := range m.Shells {
+		s := &m.Shells[si]
+		kept := s.Tris[:0]
+		for _, t := range s.Tris {
+			nt := geom.Triangle{A: snap(t.A), B: snap(t.B), C: snap(t.C)}
+			if nt.IsDegenerate(1e-12) {
+				continue
+			}
+			kept = append(kept, nt)
+		}
+		s.Tris = kept
+	}
+	return nil
+}
+
+// MaxSurfaceDeviation measures the largest vertex displacement between a
+// mesh and its remeshed copy — the dimensional damage a clustering attack
+// inflicts. The meshes must have come from the same source (triangles are
+// compared positionally).
+func MaxSurfaceDeviation(original, remeshed *mesh.Mesh) float64 {
+	var worst float64
+	// Compare vertex sets via nearest-snap: for clustering remeshes the
+	// deviation per vertex is bounded by the snap distance, measured
+	// here empirically over original vertices.
+	var remeshVerts []geom.Vec3
+	for si := range remeshed.Shells {
+		idx := mesh.IndexShell(&remeshed.Shells[si], 1e-9)
+		remeshVerts = append(remeshVerts, idx.Verts...)
+	}
+	if len(remeshVerts) == 0 {
+		return math.Inf(1)
+	}
+	for si := range original.Shells {
+		idx := mesh.IndexShell(&original.Shells[si], 1e-9)
+		for _, v := range idx.Verts {
+			best := math.Inf(1)
+			for _, r := range remeshVerts {
+				if d := v.Dist(r); d < best {
+					best = d
+				}
+			}
+			if best > worst {
+				worst = best
+			}
+		}
+	}
+	return worst
+}

@@ -1,0 +1,120 @@
+package supplychain
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func ticketFixture(t *testing.T) (*Signer, string, []JobTicket, *TicketValidator) {
+	t.Helper()
+	signer, err := NewSigner(bytes.Repeat([]byte{3}, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest := Digest([]byte("the design"))
+	tickets, err := signer.IssueTickets(digest, 3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := NewTicketValidator(signer.Public(), digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return signer, digest, tickets, v
+}
+
+func TestTicketsAuthorizeOnce(t *testing.T) {
+	_, _, tickets, v := ticketFixture(t)
+	for _, tk := range tickets {
+		if err := v.Authorize(tk); err != nil {
+			t.Fatalf("ticket %d rejected: %v", tk.Serial, err)
+		}
+	}
+	if v.Used() != 3 {
+		t.Errorf("used = %d, want 3", v.Used())
+	}
+	// The 4th print — overproduction — replays a ticket and fails.
+	if err := v.Authorize(tickets[0]); err == nil {
+		t.Error("replayed ticket accepted: overproduction not prevented")
+	}
+}
+
+func TestTicketForgeryRejected(t *testing.T) {
+	_, digest, tickets, v := ticketFixture(t)
+	forged := tickets[0]
+	forged.Serial = 9999 // signature no longer matches
+	if err := v.Authorize(forged); err == nil {
+		t.Error("forged serial accepted")
+	}
+	// A ticket signed by a different key.
+	other, _ := NewSigner(bytes.Repeat([]byte{4}, 32))
+	fake, err := other.IssueTickets(digest, 1, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Authorize(fake[0]); err == nil {
+		t.Error("ticket from wrong signer accepted")
+	}
+}
+
+func TestTicketWrongDesignRejected(t *testing.T) {
+	signer, _, _, v := ticketFixture(t)
+	otherDigest := Digest([]byte("another design"))
+	tickets, err := signer.IssueTickets(otherDigest, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Authorize(tickets[0]); err == nil {
+		t.Error("ticket for different design accepted")
+	}
+}
+
+func TestTicketIssueErrors(t *testing.T) {
+	signer, _, _, _ := ticketFixture(t)
+	if _, err := signer.IssueTickets("", 1, 0); err == nil {
+		t.Error("expected error for empty digest")
+	}
+	if _, err := signer.IssueTickets("d", 0, 0); err == nil {
+		t.Error("expected error for zero tickets")
+	}
+	if _, err := NewTicketValidator(nil, "d"); err == nil {
+		t.Error("expected error for bad key")
+	}
+	if _, err := NewTicketValidator(signer.Public(), ""); err == nil {
+		t.Error("expected error for empty digest")
+	}
+}
+
+func TestScoredRegistry(t *testing.T) {
+	scored := ScoredRegistry()
+	if len(scored) != len(Registry()) {
+		t.Fatalf("scored entries = %d, want %d", len(scored), len(Registry()))
+	}
+	// Ranked by severity, descending.
+	for i := 1; i < len(scored); i++ {
+		if scored[i].Severity() > scored[i-1].Severity() {
+			t.Fatal("registry not ranked by severity")
+		}
+	}
+	// IP-theft rows carry the paper's maximum impact.
+	foundMax := false
+	for _, rs := range scored {
+		if rs.Impact == 5 && rs.Likelihood >= 4 {
+			foundMax = true
+		}
+		if rs.Likelihood < 1 || rs.Likelihood > 5 || rs.Impact < 1 || rs.Impact > 5 {
+			t.Fatalf("score out of scale: %+v", rs)
+		}
+		if rs.Level() == "" {
+			t.Fatal("empty level")
+		}
+	}
+	if !foundMax {
+		t.Error("no maximum-impact IP-theft risk found")
+	}
+	out := RiskMatrix().Render()
+	if !strings.Contains(out, "critical") && !strings.Contains(out, "high") {
+		t.Errorf("risk matrix lacks high-severity rows:\n%s", out)
+	}
+}

@@ -1,0 +1,138 @@
+package tessellate
+
+import (
+	"math"
+	"testing"
+
+	"obfuscade/internal/brep"
+	"obfuscade/internal/geom"
+	"obfuscade/internal/mesh"
+)
+
+func TestTessellateCylinder(t *testing.T) {
+	rev := &brep.Revolve{
+		X0: 0, X1: 20, Tag: "cylinder",
+		Radius: func(x float64) float64 { return 5 },
+	}
+	p := &brep.Part{Name: "cyl", Bodies: []*brep.Body{{
+		Name: "cyl", Kind: brep.Solid, Shape: rev,
+	}}}
+	m, err := Tessellate(p, Fine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := mesh.IndexShell(&m.Shells[0], 1e-9).Analyze()
+	if !rep.Watertight() {
+		t.Fatalf("cylinder not watertight: %+v", rep)
+	}
+	exact := math.Pi * 25 * 20
+	vol := m.Volume()
+	if vol <= 0 {
+		t.Fatalf("cylinder volume %v: shell inside-out", vol)
+	}
+	if math.Abs(vol-exact)/exact > 0.02 {
+		t.Errorf("cylinder volume = %v, want ~%v", vol, exact)
+	}
+	if vol >= exact {
+		t.Errorf("inscribed mesh volume %v should be below exact %v", vol, exact)
+	}
+}
+
+func TestTessellateSteppedShaft(t *testing.T) {
+	p, err := brep.NewShaft("shaft", 10, 6, 25, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Tessellate(p, Fine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := mesh.IndexShell(&m.Shells[0], 1e-9).Analyze()
+	if !rep.Watertight() {
+		t.Fatalf("shaft not watertight: %+v", rep)
+	}
+	exact := math.Pi*36*10 + math.Pi*9*15
+	vol := m.Volume()
+	if math.Abs(vol-exact)/exact > 0.02 {
+		t.Errorf("shaft volume = %v, want ~%v", vol, exact)
+	}
+	// The step should appear as a sharp radius change at x=10.
+	b := m.Bounds()
+	if math.Abs(b.Max.Y-6) > 0.05 || math.Abs(b.Min.Y+6) > 0.05 {
+		t.Errorf("shaft bounds %v, want +-6 in y", b)
+	}
+}
+
+func TestTessellateTaperedNozzle(t *testing.T) {
+	rev := &brep.Revolve{
+		X0: 0, X1: 30, Tag: "nozzle",
+		Radius: func(x float64) float64 { return 8 - 0.2*x + 0.004*x*x },
+	}
+	if err := rev.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p := &brep.Part{Name: "nozzle", Bodies: []*brep.Body{{
+		Name: "nozzle", Kind: brep.Solid, Shape: rev,
+	}}}
+	coarse, err := Tessellate(p, Coarse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := Tessellate(p, Custom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fine.TriangleCount() <= coarse.TriangleCount() {
+		t.Errorf("resolution should control triangles: %d vs %d",
+			fine.TriangleCount(), coarse.TriangleCount())
+	}
+	// Both resolutions approximate the disc-method volume.
+	exact := rev.Volume()
+	if math.Abs(fine.Volume()-exact)/exact > 0.01 {
+		t.Errorf("nozzle volume = %v, want ~%v", fine.Volume(), exact)
+	}
+	rep := mesh.IndexShell(&fine.Shells[0], 1e-9).Analyze()
+	if !rep.Watertight() {
+		t.Errorf("nozzle not watertight: %+v", rep)
+	}
+}
+
+func TestShaftWithEmbeddedSphere(t *testing.T) {
+	// The §3.2 feature works on axisymmetric hosts too.
+	p, err := brep.NewShaft("shaft", 10, 6, 25, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := brep.EmbedSphere(p, "shaft", geom.V3(5, 0, 0), 2, brep.EmbedOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Tessellate(p, Fine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Shells) != 2 {
+		t.Fatalf("shells = %d, want 2", len(m.Shells))
+	}
+}
+
+func TestRevolveValidation(t *testing.T) {
+	bad := &brep.Revolve{X0: 5, X1: 5, Radius: func(float64) float64 { return 1 }}
+	if err := bad.Validate(); err == nil {
+		t.Error("expected error for empty span")
+	}
+	neg := &brep.Revolve{X0: 0, X1: 10, Radius: func(x float64) float64 { return x - 5 }}
+	if err := neg.Validate(); err == nil {
+		t.Error("expected error for non-positive radius")
+	}
+	badBreak := &brep.Revolve{
+		X0: 0, X1: 10,
+		Radius: func(float64) float64 { return 1 },
+		Breaks: []float64{12},
+	}
+	if err := badBreak.Validate(); err == nil {
+		t.Error("expected error for out-of-range break")
+	}
+	if _, err := brep.NewShaft("s", 10, 6, 5, 3); err == nil {
+		t.Error("expected error for l <= l1")
+	}
+}

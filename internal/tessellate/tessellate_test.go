@@ -1,0 +1,260 @@
+package tessellate
+
+import (
+	"math"
+	"testing"
+
+	"obfuscade/internal/brep"
+	"obfuscade/internal/geom"
+	"obfuscade/internal/mesh"
+	"obfuscade/internal/stl"
+)
+
+func barPart(t *testing.T) *brep.Part {
+	t.Helper()
+	p, err := brep.NewTensileBar("bar", brep.DefaultTensileBar())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func splitBarPart(t *testing.T) *brep.Part {
+	t.Helper()
+	p := barPart(t)
+	s, err := brep.SplitSplineThroughGauge(brep.DefaultTensileBar(), 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := brep.SplitBySpline(p, "bar", s); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPresets(t *testing.T) {
+	ps := Presets()
+	if len(ps) != 3 {
+		t.Fatalf("presets = %d", len(ps))
+	}
+	// Monotone coarse-to-fine.
+	for i := 0; i+1 < len(ps); i++ {
+		if ps[i].Deviation <= ps[i+1].Deviation {
+			t.Errorf("deviation not decreasing: %v", ps)
+		}
+	}
+	if _, err := ByName("fine"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("bogus"); err == nil {
+		t.Error("expected error for unknown preset")
+	}
+	if err := (Resolution{Name: "bad"}).Validate(); err == nil {
+		t.Error("expected validation error")
+	}
+}
+
+func TestTessellateBarWatertight(t *testing.T) {
+	m, err := Tessellate(barPart(t), Fine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Shells) != 1 {
+		t.Fatalf("shells = %d, want 1", len(m.Shells))
+	}
+	rep := mesh.IndexShell(&m.Shells[0], 1e-7).Analyze()
+	if !rep.Watertight() {
+		t.Errorf("bar shell not watertight: %+v", rep)
+	}
+	// Mesh volume approximates CAD volume.
+	cad := barPart(t).Volume()
+	if math.Abs(m.Volume()-cad)/cad > 0.01 {
+		t.Errorf("mesh volume %v vs CAD %v", m.Volume(), cad)
+	}
+}
+
+func TestResolutionControlsTriangleCount(t *testing.T) {
+	var prev int = 1 << 30
+	counts := map[string]int{}
+	for _, res := range []Resolution{Custom, Fine, Coarse} {
+		m, err := Tessellate(barPart(t), res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[res.Name] = m.TriangleCount()
+		if m.TriangleCount() >= prev {
+			t.Errorf("triangle count should decrease with coarser setting: %v", counts)
+		}
+		prev = m.TriangleCount()
+	}
+	// Finer resolution means larger STL file (paper §3.1: "finer
+	// resolutions use a greater number of triangles ... larger file size").
+	if stl.BinarySize(counts["custom"]) <= stl.BinarySize(counts["coarse"]) {
+		t.Errorf("custom STL should be larger: %v", counts)
+	}
+}
+
+func TestTessellateSplitBar(t *testing.T) {
+	m, err := Tessellate(splitBarPart(t), Coarse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Shells) != 2 {
+		t.Fatalf("shells = %d, want 2", len(m.Shells))
+	}
+	for i := range m.Shells {
+		rep := mesh.IndexShell(&m.Shells[i], 1e-7).Analyze()
+		if !rep.Watertight() {
+			t.Errorf("shell %s not watertight: %+v", m.Shells[i].Name, rep)
+		}
+	}
+	// Split bodies' volumes sum to the intact volume.
+	intact, _ := Tessellate(barPart(t), Coarse)
+	sum := m.Volume()
+	if math.Abs(sum-intact.Volume())/intact.Volume() > 0.02 {
+		t.Errorf("split mesh volume %v vs intact %v", sum, intact.Volume())
+	}
+}
+
+func TestSplitMismatchScalesWithResolution(t *testing.T) {
+	p := splitBarPart(t)
+	var prev = math.Inf(1)
+	for _, res := range Presets() { // coarse -> fine
+		mm, ok, err := SplitMismatch(p, res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatal("split boundary not found")
+		}
+		if mm <= 0 {
+			t.Errorf("%s: mismatch should be positive", res.Name)
+		}
+		if mm > 2.5*res.Deviation {
+			t.Errorf("%s: mismatch %g exceeds 2.5x deviation %g", res.Name, mm, res.Deviation)
+		}
+		if mm >= prev {
+			t.Errorf("%s: mismatch %g did not shrink from %g", res.Name, mm, prev)
+		}
+		prev = mm
+	}
+}
+
+func TestSplitMismatchIntactBar(t *testing.T) {
+	_, ok, err := SplitMismatch(barPart(t), Fine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("intact bar should have no split boundary")
+	}
+}
+
+func TestTessellateSphereVariants(t *testing.T) {
+	size := geom.V3(25.4, 12.7, 12.7)
+	c := geom.V3(12.7, 6.35, 6.35)
+	const r = 3.175
+
+	build := func(opts brep.EmbedOpts) *mesh.Mesh {
+		p, err := brep.NewRectPrism("prism", size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := brep.EmbedSphere(p, "prism", c, r, opts); err != nil {
+			t.Fatal(err)
+		}
+		m, err := Tessellate(p, Fine)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+
+	solid := build(brep.EmbedOpts{})
+	surface := build(brep.EmbedOpts{SurfaceBody: true})
+	solidRem := build(brep.EmbedOpts{MaterialRemoval: true})
+	surfaceRem := build(brep.EmbedOpts{MaterialRemoval: true, SurfaceBody: true})
+
+	// §3.2.1: solid and surface sphere STL sizes identical.
+	if solid.TriangleCount() != surface.TriangleCount() {
+		t.Errorf("solid (%d) vs surface (%d) triangle counts should match",
+			solid.TriangleCount(), surface.TriangleCount())
+	}
+	// §3.2.2: removal variants identical to each other...
+	if solidRem.TriangleCount() != surfaceRem.TriangleCount() {
+		t.Errorf("removal variants should match: %d vs %d",
+			solidRem.TriangleCount(), surfaceRem.TriangleCount())
+	}
+	// ...and larger than no-removal variants (extra cavity shell).
+	if solidRem.TriangleCount() <= solid.TriangleCount() {
+		t.Errorf("removal STL should be larger: %d vs %d",
+			solidRem.TriangleCount(), solid.TriangleCount())
+	}
+
+	// Orientation semantics.
+	findShell := func(m *mesh.Mesh, name string) *mesh.Shell {
+		s := m.ShellByName(name)
+		if s == nil {
+			t.Fatalf("shell %q missing", name)
+		}
+		return s
+	}
+	if s := findShell(solid, "sphere"); s.Orient != mesh.Outward || s.ShellVolume() <= 0 {
+		t.Error("solid sphere should be outward with positive volume")
+	}
+	if s := findShell(surface, "sphere"); s.Orient != mesh.OpenSurface || s.ShellVolume() >= 0 {
+		t.Error("surface sphere should be reversed open shell")
+	}
+	if s := findShell(solidRem, "prism-cavity-0"); s.Orient != mesh.Inward || s.ShellVolume() >= 0 {
+		t.Error("cavity shell should be inward with negative volume")
+	}
+
+	// Net volume: with removal + solid insert the volumes cancel back to
+	// the full prism.
+	boxVol := size.X * size.Y * size.Z
+	if math.Abs(solidRem.Volume()-boxVol)/boxVol > 0.02 {
+		t.Errorf("solid-removal mesh volume = %v, want ~%v", solidRem.Volume(), boxVol)
+	}
+	// Surface + removal leaves the cavity empty (volume reduced).
+	if surfaceRem.Volume() >= boxVol*0.999 {
+		t.Errorf("surface-removal volume = %v should be below box volume %v",
+			surfaceRem.Volume(), boxVol)
+	}
+}
+
+func TestSphereSegments(t *testing.T) {
+	latC, lonC := SphereSegments(3.175, Coarse)
+	latF, lonF := SphereSegments(3.175, Custom)
+	if latF <= latC || lonF <= lonC {
+		t.Errorf("finer resolution should subdivide more: coarse %d/%d custom %d/%d",
+			latC, lonC, latF, lonF)
+	}
+}
+
+func TestTessellateValidatesCleanly(t *testing.T) {
+	m, err := Tessellate(splitBarPart(t), Fine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if issues := m.Validate(1e-9); len(issues) != 0 {
+		t.Errorf("unexpected validation issues: %v", issues)
+	}
+}
+
+func TestSTLExportRoundTrip(t *testing.T) {
+	m, err := Tessellate(barPart(t), Coarse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := stl.Marshal(m, stl.Binary, "bar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := stl.Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TriangleCount() != m.TriangleCount() {
+		t.Errorf("round trip count %d vs %d", got.TriangleCount(), m.TriangleCount())
+	}
+}

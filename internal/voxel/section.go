@@ -1,0 +1,91 @@
+package voxel
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Axis selects a section plane orientation.
+type Axis int
+
+const (
+	// AxisX sections at constant x (a y-z plane).
+	AxisX Axis = iota
+	// AxisY sections at constant y (an x-z plane).
+	AxisY
+	// AxisZ sections at constant z (an x-y plane, i.e. one build layer).
+	AxisZ
+)
+
+// sectionGlyphs maps materials to their rendering characters: '.' empty,
+// '#' model, 's' support.
+func glyph(m Material) byte {
+	switch m {
+	case Model:
+		return '#'
+	case Support:
+		return 's'
+	default:
+		return '.'
+	}
+}
+
+// SectionASCII renders one cross-section of the grid as ASCII art — the
+// textual analogue of the paper's cut-open photographs (Fig. 10c/d).
+// index selects the slice along the axis; maxCols caps the output width
+// by downsampling (0 means 120).
+func (g *Grid) SectionASCII(axis Axis, index, maxCols int) (string, error) {
+	if maxCols <= 0 {
+		maxCols = 120
+	}
+	var nu, nv int
+	var at func(u, v int) Material
+	switch axis {
+	case AxisX:
+		if index < 0 || index >= g.NX {
+			return "", fmt.Errorf("voxel: x index %d out of [0,%d)", index, g.NX)
+		}
+		nu, nv = g.NY, g.NZ
+		at = func(u, v int) Material { return g.At(index, u, v) }
+	case AxisY:
+		if index < 0 || index >= g.NY {
+			return "", fmt.Errorf("voxel: y index %d out of [0,%d)", index, g.NY)
+		}
+		nu, nv = g.NX, g.NZ
+		at = func(u, v int) Material { return g.At(u, index, v) }
+	case AxisZ:
+		if index < 0 || index >= g.NZ {
+			return "", fmt.Errorf("voxel: z index %d out of [0,%d)", index, g.NZ)
+		}
+		nu, nv = g.NX, g.NY
+		at = func(u, v int) Material { return g.At(u, v, index) }
+	default:
+		return "", fmt.Errorf("voxel: unknown axis %d", int(axis))
+	}
+	step := 1
+	if nu > maxCols {
+		step = (nu + maxCols - 1) / maxCols
+	}
+	var sb strings.Builder
+	// Render with v (height) decreasing so "up" is up.
+	for v := nv - 1; v >= 0; v -= step {
+		for u := 0; u < nu; u += step {
+			// Downsampling rule: model wins, then support, then empty,
+			// so thin features stay visible.
+			best := Empty
+			for du := 0; du < step && u+du < nu; du++ {
+				for dv := 0; dv < step && v-dv >= 0; dv++ {
+					m := at(u+du, v-dv)
+					if m == Model {
+						best = Model
+					} else if m == Support && best == Empty {
+						best = Support
+					}
+				}
+			}
+			sb.WriteByte(glyph(best))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String(), nil
+}

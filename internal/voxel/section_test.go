@@ -1,0 +1,69 @@
+package voxel
+
+import (
+	"strings"
+	"testing"
+
+	"obfuscade/internal/geom"
+)
+
+func TestSectionASCII(t *testing.T) {
+	g, err := NewGrid(geom.AABB{Min: geom.V3(0, 0, 0), Max: geom.V3(9.5, 9.5, 9.5)}, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillBox(g, [3]int{2, 2, 2}, [3]int{7, 7, 7}, Model)
+	g.Set(5, 5, 5, Support)
+
+	out, err := g.SectionASCII(AxisZ, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != g.NY {
+		t.Fatalf("lines = %d, want %d", len(lines), g.NY)
+	}
+	if !strings.Contains(out, "#") || !strings.Contains(out, "s") || !strings.Contains(out, ".") {
+		t.Errorf("section missing glyphs:\n%s", out)
+	}
+	// Orientation: the top output row corresponds to the highest v.
+	if lines[0] != strings.Repeat(".", g.NX) {
+		t.Errorf("top row should be empty: %q", lines[0])
+	}
+
+	for _, axis := range []Axis{AxisX, AxisY} {
+		if _, err := g.SectionASCII(axis, 5, 0); err != nil {
+			t.Errorf("axis %d: %v", axis, err)
+		}
+	}
+}
+
+func TestSectionASCIIErrors(t *testing.T) {
+	g, _ := NewGrid(geom.AABB{Min: geom.V3(0, 0, 0), Max: geom.V3(4, 4, 4)}, 1, 1)
+	if _, err := g.SectionASCII(AxisZ, 99, 0); err == nil {
+		t.Error("expected error for out-of-range index")
+	}
+	if _, err := g.SectionASCII(Axis(9), 0, 0); err == nil {
+		t.Error("expected error for bad axis")
+	}
+}
+
+func TestSectionASCIIDownsample(t *testing.T) {
+	g, _ := NewGrid(geom.AABB{Min: geom.V3(0, 0, 0), Max: geom.V3(399.5, 9.5, 0.5)}, 1, 1)
+	fillBox(g, [3]int{0, 0, 0}, [3]int{399, 9, 0}, Model)
+	g.Set(200, 5, 0, Support) // single support voxel hidden behind model in the block
+	out, err := g.SectionASCII(AxisZ, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	for _, l := range lines {
+		if len(l) > 100 {
+			t.Fatalf("line width %d exceeds cap", len(l))
+		}
+	}
+	// Model wins during downsampling.
+	if strings.Contains(out, "s") {
+		t.Error("support should be masked by model when downsampling")
+	}
+}

@@ -1,0 +1,93 @@
+package voxel
+
+import (
+	"bytes"
+	"testing"
+
+	"obfuscade/internal/geom"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	g := newTestGrid(t, 12, 9, 7)
+	fillBox(g, [3]int{2, 2, 2}, [3]int{9, 7, 5}, Model)
+	fillBox(g, [3]int{4, 4, 3}, [3]int{5, 5, 4}, Support)
+
+	data, err := g.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(back) {
+		t.Error("round trip changed grid content")
+	}
+	if back.Count(Support) != g.Count(Support) {
+		t.Error("support count mismatch")
+	}
+}
+
+func TestRLECompresses(t *testing.T) {
+	g := newTestGrid(t, 50, 50, 20)
+	fillBox(g, [3]int{5, 5, 5}, [3]int{44, 44, 14}, Model)
+	data, err := g.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := g.NX * g.NY * g.NZ
+	if len(data) > raw/5 {
+		t.Errorf("RLE size %d, raw %d: expected >5x compression", len(data), raw)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Unmarshal([]byte("not a grid")); err == nil {
+		t.Error("expected error for bad magic")
+	}
+	g := newTestGrid(t, 4, 4, 4)
+	data, _ := g.Marshal()
+	// Truncated.
+	if _, err := Unmarshal(data[:len(data)-3]); err == nil {
+		t.Error("expected error for truncated data")
+	}
+	// Corrupted run count overflowing the grid.
+	bad := append([]byte{}, data...)
+	bad[len(voxlMagic)+5*8+3*8] = 0xFF // bump the first run count high byte
+	if _, err := Unmarshal(bad); err == nil {
+		t.Error("expected error for overflowing run")
+	}
+}
+
+func TestEqualDetectsDifferences(t *testing.T) {
+	a := newTestGrid(t, 4, 4, 4)
+	b := newTestGrid(t, 4, 4, 4)
+	if !a.Equal(b) {
+		t.Error("identical grids should be equal")
+	}
+	b.Set(1, 1, 1, Model)
+	if a.Equal(b) {
+		t.Error("content difference not detected")
+	}
+	if a.Equal(nil) {
+		t.Error("nil grid should not be equal")
+	}
+	c, _ := NewGrid(geom.AABB{Min: geom.V3(1, 0, 0), Max: geom.V3(4, 3, 3)}, 1, 1)
+	if a.Equal(c) {
+		t.Error("origin difference not detected")
+	}
+}
+
+func TestSaveWriterError(t *testing.T) {
+	g := newTestGrid(t, 4, 4, 4)
+	w := &failingWriter{}
+	if err := g.Save(w); err == nil {
+		t.Error("expected write error to propagate")
+	}
+}
+
+type failingWriter struct{}
+
+func (f *failingWriter) Write(p []byte) (int, error) {
+	return 0, bytes.ErrTooLarge
+}

@@ -1,0 +1,219 @@
+package watermark
+
+import (
+	"math"
+	"testing"
+
+	"obfuscade/internal/brep"
+	"obfuscade/internal/geom"
+	"obfuscade/internal/mesh"
+	"obfuscade/internal/stl"
+	"obfuscade/internal/tessellate"
+)
+
+func barMesh(t *testing.T) *mesh.Mesh {
+	t.Helper()
+	p, err := brep.NewTensileBar("bar", brep.DefaultTensileBar())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := tessellate.Tessellate(p, tessellate.Fine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestEmbedDetectRoundTrip(t *testing.T) {
+	key := []byte("owner-secret-key")
+	original := barMesh(t)
+	marked := original.Clone()
+	n, err := Embed(marked, key, DefaultAmplitude)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("no vertices marked")
+	}
+	res, err := Detect(original, marked, key, DefaultAmplitude)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Present() {
+		t.Errorf("mark not detected: %+v", res)
+	}
+	if res.Score < 0.9 {
+		t.Errorf("score = %v, want > 0.9", res.Score)
+	}
+}
+
+func TestWrongKeyScoresLow(t *testing.T) {
+	original := barMesh(t)
+	marked := original.Clone()
+	if _, err := Embed(marked, []byte("right-key"), DefaultAmplitude); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Detect(original, marked, []byte("wrong-key"), DefaultAmplitude)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Score) > 0.3 {
+		t.Errorf("wrong key score = %v, want ~0", res.Score)
+	}
+	if res.Present() {
+		t.Error("wrong key should not detect the mark")
+	}
+}
+
+func TestUnmarkedMeshScoresZero(t *testing.T) {
+	original := barMesh(t)
+	res, err := Detect(original, original.Clone(), []byte("key"), DefaultAmplitude)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Score) > 0.05 {
+		t.Errorf("unmarked score = %v, want ~0", res.Score)
+	}
+}
+
+// The mark must survive a binary STL export/import (float32 rounding).
+func TestMarkSurvivesSTLRoundTrip(t *testing.T) {
+	key := []byte("roundtrip-key")
+	original := barMesh(t)
+	marked := original.Clone()
+	if _, err := Embed(marked, key, DefaultAmplitude); err != nil {
+		t.Fatal(err)
+	}
+	data, err := stl.Marshal(marked, stl.Binary, "marked")
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := stl.Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Detect(original, back, key, DefaultAmplitude)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Present() || res.Score < 0.8 {
+		t.Errorf("mark lost in STL round trip: %+v", res)
+	}
+}
+
+// Imperceptibility: marking changes the volume negligibly and keeps the
+// shells watertight.
+func TestMarkImperceptible(t *testing.T) {
+	original := barMesh(t)
+	marked := original.Clone()
+	if _, err := Embed(marked, []byte("k"), DefaultAmplitude); err != nil {
+		t.Fatal(err)
+	}
+	v0, v1 := original.Volume(), marked.Volume()
+	if math.Abs(v1-v0)/v0 > 1e-3 {
+		t.Errorf("volume changed by %.2g%%", 100*math.Abs(v1-v0)/v0)
+	}
+	for i := range marked.Shells {
+		rep := mesh.IndexShell(&marked.Shells[i], 1e-9).Analyze()
+		if !rep.Watertight() {
+			t.Errorf("marked shell %s not watertight: %+v", marked.Shells[i].Name, rep)
+		}
+	}
+}
+
+func TestEmbedErrors(t *testing.T) {
+	m := &mesh.Mesh{Shells: []mesh.Shell{
+		mesh.BoxShell("b", "b", geom.V3(0, 0, 0), geom.V3(1, 1, 1)),
+	}}
+	if _, err := Embed(m, nil, DefaultAmplitude); err == nil {
+		t.Error("expected error for empty key")
+	}
+	if _, err := Embed(m, []byte("k"), 0); err == nil {
+		t.Error("expected error for zero amplitude")
+	}
+	if _, err := Embed(m, []byte("k"), 1); err == nil {
+		t.Error("expected error for amplitude near cell size")
+	}
+	if _, err := Detect(m, m, nil, DefaultAmplitude); err == nil {
+		t.Error("expected error for empty key in detect")
+	}
+	if _, err := Detect(m, m, []byte("k"), 0); err == nil {
+		t.Error("expected error for zero amplitude in detect")
+	}
+}
+
+// Two different marked copies (different keys) are distinguishable:
+// traitor tracing across leaked copies.
+func TestTraitorTracing(t *testing.T) {
+	original := barMesh(t)
+	keyA := []byte("partner-A")
+	keyB := []byte("partner-B")
+	copyA := original.Clone()
+	copyB := original.Clone()
+	if _, err := Embed(copyA, keyA, DefaultAmplitude); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Embed(copyB, keyB, DefaultAmplitude); err != nil {
+		t.Fatal(err)
+	}
+	// The leaked file is copy B.
+	leaked := copyB
+	resA, _ := Detect(original, leaked, keyA, DefaultAmplitude)
+	resB, _ := Detect(original, leaked, keyB, DefaultAmplitude)
+	if resB.Score < 0.9 {
+		t.Errorf("true partner score = %v", resB.Score)
+	}
+	if resA.Score > 0.3 {
+		t.Errorf("innocent partner score = %v", resA.Score)
+	}
+}
+
+// An attacker erasing the watermark by remeshing (vertex clustering at
+// 20x the mark amplitude) succeeds in destroying the correlation — but
+// only at the cost of deforming every surface by an order of magnitude
+// more than the mark, which dimensional metrology flags. Erasure is
+// detectable even when the mark itself is gone.
+func TestWatermarkErasureCostsDimensions(t *testing.T) {
+	key := []byte("k")
+	original := barMesh(t)
+	marked := original.Clone()
+	if _, err := Embed(marked, key, DefaultAmplitude); err != nil {
+		t.Fatal(err)
+	}
+	// Cluster-weld at 20 µm (20x the 1 µm amplitude).
+	const cluster = 0.02
+	erased := marked.Clone()
+	for si := range erased.Shells {
+		s := &erased.Shells[si]
+		for i := range s.Tris {
+			s.Tris[i].A = snapVec(s.Tris[i].A, cluster)
+			s.Tris[i].B = snapVec(s.Tris[i].B, cluster)
+			s.Tris[i].C = snapVec(s.Tris[i].C, cluster)
+		}
+	}
+	res, err := Detect(original, erased, key, DefaultAmplitude)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Score > 0.5 {
+		t.Logf("mark survived clustering (score %v) — even better", res.Score)
+	}
+	// The erasure attempt moved surfaces by ~cluster/2 >> amplitude:
+	// measurable by comparing volumes/bounds against the distributed
+	// (marked) copy.
+	dv := erased.Volume() - marked.Volume()
+	if dv < 0 {
+		dv = -dv
+	}
+	if dv/marked.Volume() < 1e-6 {
+		t.Error("clustering should leave measurable volumetric damage")
+	}
+}
+
+func snapVec(v geom.Vec3, c float64) geom.Vec3 {
+	return geom.V3(
+		math.Round(v.X/c)*c,
+		math.Round(v.Y/c)*c,
+		math.Round(v.Z/c)*c,
+	)
+}
