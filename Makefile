@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: verify race bench build test
+
+# Tier-1 verify: must stay green on every commit.
+verify: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Tier-2 verify: static analysis + the race detector over the parallel
+# pipeline (quality matrix, slicer fan-out, tensile replicates).
+race:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+# Serial-vs-parallel wall time for the quality matrix.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkQualityMatrix' -benchtime 2x .

@@ -323,3 +323,31 @@ func BenchmarkNDTInspection(b *testing.B) {
 		}
 	}
 }
+
+// Serial-vs-parallel wall time for the full quality matrix. Run both with
+//
+//	go test -bench 'BenchmarkQualityMatrix' -run '^$' .
+//
+// and compare ns/op; on a 1-worker pool the parallel variant must also be
+// entry-for-entry identical (asserted in internal/core's determinism test).
+
+func benchQualityMatrix(b *testing.B, workers int) {
+	prot, err := core.NewProtectedBar("bar", false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prof := printer.DimensionElite()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		entries, err := core.QualityMatrixWorkers(prot, prof, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(entries) != 6 {
+			b.Fatalf("matrix entries = %d", len(entries))
+		}
+	}
+}
+
+func BenchmarkQualityMatrixSerial(b *testing.B)   { benchQualityMatrix(b, 1) }
+func BenchmarkQualityMatrixParallel(b *testing.B) { benchQualityMatrix(b, 0) }

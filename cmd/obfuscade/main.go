@@ -7,8 +7,8 @@
 //	obfuscade protect -out design.ocad -manifest manifest.json [-with-sphere]
 //	obfuscade manufacture -in design.ocad -manifest manifest.json
 //	                      [-res coarse|fine|custom] [-orient xy|xz] [-restore-sphere]
-//	obfuscade matrix -in design.ocad -manifest manifest.json
-//	obfuscade keyspace -in design.ocad -manifest manifest.json
+//	obfuscade matrix -in design.ocad -manifest manifest.json [-keyspace] [-workers N]
+//	obfuscade keyspace -in design.ocad -manifest manifest.json [-workers N]
 //	obfuscade advise [-amplitudes 1.0,2.0]
 //	obfuscade mark -in part.stl -out marked.stl -key partner-a
 //	obfuscade trace -original part.stl -suspect leaked.stl -keys partner-a,partner-b
@@ -25,11 +25,19 @@ import (
 	"obfuscade/internal/brep"
 	"obfuscade/internal/core"
 	"obfuscade/internal/mech"
+	"obfuscade/internal/parallel"
 	"obfuscade/internal/printer"
 	"obfuscade/internal/stl"
 	"obfuscade/internal/tessellate"
 	"obfuscade/internal/watermark"
 )
+
+// workersFlag registers the shared -workers flag. Call the returned
+// function after fs.Parse to install the requested pool size process-wide.
+func workersFlag(fs *flag.FlagSet) func() {
+	n := fs.Int("workers", 0, "worker pool size for parallel stages (0 = all CPUs)")
+	return func() { parallel.SetDefault(*n) }
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -177,9 +185,11 @@ func cmdManufacture(args []string) error {
 	orient := fs.String("orient", "xy", "print orientation (xy, xz)")
 	restore := fs.Bool("restore-sphere", false, "apply the secret CAD operation")
 	authenticate := fs.Bool("authenticate", true, "authenticate the printed part")
+	setWorkers := workersFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	setWorkers()
 	prot, err := loadProtected(*in, *man)
 	if err != nil {
 		return err
@@ -216,46 +226,61 @@ func cmdMatrix(args []string) error {
 	fs := flag.NewFlagSet("matrix", flag.ExitOnError)
 	in := fs.String("in", "design.ocad", "protected CAD file")
 	man := fs.String("manifest", "manifest.json", "manifest file")
+	keyspace := fs.Bool("keyspace", false, "also print the key-space analysis from the same manufacture pass")
+	setWorkers := workersFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	setWorkers()
 	prot, err := loadProtected(*in, *man)
 	if err != nil {
 		return err
 	}
 	entries, err := core.QualityMatrix(prot, printer.DimensionElite())
-	if err != nil {
-		return err
+	// A partial matrix is still worth showing: render whatever completed
+	// before reporting the aggregated per-key error.
+	if len(entries) > 0 {
+		fmt.Println(core.MatrixTable(entries).Render())
+		good := core.GoodKeys(entries)
+		fmt.Printf("%d of %d keys manufacture a good part:\n", len(good), len(entries))
+		for _, k := range good {
+			fmt.Printf("  %v\n", k)
+		}
+		if *keyspace {
+			printKeySpace(core.KeySpaceFromEntries(entries))
+		}
 	}
-	fmt.Println(core.MatrixTable(entries).Render())
-	good := core.GoodKeys(entries)
-	fmt.Printf("%d of %d keys manufacture a good part:\n", len(good), len(entries))
-	for _, k := range good {
-		fmt.Printf("  %v\n", k)
-	}
-	return nil
+	return err
 }
 
 func cmdKeyspace(args []string) error {
 	fs := flag.NewFlagSet("keyspace", flag.ExitOnError)
 	in := fs.String("in", "design.ocad", "protected CAD file")
 	man := fs.String("manifest", "manifest.json", "manifest file")
+	setWorkers := workersFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	setWorkers()
 	prot, err := loadProtected(*in, *man)
 	if err != nil {
 		return err
 	}
 	rep, _, err := core.AnalyzeKeySpace(prot, printer.DimensionElite())
-	if err != nil {
-		return err
+	if rep.TotalKeys > 0 {
+		printKeySpace(rep)
 	}
+	return err
+}
+
+func printKeySpace(rep core.KeySpaceReport) {
 	fmt.Printf("key space size:           %d\n", rep.TotalKeys)
 	fmt.Printf("good keys:                %d\n", rep.GoodKeys)
+	if rep.FailedKeys > 0 {
+		fmt.Printf("failed keys:              %d\n", rep.FailedKeys)
+	}
 	fmt.Printf("mean print time:          %.2f h\n", rep.MeanPrintHours)
 	fmt.Printf("expected brute-force:     %.2f h of printing + testing\n", rep.ExpectedBruteForceHours)
-	return nil
 }
 
 func cmdAdvise(args []string) error {

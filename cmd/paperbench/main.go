@@ -4,7 +4,7 @@
 // Usage:
 //
 //	paperbench [-exp all|table1|table2|table3|fig1..fig10|polyjet|sidechannel|keyspace|ablation]
-//	           [-n replicates] [-seed n] [-csv]
+//	           [-n replicates] [-seed n] [-csv] [-workers n]
 package main
 
 import (
@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"obfuscade/internal/experiments"
+	"obfuscade/internal/parallel"
 	"obfuscade/internal/report"
 )
 
@@ -22,7 +23,9 @@ func main() {
 	n := flag.Int("n", 5, "tensile replicates per group")
 	seed := flag.Int64("seed", 1, "process noise seed")
 	csv := flag.Bool("csv", false, "emit tables as CSV")
+	workers := flag.Int("workers", 0, "worker pool size for parallel stages (0 = all CPUs)")
 	flag.Parse()
+	parallel.SetDefault(*workers)
 
 	if err := run(*exp, *n, *seed, *csv); err != nil {
 		fmt.Fprintln(os.Stderr, "paperbench:", err)

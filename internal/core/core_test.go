@@ -1,11 +1,15 @@
 package core
 
 import (
+	"errors"
+	"math"
+	"reflect"
 	"strings"
 	"testing"
 
 	"obfuscade/internal/brep"
 	"obfuscade/internal/mech"
+	"obfuscade/internal/parallel"
 	"obfuscade/internal/printer"
 	"obfuscade/internal/supplychain"
 	"obfuscade/internal/tessellate"
@@ -155,6 +159,103 @@ func TestQualityMatrixSplitBar(t *testing.T) {
 	out := tbl.Render()
 	if !strings.Contains(out, "defective") || !strings.Contains(out, "good") {
 		t.Error("matrix table missing grades")
+	}
+}
+
+// The parallel quality matrix must be entry-for-entry identical to the
+// serial baseline: same keys, same grades, same print-time estimates.
+func TestQualityMatrixParallelMatchesSerial(t *testing.T) {
+	prot, err := NewProtectedBar("bar", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := printer.DimensionElite()
+	serial, err := QualityMatrixWorkers(prot, prof, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := QualityMatrixWorkers(prot, prof, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(par) {
+		t.Fatalf("entry counts differ: %d vs %d", len(serial), len(par))
+	}
+	for i := range serial {
+		if !reflect.DeepEqual(serial[i], par[i]) {
+			t.Errorf("entry %d differs:\nserial:   %+v\nparallel: %+v", i, serial[i], par[i])
+		}
+	}
+}
+
+// A failing key must not discard the rest of the matrix: every entry is
+// returned, failures are recorded per key, and the aggregated error lists
+// them in key order.
+func TestQualityMatrixPartialFailure(t *testing.T) {
+	prot, err := NewProtectedBar("bar", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := printer.DimensionElite()
+	bad.LayerHeight = 0 // fails profile validation for every key
+	entries, err := QualityMatrix(prot, bad)
+	if err == nil {
+		t.Fatal("expected aggregated error from failing keys")
+	}
+	if len(entries) != 6 {
+		t.Fatalf("partial matrix entries = %d, want 6", len(entries))
+	}
+	var list parallel.ErrorList
+	if !errors.As(err, &list) {
+		t.Fatalf("error %T is not a parallel.ErrorList", err)
+	}
+	if len(list) != 6 {
+		t.Errorf("aggregated errors = %d, want 6", len(list))
+	}
+	for i, te := range list {
+		if te.Index != i {
+			t.Errorf("error %d has index %d; aggregation must be in key order", i, te.Index)
+		}
+	}
+	for i, e := range entries {
+		if e.Err == nil {
+			t.Errorf("entry %d should carry its manufacture error", i)
+		}
+	}
+	if got := GoodKeys(entries); len(got) != 0 {
+		t.Errorf("failed entries counted as good keys: %v", got)
+	}
+	out := MatrixTable(entries).Render()
+	if !strings.Contains(out, "failed") {
+		t.Error("matrix table should render failed keys with the failed grade")
+	}
+}
+
+// Key-space statistics over a mixed matrix: failed keys are excluded from
+// print-time averages but still counted, and an all-bad matrix yields an
+// infinite brute-force cost.
+func TestKeySpaceFromEntriesMixed(t *testing.T) {
+	good := QualityReport{Grade: Good}
+	degraded := QualityReport{Grade: Degraded}
+	entries := []MatrixEntry{
+		{Quality: good, PrintHours: 2},
+		{Quality: good, PrintHours: 4},
+		{Err: errors.New("boom")},
+		{Quality: degraded, PrintHours: 3},
+	}
+	rep := KeySpaceFromEntries(entries)
+	if rep.TotalKeys != 4 || rep.GoodKeys != 2 || rep.FailedKeys != 1 {
+		t.Errorf("report counts = %+v", rep)
+	}
+	if math.Abs(rep.MeanPrintHours-3) > 1e-12 {
+		t.Errorf("mean print hours = %v, want 3", rep.MeanPrintHours)
+	}
+	if math.Abs(rep.ExpectedBruteForceHours-5) > 1e-12 {
+		t.Errorf("expected brute force = %v, want 5", rep.ExpectedBruteForceHours)
+	}
+	none := KeySpaceFromEntries([]MatrixEntry{{Quality: degraded, PrintHours: 1}})
+	if !math.IsInf(none.ExpectedBruteForceHours, 1) {
+		t.Errorf("no good keys should cost +Inf, got %v", none.ExpectedBruteForceHours)
 	}
 }
 

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"obfuscade/internal/gcode"
 	"obfuscade/internal/mech"
+	"obfuscade/internal/parallel"
 	"obfuscade/internal/printer"
 	"obfuscade/internal/report"
 	"obfuscade/internal/tessellate"
@@ -40,36 +42,71 @@ func AllKeys(prot *Protected) []Key {
 type MatrixEntry struct {
 	Key     Key
 	Quality QualityReport
+	// PrintHours is the simulated print time for this key's G-code in
+	// hours, measured in the same pass so the key-space analysis does not
+	// re-manufacture (zero when Err is set).
+	PrintHours float64
+	// Err records this key's manufacture failure; Quality and PrintHours
+	// are meaningless when non-nil. Completed entries are retained even
+	// when sibling keys fail.
+	Err error
 }
 
 // QualityMatrix manufactures the protected part under every key in the
 // key space and grades each artifact — the paper's central claim
 // ("the model should print in high quality only under a specific set of
 // process flow and printing conditions") made measurable.
+//
+// Keys are manufactured concurrently on the default worker pool; entries
+// come back in key order and each key's pipeline is self-contained, so
+// the matrix is byte-identical to a serial run. A failing key does not
+// abort the matrix: its entry carries the error, the remaining keys still
+// manufacture, and the aggregated error lists every failed key in key
+// order.
 func QualityMatrix(prot *Protected, prof printer.Profile) ([]MatrixEntry, error) {
-	var out []MatrixEntry
-	for _, key := range AllKeys(prot) {
-		res, err := Manufacture(prot, key, prof)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, MatrixEntry{Key: key, Quality: res.Quality})
-	}
-	return out, nil
+	return QualityMatrixWorkers(prot, prof, 0)
 }
 
-// GoodKeys filters the matrix for keys that produce Good parts.
+// QualityMatrixWorkers is QualityMatrix with an explicit worker count
+// (<= 0 means the process default). workers == 1 is the serial baseline
+// the determinism tests compare against.
+func QualityMatrixWorkers(prot *Protected, prof printer.Profile, workers int) ([]MatrixEntry, error) {
+	keys := AllKeys(prot)
+	entries := make([]MatrixEntry, len(keys))
+	err := parallel.ForEach(context.Background(), len(keys), workers, func(i int) error {
+		key := keys[i]
+		entries[i].Key = key
+		res, err := Manufacture(prot, key, prof)
+		if err != nil {
+			entries[i].Err = err
+			return err
+		}
+		sim, err := gcode.Simulate(res.Run.GCode, gcode.DimensionEliteEnvelope())
+		if err != nil {
+			entries[i].Err = fmt.Errorf("core: simulate under %v: %w", key, err)
+			return entries[i].Err
+		}
+		entries[i].Quality = res.Quality
+		entries[i].PrintHours = sim.PrintTime / 3600
+		return nil
+	})
+	return entries, err
+}
+
+// GoodKeys filters the matrix for keys that produce Good parts. Failed
+// entries never count as good.
 func GoodKeys(entries []MatrixEntry) []Key {
 	var out []Key
 	for _, e := range entries {
-		if e.Quality.Grade == Good {
+		if e.Err == nil && e.Quality.Grade == Good {
 			out = append(out, e.Key)
 		}
 	}
 	return out
 }
 
-// MatrixTable renders the quality matrix.
+// MatrixTable renders the quality matrix. Keys whose manufacture failed
+// render with the distinct "failed" grade and dashed quality cells.
 func MatrixTable(entries []MatrixEntry) *report.Table {
 	t := &report.Table{
 		Title: "ObfusCADe quality matrix (processing conditions vs artifact grade)",
@@ -80,6 +117,11 @@ func MatrixTable(entries []MatrixEntry) *report.Table {
 		op := "-"
 		if e.Key.RestoreSphere {
 			op = "restore-sphere"
+		}
+		if e.Err != nil {
+			t.AddRow(e.Key.Resolution.Name, e.Key.Orientation.String(), op,
+				"failed", "-", "-", "-")
+			continue
 		}
 		surface := "clean"
 		if e.Quality.SurfaceDisrupted {
@@ -106,6 +148,9 @@ type KeySpaceReport struct {
 	TotalKeys int
 	// GoodKeys is the number of keys yielding Good parts.
 	GoodKeys int
+	// FailedKeys is the number of keys whose manufacture failed; they are
+	// excluded from the print-time statistics.
+	FailedKeys int
 	// MeanPrintHours is the average simulated print time per attempt.
 	MeanPrintHours float64
 	// ExpectedBruteForceHours is the expected printing time to find a
@@ -114,36 +159,42 @@ type KeySpaceReport struct {
 }
 
 // AnalyzeKeySpace manufactures under every key and measures brute-force
-// cost using the G-code simulator's print-time estimates.
+// cost using the G-code simulator's print-time estimates. The matrix and
+// the report come from one shared manufacture pass; callers who already
+// hold the entries should use KeySpaceFromEntries instead of paying for a
+// second pass. A partial matrix (failed keys marked per entry) is still
+// analysed and returned alongside the aggregated error.
 func AnalyzeKeySpace(prot *Protected, prof printer.Profile) (KeySpaceReport, []MatrixEntry, error) {
-	keys := AllKeys(prot)
-	var entries []MatrixEntry
+	entries, err := QualityMatrix(prot, prof)
+	return KeySpaceFromEntries(entries), entries, err
+}
+
+// KeySpaceFromEntries derives the brute-force cost report from
+// precomputed matrix entries, so the matrix and key-space analyses share
+// one manufacture pass per key.
+func KeySpaceFromEntries(entries []MatrixEntry) KeySpaceReport {
+	rep := KeySpaceReport{TotalKeys: len(entries)}
 	var totalHours float64
-	for _, key := range keys {
-		res, err := Manufacture(prot, key, prof)
-		if err != nil {
-			return KeySpaceReport{}, nil, err
+	completed := 0
+	for _, e := range entries {
+		if e.Err != nil {
+			rep.FailedKeys++
+			continue
 		}
-		entries = append(entries, MatrixEntry{Key: key, Quality: res.Quality})
-		rep, err := gcode.Simulate(res.Run.GCode, gcode.DimensionEliteEnvelope())
-		if err != nil {
-			return KeySpaceReport{}, nil, err
-		}
-		totalHours += rep.PrintTime / 3600
+		completed++
+		totalHours += e.PrintHours
 	}
-	good := len(GoodKeys(entries))
-	rep := KeySpaceReport{
-		TotalKeys:      len(keys),
-		GoodKeys:       good,
-		MeanPrintHours: totalHours / float64(len(keys)),
+	rep.GoodKeys = len(GoodKeys(entries))
+	if completed > 0 {
+		rep.MeanPrintHours = totalHours / float64(completed)
 	}
-	if good > 0 {
+	if rep.GoodKeys > 0 {
 		// Expected draws without replacement until the first success:
 		// (N+1)/(G+1).
-		expectedTries := float64(rep.TotalKeys+1) / float64(good+1)
+		expectedTries := float64(rep.TotalKeys+1) / float64(rep.GoodKeys+1)
 		rep.ExpectedBruteForceHours = expectedTries * rep.MeanPrintHours
 	} else {
 		rep.ExpectedBruteForceHours = math.Inf(1)
 	}
-	return rep, entries, nil
+	return rep
 }

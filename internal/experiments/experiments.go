@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -17,6 +18,7 @@ import (
 	"obfuscade/internal/inspect"
 	"obfuscade/internal/mech"
 	"obfuscade/internal/mesh"
+	"obfuscade/internal/parallel"
 	"obfuscade/internal/printer"
 	"obfuscade/internal/report"
 	"obfuscade/internal/sidechannel"
@@ -100,31 +102,33 @@ func Table1() (*report.Table, error) {
 }
 
 // Table2 regenerates the tensile-property table: four groups (spline/
-// intact x x-y/x-z), Coarse STL, FDM printer, n replicates.
+// intact x x-y/x-z), Coarse STL, FDM printer, n replicates. The groups
+// run concurrently; group i always derives its noise from seed+i, so the
+// table matches a serial run.
 func Table2(n int, seed int64) (*report.Table, []mech.GroupResult, error) {
 	prof := printer.DimensionElite()
-	var groups []mech.GroupResult
 	type g struct {
 		name  string
 		split bool
 		o     mech.Orientation
 	}
-	for i, cfg := range []g{
+	cfgs := []g{
 		{"Spline x-y", true, mech.XY},
 		{"Spline x-z", true, mech.XZ},
 		{"Intact x-y", false, mech.XY},
 		{"Intact x-z", false, mech.XZ},
-	} {
+	}
+	groups, err := parallel.Map(context.Background(), len(cfgs), 0, func(i int) (mech.GroupResult, error) {
+		cfg := cfgs[i]
 		run, err := runPipeline(cfg.split, tessellate.Coarse, cfg.o, prof)
 		if err != nil {
-			return nil, nil, fmt.Errorf("experiments: %s: %w", cfg.name, err)
+			return mech.GroupResult{}, fmt.Errorf("experiments: %s: %w", cfg.name, err)
 		}
 		pl := supplychain.Pipeline{Resolution: tessellate.Coarse, Orientation: cfg.o, Printer: prof}
-		group, err := pl.TestPrinted(run, cfg.name, n, seed+int64(i))
-		if err != nil {
-			return nil, nil, err
-		}
-		groups = append(groups, group)
+		return pl.TestPrinted(run, cfg.name, n, seed+int64(i))
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 
 	t := &report.Table{
@@ -157,7 +161,7 @@ func Table3() (*report.Table, error) {
 		Title:   "Table 3: 3D printing results for four rectangular prism models (Fine STL)",
 		Headers: []string{"CAD operation", "CAD sphere feature", "Material printed for sphere feature"},
 	}
-	for _, tc := range []struct {
+	variants := []struct {
 		op, feat string
 		opts     brep.EmbedOpts
 	}{
@@ -165,13 +169,15 @@ func Table3() (*report.Table, error) {
 		{"Without material removal", "Surface", brep.EmbedOpts{SurfaceBody: true}},
 		{"With material removal", "Solid", brep.EmbedOpts{MaterialRemoval: true}},
 		{"With material removal", "Surface", brep.EmbedOpts{MaterialRemoval: true, SurfaceBody: true}},
-	} {
+	}
+	rows, err := parallel.Map(context.Background(), len(variants), 0, func(i int) (string, error) {
+		tc := variants[i]
 		p, err := brep.NewRectPrism("prism", size)
 		if err != nil {
-			return nil, err
+			return "", err
 		}
 		if err := brep.EmbedSphere(p, "prism", c, r, tc.opts); err != nil {
-			return nil, err
+			return "", err
 		}
 		pl := supplychain.Pipeline{
 			Resolution:  tessellate.Fine,
@@ -181,20 +187,23 @@ func Table3() (*report.Table, error) {
 		}
 		run, err := pl.Execute(p)
 		if err != nil {
-			return nil, err
+			return "", err
 		}
 		x, y, z := run.Build.Grid.Locate(c)
-		mat := run.Build.Grid.At(x, y, z)
-		var label string
-		switch mat {
+		switch run.Build.Grid.At(x, y, z) {
 		case voxel.Model:
-			label = "Model material"
+			return "Model material", nil
 		case voxel.Support:
-			label = "Support material"
+			return "Support material", nil
 		default:
-			label = "Empty"
+			return "Empty", nil
 		}
-		t.AddRow(tc.op, tc.feat, label)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, label := range rows {
+		t.AddRow(variants[i].op, variants[i].feat, label)
 	}
 	return t, nil
 }
@@ -416,19 +425,27 @@ func Fig7() (*report.Table, error) {
 		Headers: []string{"Resolution", "Discontinuous layers", "Seam bond quality",
 			"Max void width (mm)"},
 	}
-	for _, res := range tessellate.Presets() {
+	presets := tessellate.Presets()
+	rows, err := parallel.Map(context.Background(), len(presets), 0, func(i int) ([4]string, error) {
+		res := presets[i]
 		run, err := runPipeline(true, res, mech.XZ, prof)
 		if err != nil {
-			return nil, err
+			return [4]string{}, err
 		}
 		seam := run.Build.SeamBetween("bar-upper", "bar-lower")
 		if seam == nil {
-			return nil, fmt.Errorf("experiments: x-z seam missing at %s", res.Name)
+			return [4]string{}, fmt.Errorf("experiments: x-z seam missing at %s", res.Name)
 		}
-		t.AddRow(res.Name,
+		return [4]string{res.Name,
 			fmt.Sprintf("%.0f%%", 100*seam.DiscontinuousFraction),
 			fmt.Sprintf("%.2f", seam.BondQuality),
-			fmt.Sprintf("%.4f", seam.Stats.MaxWidth))
+			fmt.Sprintf("%.4f", seam.Stats.MaxWidth)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		t.AddRow(r[0], r[1], r[2], r[3])
 	}
 	return t, nil
 }
@@ -442,10 +459,21 @@ func Fig8() (*report.Table, error) {
 		Headers: []string{"Specimen", "Resolution", "Disruption width (mm)",
 			"Visible?", "Seam bond quality"},
 	}
-	for _, res := range tessellate.Presets() {
+	// The last job is the intact coarse reference row.
+	presets := tessellate.Presets()
+	rows, err := parallel.Map(context.Background(), len(presets)+1, 0, func(i int) ([5]string, error) {
+		if i == len(presets) {
+			run, err := runPipeline(false, tessellate.Coarse, mech.XY, prof)
+			if err != nil {
+				return [5]string{}, err
+			}
+			return [5]string{"Intact", "coarse",
+				fmt.Sprintf("%.4f", run.Build.SurfaceDisruption), "no", "1.00"}, nil
+		}
+		res := presets[i]
 		run, err := runPipeline(true, res, mech.XY, prof)
 		if err != nil {
-			return nil, err
+			return [5]string{}, err
 		}
 		visible := "no"
 		if run.Build.SurfaceDisrupted() {
@@ -455,15 +483,16 @@ func Fig8() (*report.Table, error) {
 		if s := run.Build.SeamBetween("bar-upper", "bar-lower"); s != nil {
 			bond = s.BondQuality
 		}
-		t.AddRow("Spline", res.Name,
+		return [5]string{"Spline", res.Name,
 			fmt.Sprintf("%.4f", run.Build.SurfaceDisruption), visible,
-			fmt.Sprintf("%.2f", bond))
-	}
-	run, err := runPipeline(false, tessellate.Coarse, mech.XY, prof)
+			fmt.Sprintf("%.2f", bond)}, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	t.AddRow("Intact", "coarse", fmt.Sprintf("%.4f", run.Build.SurfaceDisruption), "no", "1.00")
+	for _, r := range rows {
+		t.AddRow(r[0], r[1], r[2], r[3], r[4])
+	}
 	return t, nil
 }
 
@@ -500,7 +529,7 @@ func Fig10() (*report.Table, error) {
 		Headers: []string{"Variant", "Sphere material", "Support volume (mm^3)",
 			"Cavity after wash", "Cavity volume (mm^3)"},
 	}
-	for _, tc := range []struct {
+	variants := []struct {
 		name string
 		opts brep.EmbedOpts
 	}{
@@ -508,13 +537,15 @@ func Fig10() (*report.Table, error) {
 		{"surface, no removal", brep.EmbedOpts{SurfaceBody: true}},
 		{"solid, removal", brep.EmbedOpts{MaterialRemoval: true}},
 		{"surface, removal", brep.EmbedOpts{MaterialRemoval: true, SurfaceBody: true}},
-	} {
+	}
+	rows, err := parallel.Map(context.Background(), len(variants), 0, func(i int) ([5]string, error) {
+		tc := variants[i]
 		p, err := brep.NewRectPrism("prism", size)
 		if err != nil {
-			return nil, err
+			return [5]string{}, err
 		}
 		if err := brep.EmbedSphere(p, "prism", c, r, tc.opts); err != nil {
-			return nil, err
+			return [5]string{}, err
 		}
 		pl := supplychain.Pipeline{
 			Resolution: tessellate.Fine, Orientation: mech.XY, Printer: prof,
@@ -522,7 +553,7 @@ func Fig10() (*report.Table, error) {
 		}
 		run, err := pl.Execute(p)
 		if err != nil {
-			return nil, err
+			return [5]string{}, err
 		}
 		x, y, z := run.Build.Grid.Locate(c)
 		mat := run.Build.Grid.At(x, y, z).String()
@@ -537,7 +568,14 @@ func Fig10() (*report.Table, error) {
 			cav = "yes"
 			cavVol = float64(cavities[0].Voxels) * washed.VoxelVolume()
 		}
-		t.AddRow(tc.name, mat, fmt.Sprintf("%.0f", supportVol), cav, fmt.Sprintf("%.1f", cavVol))
+		return [5]string{tc.name, mat, fmt.Sprintf("%.0f", supportVol), cav,
+			fmt.Sprintf("%.1f", cavVol)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		t.AddRow(r[0], r[1], r[2], r[3], r[4])
 	}
 	return t, nil
 }
@@ -554,23 +592,38 @@ func PolyJetReplication() (*report.Table, error) {
 		Headers: []string{"Resolution", "Orientation", "Discontinuous layers",
 			"Surface disruption (mm)", "Feature manifested?"},
 	}
+	type job struct {
+		res tessellate.Resolution
+		o   mech.Orientation
+	}
+	var jobs []job
 	for _, res := range []tessellate.Resolution{tessellate.Coarse, tessellate.Custom} {
 		for _, o := range []mech.Orientation{mech.XY, mech.XZ} {
-			run, err := runPipeline(true, res, o, prof)
-			if err != nil {
-				return nil, err
-			}
-			disc := 0.0
-			if s := run.Build.SeamBetween("bar-upper", "bar-lower"); s != nil {
-				disc = s.DiscontinuousFraction
-			}
-			manifested := "no"
-			if disc > 0.1 || run.Build.SurfaceDisrupted() {
-				manifested = "yes"
-			}
-			t.AddRow(res.Name, o.String(), fmt.Sprintf("%.0f%%", 100*disc),
-				fmt.Sprintf("%.4f", run.Build.SurfaceDisruption), manifested)
+			jobs = append(jobs, job{res, o})
 		}
+	}
+	rows, err := parallel.Map(context.Background(), len(jobs), 0, func(i int) ([5]string, error) {
+		j := jobs[i]
+		run, err := runPipeline(true, j.res, j.o, prof)
+		if err != nil {
+			return [5]string{}, err
+		}
+		disc := 0.0
+		if s := run.Build.SeamBetween("bar-upper", "bar-lower"); s != nil {
+			disc = s.DiscontinuousFraction
+		}
+		manifested := "no"
+		if disc > 0.1 || run.Build.SurfaceDisrupted() {
+			manifested = "yes"
+		}
+		return [5]string{j.res.Name, j.o.String(), fmt.Sprintf("%.0f%%", 100*disc),
+			fmt.Sprintf("%.4f", run.Build.SurfaceDisruption), manifested}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		t.AddRow(r[0], r[1], r[2], r[3], r[4])
 	}
 	return t, nil
 }
@@ -735,28 +788,43 @@ func STLTheft() (*report.Table, error) {
 		Headers: []string{"Stolen export", "Print orientation", "Grade",
 			"Surface (mm)", "Discont. layers"},
 	}
+	type job struct {
+		res tessellate.Resolution
+		o   mech.Orientation
+	}
+	var jobs []job
 	for _, res := range tessellate.Presets() {
+		for _, o := range []mech.Orientation{mech.XY, mech.XZ} {
+			jobs = append(jobs, job{res, o})
+		}
+	}
+	rows, err := parallel.Map(context.Background(), len(jobs), 0, func(i int) ([5]string, error) {
+		j := jobs[i]
 		part, err := splitBarPart()
 		if err != nil {
-			return nil, err
+			return [5]string{}, err
 		}
-		m, err := tessellate.Tessellate(part, res)
+		m, err := tessellate.Tessellate(part, j.res)
 		if err != nil {
-			return nil, err
+			return [5]string{}, err
 		}
 		data, err := stl.Marshal(m, stl.Binary, part.Name)
 		if err != nil {
-			return nil, err
+			return [5]string{}, err
 		}
-		for _, o := range []mech.Orientation{mech.XY, mech.XZ} {
-			_, q, err := core.ManufactureFromSTL(data, o, prof)
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow(res.Name, o.String(), q.Grade.String(),
-				fmt.Sprintf("%.4f", q.SurfaceDisruptionMM),
-				fmt.Sprintf("%.0f%%", 100*q.DiscontinuousFraction))
+		_, q, err := core.ManufactureFromSTL(data, j.o, prof)
+		if err != nil {
+			return [5]string{}, err
 		}
+		return [5]string{j.res.Name, j.o.String(), q.Grade.String(),
+			fmt.Sprintf("%.4f", q.SurfaceDisruptionMM),
+			fmt.Sprintf("%.0f%%", 100*q.DiscontinuousFraction)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		t.AddRow(r[0], r[1], r[2], r[3], r[4])
 	}
 	return t, nil
 }
@@ -1070,36 +1138,42 @@ func Table2Extended(n int, seed int64) (*report.Table, error) {
 		Headers: []string{"Specimen", "E (GPa)", "UTS (MPa)",
 			"Failure strain", "Toughness (kJ/m^3)"},
 	}
-	addGroup := func(name string, g mech.GroupResult) {
-		t.AddRow(name, g.Young.String(), g.UTS.String(),
-			g.FailureStrain.String(), g.Toughness.String())
+	// Enumerate the jobs in the fixed serial order first, so job i keeps
+	// the seed offset seed+i it has always had, then run them on the pool.
+	type job struct {
+		label, group string
+		split        bool
+		res          tessellate.Resolution
+		o            mech.Orientation
 	}
-	i := int64(0)
+	var jobs []job
 	for _, o := range []mech.Orientation{mech.XY, mech.XZ} {
-		run, err := runPipeline(false, tessellate.Coarse, o, prof)
-		if err != nil {
-			return nil, err
-		}
-		pl := supplychain.Pipeline{Resolution: tessellate.Coarse, Orientation: o, Printer: prof}
-		g, err := pl.TestPrinted(run, "intact", n, seed+i)
-		if err != nil {
-			return nil, err
-		}
-		addGroup(fmt.Sprintf("Intact %s", o), g)
-		i++
+		jobs = append(jobs, job{
+			label: fmt.Sprintf("Intact %s", o), group: "intact",
+			res: tessellate.Coarse, o: o,
+		})
 		for _, res := range tessellate.Presets() {
-			run, err := runPipeline(true, res, o, prof)
-			if err != nil {
-				return nil, err
-			}
-			pl := supplychain.Pipeline{Resolution: res, Orientation: o, Printer: prof}
-			g, err := pl.TestPrinted(run, "split", n, seed+i)
-			if err != nil {
-				return nil, err
-			}
-			addGroup(fmt.Sprintf("Spline %s (%s)", o, res.Name), g)
-			i++
+			jobs = append(jobs, job{
+				label: fmt.Sprintf("Spline %s (%s)", o, res.Name), group: "split",
+				split: true, res: res, o: o,
+			})
 		}
+	}
+	groups, err := parallel.Map(context.Background(), len(jobs), 0, func(i int) (mech.GroupResult, error) {
+		j := jobs[i]
+		run, err := runPipeline(j.split, j.res, j.o, prof)
+		if err != nil {
+			return mech.GroupResult{}, err
+		}
+		pl := supplychain.Pipeline{Resolution: j.res, Orientation: j.o, Printer: prof}
+		return pl.TestPrinted(run, j.group, n, seed+int64(i))
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, g := range groups {
+		t.AddRow(jobs[i].label, g.Young.String(), g.UTS.String(),
+			g.FailureStrain.String(), g.Toughness.String())
 	}
 	return t, nil
 }

@@ -319,10 +319,11 @@ func TestTable2ExtendedPredictions(t *testing.T) {
 	if custom < 0.85*intact {
 		t.Errorf("custom x-y strain %v vs intact %v: genuine condition compromised", custom, intact)
 	}
-	// Every x-z split row is far below intact x-z (row 4).
+	// Every x-z split row is well below intact x-z (row 4). The margin
+	// leaves room for small-sample noise (n = 5 replicates).
 	intactXZ := parseMean(t, get(4))
 	for _, i := range []int{5, 6, 7} {
-		if v := parseMean(t, get(i)); v > 0.6*intactXZ {
+		if v := parseMean(t, get(i)); v > 0.65*intactXZ {
 			t.Errorf("x-z row %d strain %v vs intact %v", i, v, intactXZ)
 		}
 	}

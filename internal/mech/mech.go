@@ -14,9 +14,12 @@
 package mech
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
+
+	"obfuscade/internal/parallel"
 )
 
 // Orientation is the print orientation of a specimen (paper Fig. 6).
@@ -353,18 +356,29 @@ type GroupResult struct {
 
 // TestGroup runs n replicate tensile tests with process noise seeded by
 // seed and returns group statistics — one row of the paper's Table 2.
+// Replicate i draws its noise from an independent RNG stream seeded by
+// splitmix(seed, i), so sample i depends only on (seed, i) — never on the
+// group size, execution order, or which worker ran it — and replicates
+// run on the shared worker pool with output identical to a serial run.
 func TestGroup(name string, s Specimen, n int, seed int64) (GroupResult, error) {
 	if n < 1 {
 		return GroupResult{}, fmt.Errorf("mech: need at least 1 replicate")
 	}
-	rng := rand.New(rand.NewSource(seed))
-	g := GroupResult{Name: name, N: n}
-	for i := 0; i < n; i++ {
+	if err := s.Validate(); err != nil {
+		return GroupResult{}, err
+	}
+	g := GroupResult{Name: name, N: n, Samples: make([]Properties, n)}
+	err := parallel.ForEach(context.Background(), n, 0, func(i int) error {
+		rng := rand.New(rand.NewSource(parallel.SplitMix(seed, i)))
 		p, _, err := Test(s, rng)
 		if err != nil {
-			return GroupResult{}, err
+			return err
 		}
-		g.Samples = append(g.Samples, p)
+		g.Samples[i] = p
+		return nil
+	})
+	if err != nil {
+		return GroupResult{}, err
 	}
 	g.Young = statOf(g.Samples, func(p Properties) float64 { return p.YoungGPa })
 	g.UTS = statOf(g.Samples, func(p Properties) float64 { return p.UTSMPa })

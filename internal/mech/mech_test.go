@@ -4,6 +4,8 @@ import (
 	"math"
 	"math/rand"
 	"testing"
+
+	"obfuscade/internal/parallel"
 )
 
 func TestMaterialValidate(t *testing.T) {
@@ -207,6 +209,53 @@ func TestTestGroupStatistics(t *testing.T) {
 	}
 	if _, err := TestGroup("bad", Specimen{Mat: ABS(XY)}, 0, 1); err == nil {
 		t.Error("expected error for zero replicates")
+	}
+}
+
+// Replicate i's noise must depend only on (seed, i): growing the group
+// must not change the earlier samples, the property that makes parallel
+// replicate execution schedule-independent.
+func TestTestGroupScheduleIndependent(t *testing.T) {
+	spec := Specimen{Mat: ABS(XY), SeamPresent: true, SeamQuality: 0.35, Kt: 2.6}
+	small, err := TestGroup("g", spec, 3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := TestGroup("g", spec, 8, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range small.Samples {
+		if small.Samples[i] != large.Samples[i] {
+			t.Errorf("sample %d changed with group size: %+v vs %+v",
+				i, small.Samples[i], large.Samples[i])
+		}
+	}
+}
+
+// Parallel replicate execution must be field-for-field identical to the
+// serial baseline (worker pool forced to 1).
+func TestTestGroupParallelMatchesSerial(t *testing.T) {
+	defer parallel.SetDefault(0)
+	spec := Specimen{Mat: ABS(XZ), SeamPresent: true, SeamQuality: 0.14, Kt: 2.6}
+	parallel.SetDefault(1)
+	serial, err := TestGroup("g", spec, 16, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel.SetDefault(8)
+	par, err := TestGroup("g", spec, 16, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Young != par.Young || serial.UTS != par.UTS ||
+		serial.FailureStrain != par.FailureStrain || serial.Toughness != par.Toughness {
+		t.Errorf("group stats differ: serial %+v vs parallel %+v", serial, par)
+	}
+	for i := range serial.Samples {
+		if serial.Samples[i] != par.Samples[i] {
+			t.Errorf("sample %d differs: %+v vs %+v", i, serial.Samples[i], par.Samples[i])
+		}
 	}
 }
 

@@ -1,0 +1,205 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkersSizing(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d", got)
+	}
+	if got := Workers(7); got != 7 {
+		t.Errorf("Workers(7) = %d", got)
+	}
+	if got := Workers(1 << 20); got != maxWorkers {
+		t.Errorf("Workers(huge) = %d, want cap %d", got, maxWorkers)
+	}
+}
+
+func TestSetDefault(t *testing.T) {
+	defer SetDefault(0)
+	SetDefault(3)
+	if got := Default(); got != 3 {
+		t.Errorf("Default() = %d after SetDefault(3)", got)
+	}
+	if got := Workers(0); got != 3 {
+		t.Errorf("Workers(0) = %d with default 3", got)
+	}
+	SetDefault(0)
+	if got := Default(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Default() = %d after reset", got)
+	}
+}
+
+func TestForEachRunsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		const n = 100
+		counts := make([]int32, n)
+		err := ForEach(context.Background(), n, workers, func(i int) error {
+			atomic.AddInt32(&counts[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachZeroTasks(t *testing.T) {
+	if err := ForEach(context.Background(), 0, 4, func(int) error { return errors.New("boom") }); err != nil {
+		t.Errorf("n=0 should be a no-op, got %v", err)
+	}
+}
+
+func TestErrorAggregationOrdered(t *testing.T) {
+	sentinel := errors.New("bad key")
+	for _, workers := range []int{1, 4} {
+		err := ForEach(context.Background(), 20, workers, func(i int) error {
+			if i%5 == 0 {
+				return fmt.Errorf("index %d: %w", i, sentinel)
+			}
+			return nil
+		})
+		var list ErrorList
+		if !errors.As(err, &list) {
+			t.Fatalf("workers=%d: error type %T", workers, err)
+		}
+		if len(list) != 4 {
+			t.Fatalf("workers=%d: %d errors, want 4", workers, len(list))
+		}
+		for j, te := range list {
+			if te.Index != j*5 {
+				t.Errorf("workers=%d: error %d has index %d, want %d (index order)",
+					workers, j, te.Index, j*5)
+			}
+		}
+		if !errors.Is(err, sentinel) {
+			t.Errorf("workers=%d: errors.Is should see the wrapped sentinel", workers)
+		}
+		var te *TaskError
+		if !errors.As(err, &te) {
+			t.Errorf("workers=%d: errors.As should find a *TaskError", workers)
+		}
+	}
+}
+
+func TestErrorListDeterministicMessage(t *testing.T) {
+	run := func() string {
+		err := ForEach(context.Background(), 16, 8, func(i int) error {
+			if i%3 == 0 {
+				return fmt.Errorf("f%d", i)
+			}
+			return nil
+		})
+		return err.Error()
+	}
+	first := run()
+	for trial := 0; trial < 5; trial++ {
+		if got := run(); got != first {
+			t.Fatalf("aggregated error message depends on scheduling:\n%q\nvs\n%q", first, got)
+		}
+	}
+}
+
+func TestCancellationStopsDispatch(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran int32
+	err := ForEach(ctx, 1000, 4, func(i int) error {
+		if atomic.AddInt32(&ran, 1) == 1 {
+			cancel()
+		}
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := atomic.LoadInt32(&ran); n >= 1000 {
+		t.Errorf("all %d tasks ran despite cancellation", n)
+	}
+}
+
+func TestCancellationSerialPath(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran int32
+	err := ForEach(ctx, 10, 1, func(i int) error {
+		atomic.AddInt32(&ran, 1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran != 0 {
+		t.Errorf("%d tasks ran on a pre-cancelled context", ran)
+	}
+}
+
+func TestMapOrderedAssembly(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		out, err := Map(context.Background(), 50, workers, func(i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestMapPartialOnError(t *testing.T) {
+	out, err := Map(context.Background(), 4, 2, func(i int) (string, error) {
+		if i == 2 {
+			return "", errors.New("boom")
+		}
+		return fmt.Sprintf("v%d", i), nil
+	})
+	if err == nil {
+		t.Fatal("want aggregated error")
+	}
+	want := []string{"v0", "v1", "", "v3"}
+	for i, w := range want {
+		if out[i] != w {
+			t.Errorf("out[%d] = %q, want %q", i, out[i], w)
+		}
+	}
+}
+
+func TestSplitMixIndependentStreams(t *testing.T) {
+	// Distinct (seed, index) pairs must give distinct seeds, and each
+	// derived stream must be reproducible.
+	seen := map[int64]bool{}
+	for seed := int64(0); seed < 10; seed++ {
+		for i := 0; i < 100; i++ {
+			s := SplitMix(seed, i)
+			if seen[s] {
+				t.Fatalf("seed collision at (%d, %d)", seed, i)
+			}
+			seen[s] = true
+		}
+	}
+	a := rand.New(rand.NewSource(SplitMix(42, 3))).NormFloat64()
+	b := rand.New(rand.NewSource(SplitMix(42, 3))).NormFloat64()
+	if a != b {
+		t.Error("derived stream not reproducible")
+	}
+}

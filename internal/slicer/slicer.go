@@ -14,12 +14,14 @@
 package slicer
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
 	"obfuscade/internal/geom"
 	"obfuscade/internal/mesh"
+	"obfuscade/internal/parallel"
 )
 
 // Options configures slicing. The defaults (DefaultOptions) match the
@@ -144,7 +146,11 @@ func Slice(m *mesh.Mesh, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("slicer: %d layers exceed sanity limit (layer height %g)",
 			nLayers, opts.LayerHeight)
 	}
-	for i := 0; i < nLayers; i++ {
+	// Each layer depends only on its own plane height, so layers slice
+	// concurrently on the worker pool and assemble by index — the stack is
+	// identical to a serial run.
+	res.Layers = make([]Layer, nLayers)
+	if err := parallel.ForEach(context.Background(), nLayers, 0, func(i int) error {
 		z := bounds.Min.Z + (float64(i)+0.5)*opts.LayerHeight
 		layer := Layer{Index: i, Z: z}
 		for si := range m.Shells {
@@ -153,7 +159,10 @@ func Slice(m *mesh.Mesh, opts Options) (*Result, error) {
 			layer.Contours = append(layer.Contours, contours...)
 		}
 		layer.Interfaces = findInterfaces(&layer, opts)
-		res.Layers = append(res.Layers, layer)
+		res.Layers[i] = layer
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return res, nil
 }

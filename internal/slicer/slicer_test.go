@@ -2,11 +2,13 @@ package slicer
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"obfuscade/internal/brep"
 	"obfuscade/internal/geom"
 	"obfuscade/internal/mesh"
+	"obfuscade/internal/parallel"
 	"obfuscade/internal/tessellate"
 )
 
@@ -32,6 +34,45 @@ func TestOptionsValidate(t *testing.T) {
 	bad.SnapTol = 0
 	if err := bad.Validate(); err == nil {
 		t.Error("expected error for zero snap tolerance")
+	}
+}
+
+// Parallel per-layer slicing must produce a layer stack identical to the
+// serial baseline, including contour order and interface analysis.
+func TestSliceParallelMatchesSerial(t *testing.T) {
+	defer parallel.SetDefault(0)
+	part, err := brep.NewTensileBar("bar", brep.DefaultTensileBar())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := brep.SplitSplineThroughGauge(brep.DefaultTensileBar(), 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := brep.SplitBySpline(part, "bar", s); err != nil {
+		t.Fatal(err)
+	}
+	m, err := tessellate.Tessellate(part, tessellate.Coarse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel.SetDefault(1)
+	serial, err := Slice(m, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel.SetDefault(8)
+	par, err := Slice(m, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.Layers) != len(par.Layers) {
+		t.Fatalf("layer counts differ: %d vs %d", len(serial.Layers), len(par.Layers))
+	}
+	for i := range serial.Layers {
+		if !reflect.DeepEqual(serial.Layers[i], par.Layers[i]) {
+			t.Fatalf("layer %d differs between serial and parallel slicing", i)
+		}
 	}
 }
 
