@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify race bench build test
+.PHONY: verify race bench benchdiff cover build test
 
 # Tier-1 verify: must stay green on every commit.
 verify: build test
@@ -17,6 +17,26 @@ race:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 
-# Serial-vs-parallel wall time for the quality matrix.
+# Serial-vs-parallel wall time for the quality matrix, plus the
+# machine-readable BENCH_obfuscade.json artifact that the CI bench job
+# diffs against the committed BENCH_baseline.json (scripts/benchdiff.go).
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkQualityMatrix' -benchtime 2x .
+	$(GO) run ./cmd/paperbench -exp bench -benchout BENCH_obfuscade.json
+
+# Perf-regression gate: fails on >30% parallel-matrix wall-time
+# regression against the committed baseline. Re-baseline after an
+# intentional perf change with:
+#   make bench && cp BENCH_obfuscade.json BENCH_baseline.json
+benchdiff:
+	$(GO) run ./scripts/benchdiff.go -baseline BENCH_baseline.json -current BENCH_obfuscade.json -tolerance 0.30
+
+# Coverage floor over the observability and worker-pool packages — the
+# two subsystems every parallel stage depends on.
+COVER_FLOOR ?= 85
+cover:
+	$(GO) test -covermode=atomic -coverprofile=coverage.out ./internal/obs ./internal/parallel
+	@pct=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ { gsub(/%/, "", $$3); print $$3 }'); \
+	awk -v pct="$$pct" -v floor="$(COVER_FLOOR)" 'BEGIN { \
+		if (pct + 0 < floor + 0) { printf("cover: FAIL: %.1f%% below floor %s%% (internal/obs + internal/parallel)\n", pct, floor); exit 1 } \
+		printf("cover: OK: %.1f%% >= floor %s%% (internal/obs + internal/parallel)\n", pct, floor) }'

@@ -8,6 +8,7 @@ import (
 	"obfuscade/internal/experiments"
 	"obfuscade/internal/fea"
 	"obfuscade/internal/mech"
+	"obfuscade/internal/obs"
 	"obfuscade/internal/printer"
 	"obfuscade/internal/slicer"
 	"obfuscade/internal/stl"
@@ -337,6 +338,7 @@ func benchQualityMatrix(b *testing.B, workers int) {
 		b.Fatal(err)
 	}
 	prof := printer.DimensionElite()
+	layers0 := obs.Default().Counter("slicer.layers.sliced").Value()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		entries, err := core.QualityMatrixWorkers(prot, prof, workers)
@@ -346,6 +348,14 @@ func benchQualityMatrix(b *testing.B, workers int) {
 		if len(entries) != 6 {
 			b.Fatalf("matrix entries = %d", len(entries))
 		}
+	}
+	b.StopTimer()
+	// Throughput from the obs counters: the layer delta over the timed
+	// region divided by the measured wall time (the same counters feed the
+	// BENCH_obfuscade.json artifact).
+	layers := obs.Default().Counter("slicer.layers.sliced").Value() - layers0
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(layers)/sec, "layers/s")
 	}
 }
 

@@ -12,6 +12,13 @@
 //	obfuscade advise [-amplitudes 1.0,2.0]
 //	obfuscade mark -in part.stl -out marked.stl -key partner-a
 //	obfuscade trace -original part.stl -suspect leaked.stl -keys partner-a,partner-b
+//	obfuscade stats [-with-sphere] [-table] [-workers N]
+//
+// The manufacture, matrix and keyspace subcommands accept -stats to print
+// the per-stage pipeline metrics (package obs) after their output. The
+// stats subcommand runs a full quality-matrix pass on the reference
+// protected bar and emits the metrics snapshot as deterministic JSON
+// (counters sorted by name), or as human tables with -table.
 package main
 
 import (
@@ -25,6 +32,7 @@ import (
 	"obfuscade/internal/brep"
 	"obfuscade/internal/core"
 	"obfuscade/internal/mech"
+	"obfuscade/internal/obs"
 	"obfuscade/internal/parallel"
 	"obfuscade/internal/printer"
 	"obfuscade/internal/stl"
@@ -37,6 +45,17 @@ import (
 func workersFlag(fs *flag.FlagSet) func() {
 	n := fs.Int("workers", 0, "worker pool size for parallel stages (0 = all CPUs)")
 	return func() { parallel.SetDefault(*n) }
+}
+
+// statsFlag registers the shared -stats flag. Call the returned function
+// after the subcommand's work to print the pipeline metrics it asked for.
+func statsFlag(fs *flag.FlagSet) func() {
+	s := fs.Bool("stats", false, "print per-stage pipeline metrics after the run")
+	return func() {
+		if *s {
+			obs.Default().Snapshot().WriteText(os.Stdout)
+		}
+	}
 }
 
 func main() {
@@ -60,6 +79,8 @@ func main() {
 		err = cmdMark(os.Args[2:])
 	case "trace":
 		err = cmdTrace(os.Args[2:])
+	case "stats":
+		err = cmdStats(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 		return
@@ -74,7 +95,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: obfuscade <protect|manufacture|matrix|keyspace|advise|mark|trace> [flags]
+	fmt.Fprintln(os.Stderr, `usage: obfuscade <protect|manufacture|matrix|keyspace|advise|mark|trace|stats> [flags]
 run "obfuscade <subcommand> -h" for flags`)
 }
 
@@ -186,10 +207,12 @@ func cmdManufacture(args []string) error {
 	restore := fs.Bool("restore-sphere", false, "apply the secret CAD operation")
 	authenticate := fs.Bool("authenticate", true, "authenticate the printed part")
 	setWorkers := workersFlag(fs)
+	emitStats := statsFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	setWorkers()
+	defer emitStats()
 	prot, err := loadProtected(*in, *man)
 	if err != nil {
 		return err
@@ -228,10 +251,12 @@ func cmdMatrix(args []string) error {
 	man := fs.String("manifest", "manifest.json", "manifest file")
 	keyspace := fs.Bool("keyspace", false, "also print the key-space analysis from the same manufacture pass")
 	setWorkers := workersFlag(fs)
+	emitStats := statsFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	setWorkers()
+	defer emitStats()
 	prot, err := loadProtected(*in, *man)
 	if err != nil {
 		return err
@@ -258,10 +283,12 @@ func cmdKeyspace(args []string) error {
 	in := fs.String("in", "design.ocad", "protected CAD file")
 	man := fs.String("manifest", "manifest.json", "manifest file")
 	setWorkers := workersFlag(fs)
+	emitStats := statsFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	setWorkers()
+	defer emitStats()
 	prot, err := loadProtected(*in, *man)
 	if err != nil {
 		return err
@@ -281,6 +308,41 @@ func printKeySpace(rep core.KeySpaceReport) {
 	}
 	fmt.Printf("mean print time:          %.2f h\n", rep.MeanPrintHours)
 	fmt.Printf("expected brute-force:     %.2f h of printing + testing\n", rep.ExpectedBruteForceHours)
+}
+
+// cmdStats runs a full quality-matrix pass on the reference protected bar
+// and emits the pipeline metrics snapshot — JSON by default (the
+// machine-readable form consumed by dashboards and the determinism tests),
+// or human tables with -table.
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	withSphere := fs.Bool("with-sphere", false, "embed the sphere feature too (doubles the key space)")
+	table := fs.Bool("table", false, "print human tables instead of JSON")
+	setWorkers := workersFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	setWorkers()
+	obs.Default().Reset()
+	prot, err := core.NewProtectedBar("stats-bar", *withSphere)
+	if err != nil {
+		return err
+	}
+	if _, err := core.QualityMatrix(prot, printer.DimensionElite()); err != nil {
+		return err
+	}
+	snap := obs.Default().Snapshot()
+	if *table {
+		snap.WriteText(os.Stdout)
+		return nil
+	}
+	data, err := snap.JSON()
+	if err != nil {
+		return err
+	}
+	os.Stdout.Write(data)
+	fmt.Println()
+	return nil
 }
 
 func cmdAdvise(args []string) error {

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
@@ -100,7 +102,53 @@ func TestKeyspaceSubcommand(t *testing.T) {
 	if err := cmdProtect([]string{"-out", cad, "-manifest", man}); err != nil {
 		t.Fatal(err)
 	}
-	if err := cmdKeyspace([]string{"-in", cad, "-manifest", man}); err != nil {
+	// -stats rides along: the run must succeed and print the metrics
+	// tables without disturbing the keyspace output.
+	if err := cmdKeyspace([]string{"-in", cad, "-manifest", man, "-stats"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsSubcommand(t *testing.T) {
+	// JSON (default) and table forms both run a full matrix pass; capture
+	// stdout to check the JSON parses and names the expected counters.
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	statsErr := cmdStats([]string{"-workers", "2"})
+	w.Close()
+	os.Stdout = old
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if statsErr != nil {
+		t.Fatal(statsErr)
+	}
+	var snap struct {
+		Counters []struct {
+			Name  string `json:"name"`
+			Value int64  `json:"value"`
+		} `json:"counters"`
+	}
+	if err := json.Unmarshal(out, &snap); err != nil {
+		t.Fatalf("stats output is not valid JSON: %v", err)
+	}
+	found := map[string]int64{}
+	for _, c := range snap.Counters {
+		found[c.Name] = c.Value
+	}
+	if found["core.matrix.keys"] != 6 {
+		t.Errorf("core.matrix.keys = %d, want 6", found["core.matrix.keys"])
+	}
+	if found["slicer.layers.sliced"] == 0 {
+		t.Error("slicer.layers.sliced missing from stats output")
+	}
+
+	if err := cmdStats([]string{"-table"}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -3,32 +3,84 @@
 //
 // Usage:
 //
-//	paperbench [-exp all|table1|table2|table3|fig1..fig10|polyjet|sidechannel|keyspace|ablation]
+//	paperbench [-exp all|table1|table2|table3|fig1..fig10|polyjet|sidechannel|keyspace|ablation|bench]
 //	           [-n replicates] [-seed n] [-csv] [-workers n]
+//	           [-stats] [-pprof addr] [-benchout file]
+//
+// -stats prints the per-stage pipeline metrics (package obs) after the
+// experiments finish. -pprof serves net/http/pprof on the given address
+// (e.g. localhost:6060) for the duration of the run. -exp bench runs the
+// machine-readable benchmark pass and writes its JSON report to the
+// -benchout path; CI diffs that artifact against the committed baseline
+// with scripts/benchdiff.go.
+//
+// Exit codes: 0 success, 1 experiment failure, 2 flag-parse error,
+// 3 unknown -exp name.
 package main
 
 import (
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
+	"obfuscade/internal/core"
 	"obfuscade/internal/experiments"
+	"obfuscade/internal/mech"
+	"obfuscade/internal/obs"
 	"obfuscade/internal/parallel"
+	"obfuscade/internal/printer"
 	"obfuscade/internal/report"
 )
 
+// errUnknownExperiment distinguishes a bad -exp name (exit code 3) from
+// an experiment that ran and failed (exit code 1). Flag-parse errors keep
+// the flag package's exit code 2, so scripts can tell the three apart.
+var errUnknownExperiment = errors.New("unknown experiment")
+
+const exitUnknownExperiment = 3
+
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, table1..3, fig1..fig10, polyjet, sidechannel, keyspace, stltheft, ndt, servicelife, ablation)")
+	exp := flag.String("exp", "all", "experiment to run (all, table1..3, fig1..fig10, polyjet, sidechannel, keyspace, stltheft, ndt, servicelife, ablation, bench)")
 	n := flag.Int("n", 5, "tensile replicates per group")
 	seed := flag.Int64("seed", 1, "process noise seed")
 	csv := flag.Bool("csv", false, "emit tables as CSV")
 	workers := flag.Int("workers", 0, "worker pool size for parallel stages (0 = all CPUs)")
+	stats := flag.Bool("stats", false, "print per-stage pipeline metrics after the run")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	benchOut := flag.String("benchout", "BENCH_obfuscade.json", "output path for the -exp bench JSON report")
 	flag.Parse()
 	parallel.SetDefault(*workers)
 
-	if err := run(*exp, *n, *seed, *csv); err != nil {
+	if *pprofAddr != "" {
+		go func() {
+			// DefaultServeMux carries the pprof handlers via the blank import.
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "paperbench: pprof:", err)
+			}
+		}()
+	}
+
+	var err error
+	if strings.EqualFold(*exp, "bench") {
+		err = runBench(*benchOut, 64, *seed)
+	} else {
+		err = run(*exp, *n, *seed, *csv)
+	}
+	if *stats {
+		obs.Default().Snapshot().WriteText(os.Stdout)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "paperbench:", err)
+		if errors.Is(err, errUnknownExperiment) {
+			os.Exit(exitUnknownExperiment)
+		}
 		os.Exit(1)
 	}
 }
@@ -243,7 +295,109 @@ func run(exp string, n int, seed int64, csv bool) error {
 		emit(t3)
 	}
 	if !ran {
-		return fmt.Errorf("unknown experiment %q", exp)
+		return fmt.Errorf("%w %q", errUnknownExperiment, exp)
 	}
+	return nil
+}
+
+// benchReport is the machine-readable benchmark artifact `make bench`
+// writes to BENCH_obfuscade.json. scripts/benchdiff.go compares the
+// matrix wall times against the committed BENCH_baseline.json.
+type benchReport struct {
+	Schema     int    `json:"schema"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Matrix     struct {
+		Keys            int     `json:"keys"`
+		SerialSeconds   float64 `json:"serial_seconds"`
+		ParallelSeconds float64 `json:"parallel_seconds"`
+		Workers         int     `json:"workers"`
+		Speedup         float64 `json:"speedup"`
+	} `json:"matrix"`
+	Slicer struct {
+		Layers          int64   `json:"layers"`
+		LayersPerSecond float64 `json:"layers_per_second"`
+	} `json:"slicer"`
+	Mech struct {
+		Replicates          int64   `json:"replicates"`
+		ReplicatesPerSecond float64 `json:"replicates_per_second"`
+	} `json:"mech"`
+}
+
+// runBench measures the serial-vs-pool quality matrix wall time and the
+// layer/replicate throughput of the hot stages, writing the JSON report
+// to out. Throughputs come from the obs counters, so the unit counts are
+// exact rather than estimated.
+func runBench(out string, replicates int, seed int64) error {
+	prot, err := core.NewProtectedBar("bench-bar", false)
+	if err != nil {
+		return err
+	}
+	prof := printer.DimensionElite()
+	reg := obs.Default()
+
+	var rep benchReport
+	rep.Schema = 1
+	rep.GoVersion = runtime.Version()
+	rep.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	rep.Matrix.Workers = parallel.Default()
+
+	matrix := func(workers int) (float64, int64, int, error) {
+		reg.Reset()
+		t0 := time.Now()
+		entries, err := core.QualityMatrixWorkers(prot, prof, workers)
+		secs := time.Since(t0).Seconds()
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		layers, _ := reg.Snapshot().Counter("slicer.layers.sliced")
+		return secs, layers, len(entries), nil
+	}
+
+	serial, _, keys, err := matrix(1)
+	if err != nil {
+		return fmt.Errorf("serial matrix: %w", err)
+	}
+	par, layers, _, err := matrix(0)
+	if err != nil {
+		return fmt.Errorf("parallel matrix: %w", err)
+	}
+	rep.Matrix.Keys = keys
+	rep.Matrix.SerialSeconds = serial
+	rep.Matrix.ParallelSeconds = par
+	if par > 0 {
+		rep.Matrix.Speedup = serial / par
+	}
+	rep.Slicer.Layers = layers
+	if par > 0 {
+		rep.Slicer.LayersPerSecond = float64(layers) / par
+	}
+
+	// Replicate throughput: a seam specimen group on the shared pool.
+	reg.Reset()
+	spec := mech.Specimen{Mat: mech.ABS(mech.XY), SeamPresent: true, SeamQuality: 0.35, Kt: 2.6}
+	t0 := time.Now()
+	for g := 0; g < 4; g++ {
+		if _, err := mech.TestGroup(fmt.Sprintf("bench-%d", g), spec, replicates, seed+int64(g)); err != nil {
+			return fmt.Errorf("replicate bench: %w", err)
+		}
+	}
+	mechSecs := time.Since(t0).Seconds()
+	reps, _ := reg.Snapshot().Counter("mech.replicates")
+	rep.Mech.Replicates = reps
+	if mechSecs > 0 {
+		rep.Mech.ReplicatesPerSecond = float64(reps) / mechSecs
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("bench report written to %s (matrix %d keys: serial %.2fs, parallel %.2fs, speedup %.2fx)\n",
+		out, rep.Matrix.Keys, serial, par, rep.Matrix.Speedup)
 	return nil
 }

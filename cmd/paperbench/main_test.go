@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestRunSingleExperiments(t *testing.T) {
 	// The fast experiments, one by one; the slow ones (table2, polyjet)
@@ -19,7 +25,57 @@ func TestRunCSV(t *testing.T) {
 }
 
 func TestRunUnknown(t *testing.T) {
-	if err := run("nope", 2, 1, false); err == nil {
-		t.Error("expected error for unknown experiment")
+	err := run("nope", 2, 1, false)
+	if err == nil {
+		t.Fatal("expected error for unknown experiment")
+	}
+	// The unknown-experiment error must stay identifiable so main can exit
+	// with the dedicated code (3), distinguishable from flag-parse errors
+	// (2) and experiment failures (1).
+	if !errors.Is(err, errUnknownExperiment) {
+		t.Errorf("error %v does not wrap errUnknownExperiment", err)
+	}
+}
+
+func TestKnownExperimentErrorIsNotUnknown(t *testing.T) {
+	// A run that executed (successfully or not) must never be classified
+	// as an unknown experiment.
+	if err := run("fig5", 2, 1, false); errors.Is(err, errUnknownExperiment) {
+		t.Errorf("fig5 misclassified as unknown experiment: %v", err)
+	}
+}
+
+func TestRunBenchJSON(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	if err := runBench(out, 4, 1); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("bench report is not valid JSON: %v", err)
+	}
+	if rep.Schema != 1 {
+		t.Errorf("schema = %d", rep.Schema)
+	}
+	if rep.Matrix.Keys != 6 {
+		t.Errorf("matrix keys = %d, want 6", rep.Matrix.Keys)
+	}
+	if rep.Matrix.SerialSeconds <= 0 || rep.Matrix.ParallelSeconds <= 0 {
+		t.Errorf("non-positive wall times: serial %g, parallel %g",
+			rep.Matrix.SerialSeconds, rep.Matrix.ParallelSeconds)
+	}
+	if rep.Slicer.Layers <= 0 || rep.Slicer.LayersPerSecond <= 0 {
+		t.Errorf("slicer throughput missing: %d layers, %g layers/s",
+			rep.Slicer.Layers, rep.Slicer.LayersPerSecond)
+	}
+	if rep.Mech.Replicates != 16 {
+		t.Errorf("replicates = %d, want 4 groups x 4", rep.Mech.Replicates)
+	}
+	if rep.Mech.ReplicatesPerSecond <= 0 {
+		t.Errorf("replicates/s = %g", rep.Mech.ReplicatesPerSecond)
 	}
 }

@@ -4,9 +4,31 @@ import (
 	"fmt"
 
 	"obfuscade/internal/brep"
+	"obfuscade/internal/obs"
 	"obfuscade/internal/printer"
 	"obfuscade/internal/supplychain"
 )
+
+// Manufacture metrics: per-run latency plus a deterministic census of the
+// grades produced (same seed, same counts — asserted by the obs
+// determinism test).
+var (
+	stManufacture   = obs.Stage("core.manufacture")
+	mGradeGood      = obs.Default().Counter("core.grade.good")
+	mGradeDegraded  = obs.Default().Counter("core.grade.degraded")
+	mGradeDefective = obs.Default().Counter("core.grade.defective")
+)
+
+func countGrade(g Grade) {
+	switch g {
+	case Good:
+		mGradeGood.Inc()
+	case Degraded:
+		mGradeDegraded.Inc()
+	case Defective:
+		mGradeDefective.Inc()
+	}
+}
 
 // Grade classifies a manufactured artifact's quality.
 type Grade int
@@ -125,7 +147,14 @@ type ManufactureResult struct {
 // chain under the key's resolution and orientation, and grades the
 // artifact. This is what a manufacturer (legitimate or counterfeit)
 // experiences when printing the protected model.
-func Manufacture(prot *Protected, key Key, prof printer.Profile) (*ManufactureResult, error) {
+func Manufacture(prot *Protected, key Key, prof printer.Profile) (res *ManufactureResult, err error) {
+	span := stManufacture.Start()
+	defer func() {
+		span.EndErr(err)
+		if err == nil {
+			countGrade(res.Quality.Grade)
+		}
+	}()
 	part, err := ApplyKey(prot, key)
 	if err != nil {
 		return nil, err

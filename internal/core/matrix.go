@@ -7,10 +7,19 @@ import (
 
 	"obfuscade/internal/gcode"
 	"obfuscade/internal/mech"
+	"obfuscade/internal/obs"
 	"obfuscade/internal/parallel"
 	"obfuscade/internal/printer"
 	"obfuscade/internal/report"
 	"obfuscade/internal/tessellate"
+)
+
+// Quality-matrix metrics: one stage span per matrix pass plus key
+// counters (enumerated and failed).
+var (
+	stMatrix      = obs.Stage("core.matrix")
+	mMatrixKeys   = obs.Default().Counter("core.matrix.keys")
+	mMatrixFailed = obs.Default().Counter("core.matrix.failedkeys")
 )
 
 // AllKeys enumerates the processing-condition key space: every STL
@@ -71,7 +80,9 @@ func QualityMatrix(prot *Protected, prof printer.Profile) ([]MatrixEntry, error)
 // (<= 0 means the process default). workers == 1 is the serial baseline
 // the determinism tests compare against.
 func QualityMatrixWorkers(prot *Protected, prof printer.Profile, workers int) ([]MatrixEntry, error) {
+	span := stMatrix.Start()
 	keys := AllKeys(prot)
+	mMatrixKeys.Add(int64(len(keys)))
 	entries := make([]MatrixEntry, len(keys))
 	err := parallel.ForEach(context.Background(), len(keys), workers, func(i int) error {
 		key := keys[i]
@@ -90,6 +101,12 @@ func QualityMatrixWorkers(prot *Protected, prof printer.Profile, workers int) ([
 		entries[i].PrintHours = sim.PrintTime / 3600
 		return nil
 	})
+	for i := range entries {
+		if entries[i].Err != nil {
+			mMatrixFailed.Inc()
+		}
+	}
+	span.EndErr(err)
 	return entries, err
 }
 

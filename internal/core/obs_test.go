@@ -1,0 +1,87 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"obfuscade/internal/obs"
+	"obfuscade/internal/printer"
+)
+
+// deterministicMetricsJSON runs one seeded quality matrix over a fresh
+// metric state and returns the deterministic snapshot view.
+func deterministicMetricsJSON(t *testing.T, workers int) []byte {
+	t.Helper()
+	obs.Default().Reset()
+	prot, err := NewProtectedBar("obs-bar", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := QualityMatrixWorkers(prot, printer.DimensionElite(), workers); err != nil {
+		t.Fatal(err)
+	}
+	out, err := obs.Default().Snapshot().DeterministicJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestMatrixMetricsDeterministic(t *testing.T) {
+	// Two identical seeded runs must produce byte-identical deterministic
+	// metrics JSON: every counter and timing count depends only on the
+	// work, not on wall-clock or scheduling.
+	a := deterministicMetricsJSON(t, 1)
+	b := deterministicMetricsJSON(t, 1)
+	if !bytes.Equal(a, b) {
+		t.Errorf("serial reruns diverge:\n%s\n--- vs ---\n%s", a, b)
+	}
+	// A pool of 8 performs exactly the same work, so the deterministic
+	// view — including parallel.tasks.* totals — must match serial.
+	c := deterministicMetricsJSON(t, 8)
+	if !bytes.Equal(a, c) {
+		t.Errorf("pool-of-8 metrics diverge from serial:\n%s\n--- vs ---\n%s", a, c)
+	}
+	obs.Default().Reset()
+}
+
+func TestMatrixMetricsCoverStages(t *testing.T) {
+	obs.Default().Reset()
+	prot, err := NewProtectedBar("obs-bar", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := QualityMatrixWorkers(prot, printer.DimensionElite(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := obs.Default().Snapshot()
+	if v, _ := snap.Counter("core.matrix.keys"); v != int64(len(entries)) {
+		t.Errorf("core.matrix.keys = %d, want %d", v, len(entries))
+	}
+	if v, _ := snap.Counter("core.manufacture.calls"); v != int64(len(entries)) {
+		t.Errorf("core.manufacture.calls = %d, want %d", v, len(entries))
+	}
+	// Each manufacture slices, prints and simulates; every stage must have
+	// fired and graded every key.
+	var graded int64
+	for _, name := range []string{"core.grade.good", "core.grade.degraded", "core.grade.defective"} {
+		v, _ := snap.Counter(name)
+		graded += v
+	}
+	if graded != int64(len(entries)) {
+		t.Errorf("grade counters sum to %d, want %d", graded, len(entries))
+	}
+	for _, stage := range []string{
+		"slicer.slice.seconds", "printer.print.seconds", "gcode.simulate.seconds",
+	} {
+		h, ok := snap.Stage(stage)
+		if !ok || h.Count < int64(len(entries)) {
+			t.Errorf("stage %s: count %d, want >= %d", stage, h.Count, len(entries))
+		}
+	}
+	if v, _ := snap.Counter("slicer.layers.sliced"); v == 0 {
+		t.Error("slicer.layers.sliced = 0")
+	}
+	obs.Default().Reset()
+}

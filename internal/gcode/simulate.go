@@ -6,7 +6,16 @@ import (
 	"strings"
 
 	"obfuscade/internal/geom"
+	"obfuscade/internal/obs"
 	"obfuscade/internal/slicer"
+)
+
+// Simulation metrics: per-program latency plus deterministic command and
+// violation totals.
+var (
+	stSimulate     = obs.Stage("gcode.simulate")
+	mSimCommands   = obs.Default().Counter("gcode.sim.commands")
+	mSimViolations = obs.Default().Counter("gcode.sim.violations")
 )
 
 // Envelope is the printer's physical working volume and kinematic limits —
@@ -88,6 +97,8 @@ func Simulate(p *Program, env Envelope) (*Report, error) {
 	if p == nil || len(p.Commands) == 0 {
 		return nil, fmt.Errorf("gcode: empty program")
 	}
+	span := stSimulate.Start()
+	defer span.End()
 	rep := &Report{PerLayerExtrude: make(map[int64]float64)}
 	rep.Bounds = geom.EmptyAABB()
 	pos := geom.V3(0, 0, 0)
@@ -156,6 +167,8 @@ func Simulate(p *Program, env Envelope) (*Report, error) {
 		}
 	}
 	rep.ExtrudedE = e
+	mSimCommands.Add(int64(rep.Commands))
+	mSimViolations.Add(int64(len(rep.Violations)))
 	return rep, nil
 }
 

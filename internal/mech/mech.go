@@ -19,7 +19,15 @@ import (
 	"math"
 	"math/rand"
 
+	"obfuscade/internal/obs"
 	"obfuscade/internal/parallel"
+)
+
+// Destructive-testing metrics: group latency plus a deterministic
+// replicate total (counted once per successful group).
+var (
+	stTestGroup = obs.Stage("mech.testgroup")
+	mReplicates = obs.Default().Counter("mech.replicates")
 )
 
 // Orientation is the print orientation of a specimen (paper Fig. 6).
@@ -360,7 +368,14 @@ type GroupResult struct {
 // splitmix(seed, i), so sample i depends only on (seed, i) — never on the
 // group size, execution order, or which worker ran it — and replicates
 // run on the shared worker pool with output identical to a serial run.
-func TestGroup(name string, s Specimen, n int, seed int64) (GroupResult, error) {
+func TestGroup(name string, s Specimen, n int, seed int64) (res GroupResult, err error) {
+	span := stTestGroup.Start()
+	defer func() {
+		span.EndErr(err)
+		if err == nil {
+			mReplicates.Add(int64(n))
+		}
+	}()
 	if n < 1 {
 		return GroupResult{}, fmt.Errorf("mech: need at least 1 replicate")
 	}
@@ -368,7 +383,7 @@ func TestGroup(name string, s Specimen, n int, seed int64) (GroupResult, error) 
 		return GroupResult{}, err
 	}
 	g := GroupResult{Name: name, N: n, Samples: make([]Properties, n)}
-	err := parallel.ForEach(context.Background(), n, 0, func(i int) error {
+	err = parallel.ForEach(context.Background(), n, 0, func(i int) error {
 		rng := rand.New(rand.NewSource(parallel.SplitMix(seed, i)))
 		p, _, err := Test(s, rng)
 		if err != nil {

@@ -1,0 +1,220 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"obfuscade/internal/report"
+)
+
+// MetricValue is one named scalar in a snapshot.
+type MetricValue struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// HistogramSnapshot is the frozen state of one histogram. Bounds has the
+// fixed bucket upper bounds; Counts has len(Bounds)+1 entries, the last
+// being the overflow bucket.
+type HistogramSnapshot struct {
+	Name       string    `json:"name"`
+	Count      int64     `json:"count"`
+	SumSeconds float64   `json:"sum_seconds"`
+	Bounds     []float64 `json:"bounds_seconds"`
+	Counts     []int64   `json:"counts"`
+}
+
+// Mean returns the mean observation, or 0 with no observations.
+func (h HistogramSnapshot) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.SumSeconds / float64(h.Count)
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) from the bucket counts,
+// returning the upper bound of the bucket holding the target rank. The
+// overflow bucket reports the largest finite bound.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 || len(h.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(q*float64(h.Count) + 0.5)
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= target {
+			if i < len(h.Bounds) {
+				return h.Bounds[i]
+			}
+			break
+		}
+	}
+	return h.Bounds[len(h.Bounds)-1]
+}
+
+// Snapshot is a frozen, name-sorted view of a registry. Zero-valued
+// metrics are omitted, so a snapshot covers exactly the work performed
+// since the last Reset.
+type Snapshot struct {
+	Counters []MetricValue       `json:"counters"`
+	Gauges   []MetricValue       `json:"gauges"`
+	Stages   []HistogramSnapshot `json:"timings"`
+}
+
+// Snapshot freezes the registry's current state.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var s Snapshot
+	for name, c := range r.counters {
+		if v := c.Value(); v != 0 {
+			s.Counters = append(s.Counters, MetricValue{Name: name, Value: v})
+		}
+	}
+	for name, g := range r.gauges {
+		if v := g.Value(); v != 0 {
+			s.Gauges = append(s.Gauges, MetricValue{Name: name, Value: v})
+		}
+	}
+	for name, h := range r.hists {
+		if h.Count() == 0 {
+			continue
+		}
+		hs := HistogramSnapshot{
+			Name:       name,
+			Count:      h.Count(),
+			SumSeconds: h.Sum(),
+			Bounds:     append([]float64(nil), h.bounds...),
+			Counts:     make([]int64, len(h.buckets)),
+		}
+		for i := range h.buckets {
+			hs.Counts[i] = h.buckets[i].Load()
+		}
+		s.Stages = append(s.Stages, hs)
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Stages, func(i, j int) bool { return s.Stages[i].Name < s.Stages[j].Name })
+	return s
+}
+
+// Counter returns the snapshotted value of a counter, if present.
+func (s Snapshot) Counter(name string) (int64, bool) {
+	for _, m := range s.Counters {
+		if m.Name == name {
+			return m.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Gauge returns the snapshotted value of a gauge, if present.
+func (s Snapshot) Gauge(name string) (int64, bool) {
+	for _, m := range s.Gauges {
+		if m.Name == name {
+			return m.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Stage returns the snapshotted histogram of a stage, if present.
+func (s Snapshot) Stage(name string) (HistogramSnapshot, bool) {
+	for _, h := range s.Stages {
+		if h.Name == name {
+			return h, true
+		}
+	}
+	return HistogramSnapshot{}, false
+}
+
+// JSON renders the full snapshot as indented JSON. Field order and
+// metric order are fixed (name-sorted), so identical metric states give
+// byte-identical output.
+func (s Snapshot) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// deterministicView is the scheduling-independent slice of a snapshot:
+// counters plus per-stage observation counts. Gauges, latency sums and
+// bucket contents are wall-clock-derived and excluded.
+type deterministicView struct {
+	Counters     []MetricValue `json:"counters"`
+	TimingCounts []MetricValue `json:"timing_counts"`
+}
+
+// DeterministicJSON renders only the scheduling-independent metrics:
+// with a fixed seed, two runs of the same work produce byte-identical
+// output regardless of worker count — the property the determinism tests
+// assert on.
+func (s Snapshot) DeterministicJSON() ([]byte, error) {
+	v := deterministicView{Counters: s.Counters}
+	for _, h := range s.Stages {
+		v.TimingCounts = append(v.TimingCounts, MetricValue{Name: h.Name, Value: h.Count})
+	}
+	return json.MarshalIndent(v, "", "  ")
+}
+
+// StageTable renders the timing histograms as a human table: calls,
+// total and mean latency, and coarse bucket-resolution quantiles.
+func (s Snapshot) StageTable() *report.Table {
+	t := &report.Table{
+		Title:      "pipeline stage timings",
+		Headers:    []string{"stage", "calls", "total s", "mean ms", "p50 ms", "p95 ms"},
+		AlignRight: []bool{false, true, true, true, true, true},
+	}
+	for _, h := range s.Stages {
+		t.AddRow(
+			strings.TrimSuffix(h.Name, ".seconds"),
+			fmt.Sprintf("%d", h.Count),
+			fmt.Sprintf("%.3f", h.SumSeconds),
+			fmt.Sprintf("%.3f", 1000*h.Mean()),
+			fmt.Sprintf("%.3f", 1000*h.Quantile(0.50)),
+			fmt.Sprintf("%.3f", 1000*h.Quantile(0.95)),
+		)
+	}
+	return t
+}
+
+// CounterTable renders counters and gauges as a human table.
+func (s Snapshot) CounterTable() *report.Table {
+	t := &report.Table{
+		Title:      "pipeline counters",
+		Headers:    []string{"metric", "value"},
+		AlignRight: []bool{false, true},
+	}
+	for _, m := range s.Counters {
+		t.AddRow(m.Name, fmt.Sprintf("%d", m.Value))
+	}
+	for _, m := range s.Gauges {
+		t.AddRow(m.Name+" (gauge)", fmt.Sprintf("%d", m.Value))
+	}
+	return t
+}
+
+// WriteText writes the human-readable stats report (stage table, counter
+// table, and the derived worker-pool utilization) used by the CLIs'
+// -stats flags.
+func (s Snapshot) WriteText(w io.Writer) {
+	fmt.Fprintln(w, s.StageTable().Render())
+	fmt.Fprintln(w, s.CounterTable().Render())
+	busy, okB := s.Gauge("parallel.pool.busy.nanos")
+	wall, okW := s.Gauge("parallel.pool.wall.nanos")
+	if okB && okW && wall > 0 {
+		fmt.Fprintf(w, "worker pool utilization: %.0f%% (task-busy time / worker-seconds reserved)\n",
+			100*float64(busy)/float64(wall))
+	}
+}

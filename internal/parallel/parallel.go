@@ -21,6 +21,24 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"obfuscade/internal/obs"
+)
+
+// Pool metrics (package obs). Counters and histogram counts are
+// deterministic for a given workload; the gauges accumulate wall-clock
+// nanoseconds (busy vs reserved) from which worker utilization derives.
+var (
+	mSubmitted = obs.Default().Counter("parallel.tasks.submitted")
+	mCompleted = obs.Default().Counter("parallel.tasks.completed")
+	mFailed    = obs.Default().Counter("parallel.tasks.failed")
+	gActive    = obs.Default().Gauge("parallel.workers.active")
+	gBusyNanos = obs.Default().Gauge("parallel.pool.busy.nanos")
+	gWallNanos = obs.Default().Gauge("parallel.pool.wall.nanos")
+	hQueueWait = obs.Default().Histogram("parallel.queue.wait.seconds", nil)
+	hTask      = obs.Default().Histogram("parallel.task.seconds", nil)
+	stForEach  = obs.Stage("parallel.foreach")
 )
 
 // maxWorkers is a sanity cap on explicitly requested pool sizes.
@@ -114,7 +132,7 @@ func (l ErrorList) Unwrap() []error {
 //
 // fn writes to caller-owned, per-index storage; ForEach guarantees that
 // all such writes happen-before it returns.
-func ForEach(ctx context.Context, n, workers int, fn func(i int) error) error {
+func ForEach(ctx context.Context, n, workers int, fn func(i int) error) (err error) {
 	if n <= 0 {
 		return nil
 	}
@@ -125,6 +143,36 @@ func ForEach(ctx context.Context, n, workers int, fn func(i int) error) error {
 	if w > n {
 		w = n
 	}
+
+	// Instrumentation: queue wait is measured from dispatch start to task
+	// start; per-task busy time feeds the utilization gauges. The serial
+	// fast path below wraps fn identically, so counter totals and
+	// histogram counts are independent of the worker count.
+	mSubmitted.Add(int64(n))
+	span := stForEach.Start()
+	dispatchStart := time.Now()
+	task := fn
+	fn = func(i int) error {
+		hQueueWait.Observe(time.Since(dispatchStart).Seconds())
+		gActive.Add(1)
+		t0 := time.Now()
+		err := task(i)
+		busy := time.Since(t0)
+		gActive.Add(-1)
+		gBusyNanos.Add(busy.Nanoseconds())
+		hTask.Observe(busy.Seconds())
+		if err != nil {
+			mFailed.Inc()
+		} else {
+			mCompleted.Inc()
+		}
+		return err
+	}
+	defer func() {
+		gWallNanos.Add(time.Since(dispatchStart).Nanoseconds() * int64(w))
+		span.EndErr(err)
+	}()
+
 	if w == 1 {
 		// Serial fast path: identical semantics, no goroutines.
 		var errs ErrorList

@@ -9,6 +9,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"obfuscade/internal/obs"
 )
 
 func TestWorkersSizing(t *testing.T) {
@@ -202,4 +204,71 @@ func TestSplitMixIndependentStreams(t *testing.T) {
 	if a != b {
 		t.Error("derived stream not reproducible")
 	}
+}
+
+func TestForEachMetricsWorkerIndependent(t *testing.T) {
+	// Counter totals (submitted/completed/failed) and histogram counts must
+	// depend only on the workload, never on the pool size — the obs
+	// determinism contract the CI bench gate relies on.
+	run := func(workers int) (submitted, completed, failed, queueObs, taskObs int64) {
+		obs.Default().Reset()
+		_ = ForEach(context.Background(), 24, workers, func(i int) error {
+			if i%6 == 0 {
+				return errors.New("boom")
+			}
+			return nil
+		})
+		snap := obs.Default().Snapshot()
+		submitted, _ = snap.Counter("parallel.tasks.submitted")
+		completed, _ = snap.Counter("parallel.tasks.completed")
+		failed, _ = snap.Counter("parallel.tasks.failed")
+		if h, ok := snap.Stage("parallel.queue.wait.seconds"); ok {
+			queueObs = h.Count
+		}
+		if h, ok := snap.Stage("parallel.task.seconds"); ok {
+			taskObs = h.Count
+		}
+		return
+	}
+	for _, workers := range []int{1, 2, 8} {
+		s, c, f, q, tk := run(workers)
+		if s != 24 || c != 20 || f != 4 {
+			t.Errorf("workers=%d: submitted/completed/failed = %d/%d/%d, want 24/20/4",
+				workers, s, c, f)
+		}
+		if q != 24 || tk != 24 {
+			t.Errorf("workers=%d: queue/task observations = %d/%d, want 24/24",
+				workers, q, tk)
+		}
+	}
+	obs.Default().Reset()
+}
+
+func TestForEachUtilizationGauges(t *testing.T) {
+	obs.Default().Reset()
+	err := ForEach(context.Background(), 8, 2, func(i int) error {
+		time.Sleep(2 * time.Millisecond)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := obs.Default().Snapshot()
+	busy, okB := snap.Gauge("parallel.pool.busy.nanos")
+	wall, okW := snap.Gauge("parallel.pool.wall.nanos")
+	if !okB || !okW {
+		t.Fatalf("pool gauges missing: busy=%v wall=%v", okB, okW)
+	}
+	if busy <= 0 || wall <= 0 {
+		t.Errorf("non-positive pool time: busy=%d wall=%d", busy, wall)
+	}
+	// Busy time can never exceed the reserved worker-time by more than
+	// scheduling noise; allow slack for coarse timers.
+	if busy > 2*wall {
+		t.Errorf("busy %dns implausibly exceeds reserved %dns", busy, wall)
+	}
+	if calls, _ := snap.Counter("parallel.foreach.calls"); calls != 1 {
+		t.Errorf("foreach calls = %d, want 1", calls)
+	}
+	obs.Default().Reset()
 }

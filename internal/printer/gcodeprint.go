@@ -20,7 +20,14 @@ import (
 // Tool selection follows the generator's convention: T0 deposits model
 // material, T1 deposits support material. The grid covers the program's
 // extruded extent; opts.Cell defaults to half the road width.
-func PrintGCode(prog *gcode.Program, prof Profile, opts Options) (*Build, error) {
+func PrintGCode(prog *gcode.Program, prof Profile, opts Options) (build *Build, err error) {
+	span := stGCodePrint.Start()
+	defer func() {
+		span.EndErr(err)
+		if err == nil {
+			mDeposited.Add(int64(build.LayerCount))
+		}
+	}()
 	if err := prof.Validate(); err != nil {
 		return nil, err
 	}

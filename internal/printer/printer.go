@@ -16,8 +16,18 @@ import (
 	"sort"
 
 	"obfuscade/internal/geom"
+	"obfuscade/internal/obs"
 	"obfuscade/internal/slicer"
 	"obfuscade/internal/voxel"
+)
+
+// Virtual-print metrics: per-build latency plus deterministic layer and
+// seam totals for both deposition paths (slicer-region and G-code).
+var (
+	stPrint      = obs.Stage("printer.print")
+	stGCodePrint = obs.Stage("printer.gcodeprint")
+	mDeposited   = obs.Default().Counter("printer.layers.deposited")
+	mSeams       = obs.Default().Counter("printer.seams")
 )
 
 // Profile describes a printer model and its deposition physics.
@@ -168,7 +178,15 @@ func (b *Build) SeamBetween(a, c string) *SeamRecord {
 
 // Print deposits a sliced model. The slicing layer height should match the
 // profile's; a mismatch is an error (the process chain would re-slice).
-func Print(sliced *slicer.Result, prof Profile, opts Options) (*Build, error) {
+func Print(sliced *slicer.Result, prof Profile, opts Options) (build *Build, err error) {
+	span := stPrint.Start()
+	defer func() {
+		span.EndErr(err)
+		if err == nil {
+			mDeposited.Add(int64(build.LayerCount))
+			mSeams.Add(int64(len(build.Seams)))
+		}
+	}()
 	if err := prof.Validate(); err != nil {
 		return nil, err
 	}

@@ -13,6 +13,10 @@ type Table struct {
 	Title   string
 	Headers []string
 	Rows    [][]string
+	// AlignRight marks columns to right-align when rendering (numeric
+	// columns in metric tables). Nil or short slices leave the remaining
+	// columns left-aligned, so existing tables render unchanged.
+	AlignRight []bool
 }
 
 // AddRow appends a row, padding or truncating to the header width.
@@ -49,7 +53,11 @@ func (t *Table) Render() string {
 			if i > 0 {
 				sb.WriteString("  ")
 			}
-			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+			if i < len(t.AlignRight) && t.AlignRight[i] {
+				fmt.Fprintf(&sb, "%*s", widths[i], c)
+			} else {
+				fmt.Fprintf(&sb, "%-*s", widths[i], c)
+			}
 		}
 		sb.WriteString("\n")
 	}

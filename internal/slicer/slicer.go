@@ -21,7 +21,17 @@ import (
 
 	"obfuscade/internal/geom"
 	"obfuscade/internal/mesh"
+	"obfuscade/internal/obs"
 	"obfuscade/internal/parallel"
+)
+
+// Slicing metrics: per-call latency plus deterministic layer/contour
+// totals (counted once after the parallel fan-out assembles, so the
+// values never depend on scheduling).
+var (
+	stSlice   = obs.Stage("slicer.slice")
+	mLayers   = obs.Default().Counter("slicer.layers.sliced")
+	mContours = obs.Default().Counter("slicer.contours")
 )
 
 // Options configures slicing. The defaults (DefaultOptions) match the
@@ -120,7 +130,9 @@ type Result struct {
 // Slice cuts the mesh into horizontal layers. The mesh must sit at or
 // above z = 0; layers are placed at the mid-height of each slab, the
 // convention of the paper's slicer.
-func Slice(m *mesh.Mesh, opts Options) (*Result, error) {
+func Slice(m *mesh.Mesh, opts Options) (res *Result, err error) {
+	span := stSlice.Start()
+	defer func() { span.EndErr(err) }()
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
@@ -128,7 +140,7 @@ func Slice(m *mesh.Mesh, opts Options) (*Result, error) {
 	if bounds.IsEmpty() {
 		return nil, fmt.Errorf("slicer: empty mesh")
 	}
-	res := &Result{Opts: opts, Bounds: bounds}
+	res = &Result{Opts: opts, Bounds: bounds}
 	bodySet := map[string]bool{}
 	for _, s := range m.Shells {
 		bodySet[s.Body] = true
@@ -164,6 +176,12 @@ func Slice(m *mesh.Mesh, opts Options) (*Result, error) {
 	}); err != nil {
 		return nil, err
 	}
+	mLayers.Add(int64(nLayers))
+	var contours int64
+	for i := range res.Layers {
+		contours += int64(len(res.Layers[i].Contours))
+	}
+	mContours.Add(contours)
 	return res, nil
 }
 

@@ -1,0 +1,121 @@
+// Command benchdiff is the CI perf-regression gate: it compares the
+// BENCH_obfuscade.json artifact written by `make bench` (paperbench
+// -exp bench) against the committed baseline and fails when the parallel
+// quality-matrix wall time regresses beyond the tolerance.
+//
+// Usage:
+//
+//	go run ./scripts/benchdiff.go -baseline BENCH_baseline.json \
+//	    -current BENCH_obfuscade.json [-tolerance 0.30] [-max-serial-ratio 1.25]
+//
+// Two gates run:
+//
+//  1. Regression: current parallel matrix wall time must not exceed
+//     baseline * (1 + tolerance). Absolute wall times differ across
+//     machines, which is why the tolerance is generous; re-baseline with
+//     `make bench && cp BENCH_obfuscade.json BENCH_baseline.json` after an
+//     intentional perf change.
+//  2. Pool sanity (machine-independent): on a multi-core host the pool
+//     must not run slower than the serial baseline by more than
+//     -max-serial-ratio. Skipped when GOMAXPROCS is 1.
+//
+// Exit code 0 when both gates pass, 1 on a regression or unreadable input.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type benchReport struct {
+	Schema     int    `json:"schema"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Matrix     struct {
+		Keys            int     `json:"keys"`
+		SerialSeconds   float64 `json:"serial_seconds"`
+		ParallelSeconds float64 `json:"parallel_seconds"`
+		Workers         int     `json:"workers"`
+		Speedup         float64 `json:"speedup"`
+	} `json:"matrix"`
+	Slicer struct {
+		Layers          int64   `json:"layers"`
+		LayersPerSecond float64 `json:"layers_per_second"`
+	} `json:"slicer"`
+	Mech struct {
+		Replicates          int64   `json:"replicates"`
+		ReplicatesPerSecond float64 `json:"replicates_per_second"`
+	} `json:"mech"`
+}
+
+func load(path string) (benchReport, error) {
+	var rep benchReport
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.Schema != 1 {
+		return rep, fmt.Errorf("%s: unsupported schema %d", path, rep.Schema)
+	}
+	return rep, nil
+}
+
+func pct(cur, base float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * (cur - base) / base
+}
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_baseline.json", "committed baseline report")
+	current := flag.String("current", "BENCH_obfuscade.json", "freshly measured report")
+	tolerance := flag.Float64("tolerance", 0.30, "allowed fractional wall-time regression of the parallel matrix")
+	maxSerialRatio := flag.Float64("max-serial-ratio", 1.25, "parallel matrix may be at most this multiple of the serial wall time (multi-core hosts only)")
+	flag.Parse()
+
+	base, err := load(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	cur, err := load(*current)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%-28s %12s %12s %9s\n", "metric", "baseline", "current", "delta")
+	row := func(name string, b, c float64, unit string) {
+		fmt.Printf("%-28s %10.3f%s %10.3f%s %+8.1f%%\n", name, b, unit, c, unit, pct(c, b))
+	}
+	row("matrix serial wall", base.Matrix.SerialSeconds, cur.Matrix.SerialSeconds, "s")
+	row("matrix parallel wall", base.Matrix.ParallelSeconds, cur.Matrix.ParallelSeconds, "s")
+	row("slicer layers/s", base.Slicer.LayersPerSecond, cur.Slicer.LayersPerSecond, " ")
+	row("mech replicates/s", base.Mech.ReplicatesPerSecond, cur.Mech.ReplicatesPerSecond, " ")
+
+	failed := false
+	limit := base.Matrix.ParallelSeconds * (1 + *tolerance)
+	if cur.Matrix.ParallelSeconds > limit {
+		fmt.Fprintf(os.Stderr,
+			"benchdiff: FAIL: parallel matrix wall %.3fs exceeds baseline %.3fs + %.0f%% tolerance (limit %.3fs)\n",
+			cur.Matrix.ParallelSeconds, base.Matrix.ParallelSeconds, 100**tolerance, limit)
+		failed = true
+	}
+	if cur.GOMAXPROCS > 1 && cur.Matrix.ParallelSeconds > cur.Matrix.SerialSeconds**maxSerialRatio {
+		fmt.Fprintf(os.Stderr,
+			"benchdiff: FAIL: parallel matrix (%.3fs) slower than %.2fx the serial run (%.3fs) on %d CPUs\n",
+			cur.Matrix.ParallelSeconds, *maxSerialRatio, cur.Matrix.SerialSeconds, cur.GOMAXPROCS)
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: OK (parallel matrix %.3fs within %.0f%% of baseline %.3fs)\n",
+		cur.Matrix.ParallelSeconds, 100**tolerance, base.Matrix.ParallelSeconds)
+}
