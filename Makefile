@@ -29,14 +29,14 @@ bench:
 # intentional perf change with:
 #   make bench && cp BENCH_obfuscade.json BENCH_baseline.json
 benchdiff:
-	$(GO) run ./scripts/benchdiff.go -baseline BENCH_baseline.json -current BENCH_obfuscade.json -tolerance 0.30
+	$(GO) run ./scripts -baseline BENCH_baseline.json -current BENCH_obfuscade.json -tolerance 0.30
 
-# Coverage floor over the observability and worker-pool packages — the
-# two subsystems every parallel stage depends on.
+# Coverage floor over the observability, tracing and worker-pool
+# packages — the subsystems every parallel stage depends on.
 COVER_FLOOR ?= 85
 cover:
-	$(GO) test -covermode=atomic -coverprofile=coverage.out ./internal/obs ./internal/parallel
+	$(GO) test -covermode=atomic -coverprofile=coverage.out ./internal/obs ./internal/parallel ./internal/trace
 	@pct=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ { gsub(/%/, "", $$3); print $$3 }'); \
 	awk -v pct="$$pct" -v floor="$(COVER_FLOOR)" 'BEGIN { \
-		if (pct + 0 < floor + 0) { printf("cover: FAIL: %.1f%% below floor %s%% (internal/obs + internal/parallel)\n", pct, floor); exit 1 } \
-		printf("cover: OK: %.1f%% >= floor %s%% (internal/obs + internal/parallel)\n", pct, floor) }'
+		if (pct + 0 < floor + 0) { printf("cover: FAIL: %.1f%% below floor %s%% (internal/obs + internal/parallel + internal/trace)\n", pct, floor); exit 1 } \
+		printf("cover: OK: %.1f%% >= floor %s%% (internal/obs + internal/parallel + internal/trace)\n", pct, floor) }'

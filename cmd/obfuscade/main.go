@@ -12,13 +12,19 @@
 //	obfuscade advise [-amplitudes 1.0,2.0]
 //	obfuscade mark -in part.stl -out marked.stl -key partner-a
 //	obfuscade trace -original part.stl -suspect leaked.stl -keys partner-a,partner-b
-//	obfuscade stats [-with-sphere] [-table] [-workers N]
+//	obfuscade stats [-with-sphere] [-format text|json] [-workers N]
 //
 // The manufacture, matrix and keyspace subcommands accept -stats to print
-// the per-stage pipeline metrics (package obs) after their output. The
-// stats subcommand runs a full quality-matrix pass on the reference
-// protected bar and emits the metrics snapshot as deterministic JSON
-// (counters sorted by name), or as human tables with -table.
+// the per-stage pipeline metrics (package obs) after their output, plus
+// -debug-addr to serve the unified debug surface (/metrics Prometheus
+// text, /metrics.json, /trace Chrome trace download, /debug/pprof) for
+// the duration of the run and -trace-out to write the run's Chrome trace
+// JSON on exit. manufacture and matrix accept -manifest-out to write
+// per-key provenance manifests (NDJSON audit lines with key settings,
+// STL SHA-256, grade, per-stage wall times). The stats subcommand runs a
+// full quality-matrix pass on the reference protected bar and emits the
+// metrics snapshot as JSON (-format json, the default) or human tables
+// (-format text; -table is a deprecated alias).
 package main
 
 import (
@@ -37,6 +43,7 @@ import (
 	"obfuscade/internal/printer"
 	"obfuscade/internal/stl"
 	"obfuscade/internal/tessellate"
+	"obfuscade/internal/trace"
 	"obfuscade/internal/watermark"
 )
 
@@ -56,6 +63,46 @@ func statsFlag(fs *flag.FlagSet) func() {
 			obs.Default().Snapshot().WriteText(os.Stdout)
 		}
 	}
+}
+
+// debugFlags registers the shared -debug-addr and -trace-out flags.
+// start binds the debug server synchronously (a bad address fails the
+// subcommand before any work runs); finish writes the trace file and
+// stops the server.
+func debugFlags(fs *flag.FlagSet) (start, finish func() error) {
+	addr := fs.String("debug-addr", "", "serve /metrics, /metrics.json, /trace and /debug/pprof on this address")
+	traceOut := fs.String("trace-out", "", "write the run's Chrome trace JSON to this file on exit")
+	var srv *trace.DebugServer
+	start = func() error {
+		if *addr == "" {
+			return nil
+		}
+		s, err := trace.StartDebugServer(*addr, obs.Default(), trace.Default())
+		if err != nil {
+			return err
+		}
+		srv = s
+		fmt.Fprintln(os.Stderr, "obfuscade: debug server on", s.URL())
+		return nil
+	}
+	finish = func() error {
+		if srv != nil {
+			defer srv.Close()
+		}
+		if *traceOut == "" {
+			return nil
+		}
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		if err := trace.Default().WriteChrome(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	return start, finish
 }
 
 func main() {
@@ -206,13 +253,19 @@ func cmdManufacture(args []string) error {
 	orient := fs.String("orient", "xy", "print orientation (xy, xz)")
 	restore := fs.Bool("restore-sphere", false, "apply the secret CAD operation")
 	authenticate := fs.Bool("authenticate", true, "authenticate the printed part")
+	manifestOut := fs.String("manifest-out", "", "write this run's provenance manifest (NDJSON) to this file")
 	setWorkers := workersFlag(fs)
 	emitStats := statsFlag(fs)
+	startDebug, finishDebug := debugFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	setWorkers()
+	if err := startDebug(); err != nil {
+		return err
+	}
 	defer emitStats()
+	defer finishDebug()
 	prot, err := loadProtected(*in, *man)
 	if err != nil {
 		return err
@@ -235,6 +288,17 @@ func cmdManufacture(args []string) error {
 	for _, n := range result.Quality.Notes {
 		fmt.Printf("  - %s\n", n)
 	}
+	if *manifestOut != "" {
+		prov := core.NewProvenance(result, nil, 0)
+		data, err := json.Marshal(prov)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*manifestOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("provenance manifest written to %s\n", *manifestOut)
+	}
 	if *authenticate {
 		rep := core.Authenticate(result.Run.Build, &prot.Manifest)
 		fmt.Printf("authentication verdict: %s\n", rep.Verdict)
@@ -250,13 +314,19 @@ func cmdMatrix(args []string) error {
 	in := fs.String("in", "design.ocad", "protected CAD file")
 	man := fs.String("manifest", "manifest.json", "manifest file")
 	keyspace := fs.Bool("keyspace", false, "also print the key-space analysis from the same manufacture pass")
+	manifestOut := fs.String("manifest-out", "", "write per-key provenance manifests (NDJSON) to this file")
 	setWorkers := workersFlag(fs)
 	emitStats := statsFlag(fs)
+	startDebug, finishDebug := debugFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	setWorkers()
+	if err := startDebug(); err != nil {
+		return err
+	}
 	defer emitStats()
+	defer finishDebug()
 	prot, err := loadProtected(*in, *man)
 	if err != nil {
 		return err
@@ -274,6 +344,20 @@ func cmdMatrix(args []string) error {
 		if *keyspace {
 			printKeySpace(core.KeySpaceFromEntries(entries))
 		}
+		if *manifestOut != "" {
+			f, ferr := os.Create(*manifestOut)
+			if ferr != nil {
+				return ferr
+			}
+			n, werr := core.WriteManifests(f, entries, 0)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				return werr
+			}
+			fmt.Printf("wrote %d provenance manifests to %s\n", n, *manifestOut)
+		}
 	}
 	return err
 }
@@ -284,11 +368,16 @@ func cmdKeyspace(args []string) error {
 	man := fs.String("manifest", "manifest.json", "manifest file")
 	setWorkers := workersFlag(fs)
 	emitStats := statsFlag(fs)
+	startDebug, finishDebug := debugFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	setWorkers()
+	if err := startDebug(); err != nil {
+		return err
+	}
 	defer emitStats()
+	defer finishDebug()
 	prot, err := loadProtected(*in, *man)
 	if err != nil {
 		return err
@@ -313,16 +402,28 @@ func printKeySpace(rep core.KeySpaceReport) {
 // cmdStats runs a full quality-matrix pass on the reference protected bar
 // and emits the pipeline metrics snapshot — JSON by default (the
 // machine-readable form consumed by dashboards and the determinism tests),
-// or human tables with -table.
+// or the human tables of -stats with -format text.
 func cmdStats(args []string) error {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
 	withSphere := fs.Bool("with-sphere", false, "embed the sphere feature too (doubles the key space)")
-	table := fs.Bool("table", false, "print human tables instead of JSON")
+	format := fs.String("format", "json", "output format: text (human tables) or json (machine-readable snapshot)")
+	table := fs.Bool("table", false, "deprecated alias for -format text")
 	setWorkers := workersFlag(fs)
+	startDebug, finishDebug := debugFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	setWorkers()
+	if *table {
+		*format = "text"
+	}
+	if *format != "text" && *format != "json" {
+		return fmt.Errorf("stats: unknown -format %q (want text or json)", *format)
+	}
+	if err := startDebug(); err != nil {
+		return err
+	}
+	defer finishDebug()
 	obs.Default().Reset()
 	prot, err := core.NewProtectedBar("stats-bar", *withSphere)
 	if err != nil {
@@ -332,7 +433,7 @@ func cmdStats(args []string) error {
 		return err
 	}
 	snap := obs.Default().Snapshot()
-	if *table {
+	if *format == "text" {
 		snap.WriteText(os.Stdout)
 		return nil
 	}

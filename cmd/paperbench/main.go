@@ -3,19 +3,29 @@
 //
 // Usage:
 //
-//	paperbench [-exp all|table1|table2|table3|fig1..fig10|polyjet|sidechannel|keyspace|ablation|bench]
-//	           [-n replicates] [-seed n] [-csv] [-workers n]
-//	           [-stats] [-pprof addr] [-benchout file]
+//	paperbench [-exp all|table1..3|fig1..fig10|polyjet|sidechannel|keyspace|matrix|ablation|bench]
+//	           [-n replicates] [-seed n] [-csv] [-workers n] [-stats]
+//	           [-debug-addr addr] [-trace-out file] [-manifest-out file]
+//	           [-benchout file]
 //
 // -stats prints the per-stage pipeline metrics (package obs) after the
-// experiments finish. -pprof serves net/http/pprof on the given address
-// (e.g. localhost:6060) for the duration of the run. -exp bench runs the
+// experiments finish. -debug-addr serves the unified debug surface
+// (/metrics in Prometheus text format, /metrics.json, /trace as a
+// Chrome trace download, /trace.ndjson, and /debug/pprof) for the
+// duration of the run; -pprof is a deprecated alias. The bind happens
+// synchronously before any experiment runs — a bad address or occupied
+// port aborts with exit code 4 instead of silently continuing.
+//
+// -trace-out writes the run's trace ring buffer as Chrome trace JSON
+// (loadable in Perfetto / chrome://tracing) on exit. -exp matrix runs
+// the reference quality matrix and, with -manifest-out, writes one
+// NDJSON provenance line per processing key. -exp bench runs the
 // machine-readable benchmark pass and writes its JSON report to the
 // -benchout path; CI diffs that artifact against the committed baseline
 // with scripts/benchdiff.go.
 //
 // Exit codes: 0 success, 1 experiment failure, 2 flag-parse error,
-// 3 unknown -exp name.
+// 3 unknown -exp name, 4 debug-server bind failure.
 package main
 
 import (
@@ -23,8 +33,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"net/http"
-	_ "net/http/pprof"
 	"os"
 	"runtime"
 	"strings"
@@ -37,6 +45,7 @@ import (
 	"obfuscade/internal/parallel"
 	"obfuscade/internal/printer"
 	"obfuscade/internal/report"
+	"obfuscade/internal/trace"
 )
 
 // errUnknownExperiment distinguishes a bad -exp name (exit code 3) from
@@ -44,37 +53,63 @@ import (
 // the flag package's exit code 2, so scripts can tell the three apart.
 var errUnknownExperiment = errors.New("unknown experiment")
 
-const exitUnknownExperiment = 3
+const (
+	exitUnknownExperiment = 3
+	exitDebugBind         = 4
+)
+
+// runOpts carries the flag values the experiment runner needs.
+type runOpts struct {
+	exp         string
+	n           int
+	seed        int64
+	csv         bool
+	manifestOut string
+}
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, table1..3, fig1..fig10, polyjet, sidechannel, keyspace, stltheft, ndt, servicelife, ablation, bench)")
+	exp := flag.String("exp", "all", "experiment to run (all, table1..3, fig1..fig10, polyjet, sidechannel, keyspace, matrix, stltheft, ndt, servicelife, ablation, bench)")
 	n := flag.Int("n", 5, "tensile replicates per group")
 	seed := flag.Int64("seed", 1, "process noise seed")
 	csv := flag.Bool("csv", false, "emit tables as CSV")
 	workers := flag.Int("workers", 0, "worker pool size for parallel stages (0 = all CPUs)")
 	stats := flag.Bool("stats", false, "print per-stage pipeline metrics after the run")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /metrics.json, /trace and /debug/pprof on this address (e.g. localhost:6060)")
+	pprofAddr := flag.String("pprof", "", "deprecated alias for -debug-addr")
+	traceOut := flag.String("trace-out", "", "write the run's Chrome trace JSON to this file on exit")
+	manifestOut := flag.String("manifest-out", "", "write per-key provenance manifests (NDJSON) for -exp matrix to this file")
 	benchOut := flag.String("benchout", "BENCH_obfuscade.json", "output path for the -exp bench JSON report")
 	flag.Parse()
 	parallel.SetDefault(*workers)
 
-	if *pprofAddr != "" {
-		go func() {
-			// DefaultServeMux carries the pprof handlers via the blank import.
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				fmt.Fprintln(os.Stderr, "paperbench: pprof:", err)
-			}
-		}()
+	if addr := firstNonEmpty(*debugAddr, *pprofAddr); addr != "" {
+		srv, err := trace.StartDebugServer(addr, obs.Default(), trace.Default())
+		if err != nil {
+			// A debug surface the operator asked for but cannot reach is a
+			// silent observability hole; fail loudly with a distinct code.
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			os.Exit(exitDebugBind)
+		}
+		defer srv.Close()
+		fmt.Fprintln(os.Stderr, "paperbench: debug server on", srv.URL())
 	}
 
 	var err error
 	if strings.EqualFold(*exp, "bench") {
 		err = runBench(*benchOut, 64, *seed)
 	} else {
-		err = run(*exp, *n, *seed, *csv)
+		err = run(runOpts{exp: *exp, n: *n, seed: *seed, csv: *csv, manifestOut: *manifestOut})
 	}
 	if *stats {
 		obs.Default().Snapshot().WriteText(os.Stdout)
+	}
+	if *traceOut != "" {
+		if terr := writeTrace(*traceOut); terr != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", terr)
+			if err == nil {
+				err = terr
+			}
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "paperbench:", err)
@@ -85,7 +120,31 @@ func main() {
 	}
 }
 
-func run(exp string, n int, seed int64, csv bool) error {
+func firstNonEmpty(vals ...string) string {
+	for _, v := range vals {
+		if v != "" {
+			return v
+		}
+	}
+	return ""
+}
+
+// writeTrace dumps the default recorder's ring buffer as Chrome trace
+// JSON for Perfetto / chrome://tracing.
+func writeTrace(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.Default().WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func run(opts runOpts) error {
+	exp, n, seed, csv := opts.exp, opts.n, opts.seed, opts.csv
 	emit := func(t *report.Table) {
 		if csv {
 			fmt.Print(t.CSV())
@@ -252,6 +311,12 @@ func run(exp string, n int, seed int64, csv bool) error {
 		fmt.Printf("key space: %d keys, %d good; mean print %.2f h; expected brute force %.2f h\n\n",
 			rep.TotalKeys, rep.GoodKeys, rep.MeanPrintHours, rep.ExpectedBruteForceHours)
 	}
+	if want("matrix") {
+		ran = true
+		if err := runMatrix(seed, opts.manifestOut, emit); err != nil {
+			return err
+		}
+	}
 	if want("ndt") {
 		ran = true
 		t, err := experiments.NDT()
@@ -296,6 +361,37 @@ func run(exp string, n int, seed int64, csv bool) error {
 	}
 	if !ran {
 		return fmt.Errorf("%w %q", errUnknownExperiment, exp)
+	}
+	return nil
+}
+
+// runMatrix manufactures the reference protected bar under every
+// processing key, renders the quality matrix, and (with -manifest-out)
+// writes one NDJSON provenance line per key — the audit-trail artifact
+// CI captures alongside the Chrome trace.
+func runMatrix(seed int64, manifestOut string, emit func(*report.Table)) error {
+	prot, err := core.NewProtectedBar("bar", false)
+	if err != nil {
+		return err
+	}
+	entries, err := core.QualityMatrix(prot, printer.DimensionElite())
+	if err != nil {
+		return err
+	}
+	emit(core.MatrixTable(entries))
+	if manifestOut != "" {
+		f, err := os.Create(manifestOut)
+		if err != nil {
+			return err
+		}
+		n, werr := core.WriteManifests(f, entries, seed)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return werr
+		}
+		fmt.Printf("wrote %d provenance manifests to %s\n\n", n, manifestOut)
 	}
 	return nil
 }

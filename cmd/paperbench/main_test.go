@@ -12,20 +12,20 @@ func TestRunSingleExperiments(t *testing.T) {
 	// The fast experiments, one by one; the slow ones (table2, polyjet)
 	// are covered by the experiments package tests and the benchmarks.
 	for _, exp := range []string{"table1", "fig2", "fig5", "fig6", "fig9"} {
-		if err := run(exp, 2, 1, false); err != nil {
+		if err := run(runOpts{exp: exp, n: 2, seed: 1}); err != nil {
 			t.Errorf("run(%s): %v", exp, err)
 		}
 	}
 }
 
 func TestRunCSV(t *testing.T) {
-	if err := run("fig5", 2, 1, true); err != nil {
+	if err := run(runOpts{exp: "fig5", n: 2, seed: 1, csv: true}); err != nil {
 		t.Errorf("run csv: %v", err)
 	}
 }
 
 func TestRunUnknown(t *testing.T) {
-	err := run("nope", 2, 1, false)
+	err := run(runOpts{exp: "nope", n: 2, seed: 1})
 	if err == nil {
 		t.Fatal("expected error for unknown experiment")
 	}
@@ -40,7 +40,7 @@ func TestRunUnknown(t *testing.T) {
 func TestKnownExperimentErrorIsNotUnknown(t *testing.T) {
 	// A run that executed (successfully or not) must never be classified
 	// as an unknown experiment.
-	if err := run("fig5", 2, 1, false); errors.Is(err, errUnknownExperiment) {
+	if err := run(runOpts{exp: "fig5", n: 2, seed: 1}); errors.Is(err, errUnknownExperiment) {
 		t.Errorf("fig5 misclassified as unknown experiment: %v", err)
 	}
 }

@@ -1,12 +1,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"obfuscade/internal/brep"
 	"obfuscade/internal/obs"
 	"obfuscade/internal/printer"
 	"obfuscade/internal/supplychain"
+	"obfuscade/internal/trace"
 )
 
 // Manufacture metrics: per-run latency plus a deterministic census of the
@@ -147,13 +149,23 @@ type ManufactureResult struct {
 // chain under the key's resolution and orientation, and grades the
 // artifact. This is what a manufacturer (legitimate or counterfeit)
 // experiences when printing the protected model.
-func Manufacture(prot *Protected, key Key, prof printer.Profile) (res *ManufactureResult, err error) {
+func Manufacture(prot *Protected, key Key, prof printer.Profile) (*ManufactureResult, error) {
+	return ManufactureCtx(context.Background(), prot, key, prof)
+}
+
+// ManufactureCtx is Manufacture with trace propagation: the stage span
+// parents to the span carried by ctx (typically a per-key span of the
+// quality matrix) and records the resulting grade once known.
+func ManufactureCtx(ctx context.Context, prot *Protected, key Key, prof printer.Profile) (res *ManufactureResult, err error) {
 	span := stManufacture.Start()
+	ctx, tsp := trace.StartSpan(ctx, "stage", "core.manufacture")
 	defer func() {
-		span.EndErr(err)
 		if err == nil {
 			countGrade(res.Quality.Grade)
+			tsp.SetArg("grade", res.Quality.Grade.String())
 		}
+		tsp.End()
+		span.EndErr(err)
 	}()
 	part, err := ApplyKey(prot, key)
 	if err != nil {
@@ -164,7 +176,7 @@ func Manufacture(prot *Protected, key Key, prof printer.Profile) (res *Manufactu
 		Orientation: key.Orientation,
 		Printer:     prof,
 	}
-	run, err := pl.Execute(part)
+	run, err := pl.ExecuteCtx(ctx, part)
 	if err != nil {
 		return nil, fmt.Errorf("core: manufacture under %v: %w", key, err)
 	}

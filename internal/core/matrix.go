@@ -12,6 +12,7 @@ import (
 	"obfuscade/internal/printer"
 	"obfuscade/internal/report"
 	"obfuscade/internal/tessellate"
+	"obfuscade/internal/trace"
 )
 
 // Quality-matrix metrics: one stage span per matrix pass plus key
@@ -59,6 +60,10 @@ type MatrixEntry struct {
 	// are meaningless when non-nil. Completed entries are retained even
 	// when sibling keys fail.
 	Err error
+	// Provenance is the per-key audit record (STL digest, counter
+	// deltas, stage wall times), captured in the same pass. Failed keys
+	// carry a record with the Error field set.
+	Provenance *Provenance
 }
 
 // QualityMatrix manufactures the protected part under every key in the
@@ -83,22 +88,35 @@ func QualityMatrixWorkers(prot *Protected, prof printer.Profile, workers int) ([
 	span := stMatrix.Start()
 	keys := AllKeys(prot)
 	mMatrixKeys.Add(int64(len(keys)))
+	ctx, runSpan := trace.StartSpan(context.Background(), "run", "core.matrix",
+		trace.A("part", prot.Part.Name), trace.A("keys", fmt.Sprint(len(keys))))
 	entries := make([]MatrixEntry, len(keys))
-	err := parallel.ForEach(context.Background(), len(keys), workers, func(i int) error {
+	err := parallel.ForEachCtx(ctx, len(keys), workers, func(tctx context.Context, i int) error {
 		key := keys[i]
 		entries[i].Key = key
-		res, err := Manufacture(prot, key, prof)
+		kctx, ksp := trace.StartSpan(tctx, "key", key.String())
+		defer ksp.End()
+		res, err := ManufactureCtx(kctx, prot, key, prof)
 		if err != nil {
 			entries[i].Err = err
+			fp := failedProvenance(prot.Part.Name, key, 0, err)
+			entries[i].Provenance = &fp
+			ksp.SetArg("error", "manufacture")
 			return err
 		}
-		sim, err := gcode.Simulate(res.Run.GCode, gcode.DimensionEliteEnvelope())
+		sim, err := gcode.SimulateCtx(kctx, res.Run.GCode, gcode.DimensionEliteEnvelope())
 		if err != nil {
 			entries[i].Err = fmt.Errorf("core: simulate under %v: %w", key, err)
+			fp := failedProvenance(prot.Part.Name, key, 0, entries[i].Err)
+			entries[i].Provenance = &fp
+			ksp.SetArg("error", "simulate")
 			return entries[i].Err
 		}
 		entries[i].Quality = res.Quality
 		entries[i].PrintHours = sim.PrintTime / 3600
+		prov := NewProvenance(res, sim, 0)
+		entries[i].Provenance = &prov
+		ksp.SetArg("grade", res.Quality.Grade.String())
 		return nil
 	})
 	for i := range entries {
@@ -106,6 +124,7 @@ func QualityMatrixWorkers(prot *Protected, prof printer.Profile, workers int) ([
 			mMatrixFailed.Inc()
 		}
 	}
+	runSpan.End()
 	span.EndErr(err)
 	return entries, err
 }

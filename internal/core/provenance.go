@@ -1,0 +1,128 @@
+package core
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"io"
+
+	"obfuscade/internal/gcode"
+)
+
+// Provenance is the per-key audit record a production AM service
+// retains for every manufacture: which key was applied, the exact STL
+// that left the CAD stage (by digest), how the part graded, and what
+// each pipeline stage cost. One NDJSON line per key is the
+// -manifest-out artifact of the CLIs.
+//
+// Deterministic fields (key settings, digest, triangle/layer/command
+// counts, grade, print hours) depend only on the seed and inputs;
+// StageSeconds is wall-clock-derived and varies run to run.
+type Provenance struct {
+	// Part is the protected part name.
+	Part string `json:"part"`
+	// Seed is the process noise seed the caller ran under.
+	Seed int64 `json:"seed"`
+	// KeyResolution, KeyOrientation and KeyRestoreSphere are the
+	// processing-condition key settings.
+	KeyResolution    string `json:"key_resolution"`
+	KeyOrientation   string `json:"key_orientation"`
+	KeyRestoreSphere bool   `json:"key_restore_sphere"`
+	// STLSHA256 is the hex SHA-256 of the exported binary STL — the
+	// artifact a counterfeiter would exfiltrate.
+	STLSHA256 string `json:"stl_sha256,omitempty"`
+	// Triangles and STLBytes size the exported STL.
+	Triangles int `json:"triangles,omitempty"`
+	STLBytes  int `json:"stl_bytes,omitempty"`
+	// Grade is the artifact's quality classification.
+	Grade string `json:"grade,omitempty"`
+	// PrintHours is the simulated print time (zero when no simulation
+	// ran for this key).
+	PrintHours float64 `json:"print_hours,omitempty"`
+	// CounterDeltas attributes the run's deterministic obs counters to
+	// this key: how many layers, contours, deposited layers, seams and
+	// simulated commands this key's pipeline contributed.
+	CounterDeltas map[string]int64 `json:"counter_deltas,omitempty"`
+	// StageSeconds is the per-stage wall time of the process chain.
+	StageSeconds map[string]float64 `json:"stage_seconds,omitempty"`
+	// Error records a failed manufacture; the quality fields are absent.
+	Error string `json:"error,omitempty"`
+}
+
+// NewProvenance derives the audit record of one manufacture. sim may be
+// nil when no G-code simulation ran; seed is the caller's process noise
+// seed (the manufacture chain itself is noise-free, but the record pins
+// the run configuration).
+func NewProvenance(res *ManufactureResult, sim *gcode.Report, seed int64) Provenance {
+	p := Provenance{
+		Part:             res.Part.Name,
+		Seed:             seed,
+		KeyResolution:    res.Key.Resolution.Name,
+		KeyOrientation:   res.Key.Orientation.String(),
+		KeyRestoreSphere: res.Key.RestoreSphere,
+		Grade:            res.Quality.Grade.String(),
+	}
+	run := res.Run
+	if run == nil {
+		return p
+	}
+	sum := sha256.Sum256(run.STLBytes)
+	p.STLSHA256 = hex.EncodeToString(sum[:])
+	p.Triangles = run.STLStats.Triangles
+	p.STLBytes = len(run.STLBytes)
+	p.StageSeconds = run.StageSeconds
+	deltas := map[string]int64{}
+	if run.Sliced != nil {
+		deltas["slicer.layers.sliced"] = int64(len(run.Sliced.Layers))
+		var contours int64
+		for i := range run.Sliced.Layers {
+			contours += int64(len(run.Sliced.Layers[i].Contours))
+		}
+		deltas["slicer.contours"] = contours
+	}
+	if run.Build != nil {
+		deltas["printer.layers.deposited"] = int64(run.Build.LayerCount)
+		deltas["printer.seams"] = int64(len(run.Build.Seams))
+	}
+	if sim != nil {
+		deltas["gcode.sim.commands"] = int64(sim.Commands)
+		p.PrintHours = sim.PrintTime / 3600
+	}
+	p.CounterDeltas = deltas
+	return p
+}
+
+// failedProvenance records a key whose manufacture failed.
+func failedProvenance(part string, key Key, seed int64, err error) Provenance {
+	return Provenance{
+		Part:             part,
+		Seed:             seed,
+		KeyResolution:    key.Resolution.Name,
+		KeyOrientation:   key.Orientation.String(),
+		KeyRestoreSphere: key.RestoreSphere,
+		Error:            err.Error(),
+	}
+}
+
+// WriteManifests writes one NDJSON provenance line per matrix entry in
+// key order (failed keys carry their error), stamping each line with
+// the caller's seed. It returns the number of lines written.
+func WriteManifests(w io.Writer, entries []MatrixEntry, seed int64) (int, error) {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	n := 0
+	for i := range entries {
+		p := entries[i].Provenance
+		if p == nil {
+			continue
+		}
+		line := *p
+		line.Seed = seed
+		if err := enc.Encode(line); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, bw.Flush()
+}

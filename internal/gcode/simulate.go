@@ -1,6 +1,7 @@
 package gcode
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -8,6 +9,7 @@ import (
 	"obfuscade/internal/geom"
 	"obfuscade/internal/obs"
 	"obfuscade/internal/slicer"
+	"obfuscade/internal/trace"
 )
 
 // Simulation metrics: per-program latency plus deterministic command and
@@ -94,11 +96,21 @@ func (r *Report) OK() bool { return len(r.Violations) == 0 }
 // and extrusion, and collecting violations instead of stopping — the
 // defender wants the full damage report.
 func Simulate(p *Program, env Envelope) (*Report, error) {
+	return SimulateCtx(context.Background(), p, env)
+}
+
+// SimulateCtx is Simulate with trace propagation: the stage span
+// parents to the span carried by ctx and records the deterministic
+// command count.
+func SimulateCtx(ctx context.Context, p *Program, env Envelope) (*Report, error) {
 	if p == nil || len(p.Commands) == 0 {
 		return nil, fmt.Errorf("gcode: empty program")
 	}
 	span := stSimulate.Start()
 	defer span.End()
+	_, tsp := trace.StartSpan(ctx, "stage", "gcode.simulate",
+		trace.A("commands", fmt.Sprint(len(p.Commands))))
+	defer tsp.End()
 	rep := &Report{PerLayerExtrude: make(map[int64]float64)}
 	rep.Bounds = geom.EmptyAABB()
 	pos := geom.V3(0, 0, 0)

@@ -21,6 +21,7 @@ import (
 
 	"obfuscade/internal/obs"
 	"obfuscade/internal/parallel"
+	"obfuscade/internal/trace"
 )
 
 // Destructive-testing metrics: group latency plus a deterministic
@@ -368,9 +369,18 @@ type GroupResult struct {
 // splitmix(seed, i), so sample i depends only on (seed, i) — never on the
 // group size, execution order, or which worker ran it — and replicates
 // run on the shared worker pool with output identical to a serial run.
-func TestGroup(name string, s Specimen, n int, seed int64) (res GroupResult, err error) {
+func TestGroup(name string, s Specimen, n int, seed int64) (GroupResult, error) {
+	return TestGroupCtx(context.Background(), name, s, n, seed)
+}
+
+// TestGroupCtx is TestGroup with trace propagation: the stage span
+// parents to the span carried by ctx and a batch instant records the
+// deterministic replicate count.
+func TestGroupCtx(ctx context.Context, name string, s Specimen, n int, seed int64) (res GroupResult, err error) {
 	span := stTestGroup.Start()
+	ctx, tsp := trace.StartSpan(ctx, "stage", "mech.testgroup", trace.A("group", name))
 	defer func() {
+		tsp.End()
 		span.EndErr(err)
 		if err == nil {
 			mReplicates.Add(int64(n))
@@ -382,8 +392,9 @@ func TestGroup(name string, s Specimen, n int, seed int64) (res GroupResult, err
 	if err := s.Validate(); err != nil {
 		return GroupResult{}, err
 	}
+	trace.Instant(ctx, "batch", "mech.replicates", trace.A("count", fmt.Sprint(n)))
 	g := GroupResult{Name: name, N: n, Samples: make([]Properties, n)}
-	err = parallel.ForEach(context.Background(), n, 0, func(i int) error {
+	err = parallel.ForEach(ctx, n, 0, func(i int) error {
 		rng := rand.New(rand.NewSource(parallel.SplitMix(seed, i)))
 		p, _, err := Test(s, rng)
 		if err != nil {

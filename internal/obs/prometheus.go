@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// promName sanitizes a metric name into the Prometheus charset
+// [a-zA-Z0-9_:] and prefixes the exporter namespace, so
+// "core.matrix.keys" becomes "obfuscade_core_matrix_keys".
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("obfuscade_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == ':':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4): counters as <name>_total, gauges as-is, and
+// stage histograms with cumulative le buckets plus _sum and _count. The
+// output order is fixed (name-sorted, inherited from Snapshot), so
+// identical metric states scrape byte-identically.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	for _, m := range s.Counters {
+		name := promName(m.Name) + "_total"
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, m.Value); err != nil {
+			return err
+		}
+	}
+	for _, m := range s.Gauges {
+		name := promName(m.Name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, m.Value); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Stages {
+		name := promName(h.Name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+			return err
+		}
+		var cum int64
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			le := strconv.FormatFloat(bound, 'g', -1, 64)
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count); err != nil {
+			return err
+		}
+		sum := strconv.FormatFloat(h.SumSeconds, 'g', -1, 64)
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", name, sum, name, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

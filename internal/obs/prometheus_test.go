@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"core.matrix.keys": "obfuscade_core_matrix_keys",
+		"already_clean":    "obfuscade_already_clean",
+		"weird-chars/here": "obfuscade_weird_chars_here",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	snap := Snapshot{
+		Counters: []MetricValue{{Name: "slicer.layers.sliced", Value: 42}},
+		Gauges:   []MetricValue{{Name: "pool.workers", Value: 8}},
+		Stages: []HistogramSnapshot{{
+			Name:       "core.matrix",
+			Count:      5,
+			SumSeconds: 2.5,
+			Bounds:     []float64{0.1, 1, 10},
+			Counts:     []int64{1, 3, 1},
+		}},
+	}
+	var b strings.Builder
+	if err := snap.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	want := []string{
+		"# TYPE obfuscade_slicer_layers_sliced_total counter",
+		"obfuscade_slicer_layers_sliced_total 42",
+		"# TYPE obfuscade_pool_workers gauge",
+		"obfuscade_pool_workers 8",
+		"# TYPE obfuscade_core_matrix histogram",
+		`obfuscade_core_matrix_bucket{le="0.1"} 1`,
+		`obfuscade_core_matrix_bucket{le="1"} 4`, // cumulative: 1+3
+		`obfuscade_core_matrix_bucket{le="10"} 5`,
+		`obfuscade_core_matrix_bucket{le="+Inf"} 5`,
+		"obfuscade_core_matrix_sum 2.5",
+		"obfuscade_core_matrix_count 5",
+	}
+	for _, line := range want {
+		if !strings.Contains(out, line+"\n") {
+			t.Errorf("exposition missing line %q\nfull output:\n%s", line, out)
+		}
+	}
+}
+
+func TestWritePrometheusEmptySnapshot(t *testing.T) {
+	var b strings.Builder
+	if err := (Snapshot{}).WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("empty snapshot produced output: %q", b.String())
+	}
+}

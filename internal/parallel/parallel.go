@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"obfuscade/internal/obs"
+	"obfuscade/internal/trace"
 )
 
 // Pool metrics (package obs). Counters and histogram counts are
@@ -132,7 +133,17 @@ func (l ErrorList) Unwrap() []error {
 //
 // fn writes to caller-owned, per-index storage; ForEach guarantees that
 // all such writes happen-before it returns.
-func ForEach(ctx context.Context, n, workers int, fn func(i int) error) (err error) {
+func ForEach(ctx context.Context, n, workers int, fn func(i int) error) error {
+	return ForEachCtx(ctx, n, workers, func(_ context.Context, i int) error { return fn(i) })
+}
+
+// ForEachCtx is ForEach for context-aware tasks: fn receives a task
+// context derived from ctx and tagged with the worker lane running it
+// (trace.WithWorker), so trace events emitted inside the task carry
+// worker attribution and parent to the caller's span. The lane a task
+// lands on is scheduling-dependent; deterministic work must not branch
+// on it.
+func ForEachCtx(ctx context.Context, n, workers int, fn func(ctx context.Context, i int) error) (err error) {
 	if n <= 0 {
 		return nil
 	}
@@ -152,11 +163,11 @@ func ForEach(ctx context.Context, n, workers int, fn func(i int) error) (err err
 	span := stForEach.Start()
 	dispatchStart := time.Now()
 	task := fn
-	fn = func(i int) error {
+	run := func(wctx context.Context, i int) error {
 		hQueueWait.Observe(time.Since(dispatchStart).Seconds())
 		gActive.Add(1)
 		t0 := time.Now()
-		err := task(i)
+		err := task(wctx, i)
 		busy := time.Since(t0)
 		gActive.Add(-1)
 		gBusyNanos.Add(busy.Nanoseconds())
@@ -175,12 +186,13 @@ func ForEach(ctx context.Context, n, workers int, fn func(i int) error) (err err
 
 	if w == 1 {
 		// Serial fast path: identical semantics, no goroutines.
+		wctx := trace.WithWorker(ctx, 0)
 		var errs ErrorList
 		for i := 0; i < n; i++ {
 			if ctx.Err() != nil {
 				return append(errs, &TaskError{Index: i, Err: ctx.Err()})
 			}
-			if err := fn(i); err != nil {
+			if err := run(wctx, i); err != nil {
 				errs = append(errs, &TaskError{Index: i, Err: err})
 			}
 		}
@@ -199,8 +211,9 @@ func ForEach(ctx context.Context, n, workers int, fn func(i int) error) (err err
 	canceled := false
 	for g := 0; g < w; g++ {
 		wg.Add(1)
-		go func() {
+		go func(lane int) {
 			defer wg.Done()
+			wctx := trace.WithWorker(ctx, lane)
 			for {
 				i := int(atomic.AddInt64(&next, 1))
 				if i >= n {
@@ -215,13 +228,13 @@ func ForEach(ctx context.Context, n, workers int, fn func(i int) error) (err err
 					mu.Unlock()
 					return
 				}
-				if err := fn(i); err != nil {
+				if err := run(wctx, i); err != nil {
 					mu.Lock()
 					errs = append(errs, &TaskError{Index: i, Err: err})
 					mu.Unlock()
 				}
 			}
-		}()
+		}(g)
 	}
 	wg.Wait()
 	if len(errs) == 0 {

@@ -11,6 +11,7 @@
 package printer
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -18,6 +19,7 @@ import (
 	"obfuscade/internal/geom"
 	"obfuscade/internal/obs"
 	"obfuscade/internal/slicer"
+	"obfuscade/internal/trace"
 	"obfuscade/internal/voxel"
 )
 
@@ -178,13 +180,24 @@ func (b *Build) SeamBetween(a, c string) *SeamRecord {
 
 // Print deposits a sliced model. The slicing layer height should match the
 // profile's; a mismatch is an error (the process chain would re-slice).
-func Print(sliced *slicer.Result, prof Profile, opts Options) (build *Build, err error) {
+func Print(sliced *slicer.Result, prof Profile, opts Options) (*Build, error) {
+	return PrintCtx(context.Background(), sliced, prof, opts)
+}
+
+// PrintCtx is Print with trace propagation: the stage span parents to
+// the span carried by ctx and a batch instant records the deterministic
+// deposited-layer count.
+func PrintCtx(ctx context.Context, sliced *slicer.Result, prof Profile, opts Options) (build *Build, err error) {
 	span := stPrint.Start()
+	ctx, tsp := trace.StartSpan(ctx, "stage", "printer.print")
 	defer func() {
+		tsp.End()
 		span.EndErr(err)
 		if err == nil {
 			mDeposited.Add(int64(build.LayerCount))
 			mSeams.Add(int64(len(build.Seams)))
+			trace.Instant(ctx, "batch", "printer.layers",
+				trace.A("count", fmt.Sprint(build.LayerCount)))
 		}
 	}()
 	if err := prof.Validate(); err != nil {

@@ -23,6 +23,7 @@ import (
 	"obfuscade/internal/mesh"
 	"obfuscade/internal/obs"
 	"obfuscade/internal/parallel"
+	"obfuscade/internal/trace"
 )
 
 // Slicing metrics: per-call latency plus deterministic layer/contour
@@ -130,9 +131,20 @@ type Result struct {
 // Slice cuts the mesh into horizontal layers. The mesh must sit at or
 // above z = 0; layers are placed at the mid-height of each slab, the
 // convention of the paper's slicer.
-func Slice(m *mesh.Mesh, opts Options) (res *Result, err error) {
+func Slice(m *mesh.Mesh, opts Options) (*Result, error) {
+	return SliceCtx(context.Background(), m, opts)
+}
+
+// SliceCtx is Slice with trace propagation: the stage span parents to
+// the span carried by ctx, and the per-layer fan-out emits a batch
+// instant recording the deterministic layer count.
+func SliceCtx(ctx context.Context, m *mesh.Mesh, opts Options) (res *Result, err error) {
 	span := stSlice.Start()
-	defer func() { span.EndErr(err) }()
+	ctx, tsp := trace.StartSpan(ctx, "stage", "slicer.slice")
+	defer func() {
+		tsp.End()
+		span.EndErr(err)
+	}()
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
@@ -162,7 +174,8 @@ func Slice(m *mesh.Mesh, opts Options) (res *Result, err error) {
 	// concurrently on the worker pool and assemble by index — the stack is
 	// identical to a serial run.
 	res.Layers = make([]Layer, nLayers)
-	if err := parallel.ForEach(context.Background(), nLayers, 0, func(i int) error {
+	trace.Instant(ctx, "batch", "slicer.layers", trace.A("count", fmt.Sprint(nLayers)))
+	if err := parallel.ForEach(ctx, nLayers, 0, func(i int) error {
 		z := bounds.Min.Z + (float64(i)+0.5)*opts.LayerHeight
 		layer := Layer{Index: i, Z: z}
 		for si := range m.Shells {

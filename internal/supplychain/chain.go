@@ -1,8 +1,10 @@
 package supplychain
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"obfuscade/internal/brep"
 	"obfuscade/internal/fea"
@@ -14,6 +16,7 @@ import (
 	"obfuscade/internal/slicer"
 	"obfuscade/internal/stl"
 	"obfuscade/internal/tessellate"
+	"obfuscade/internal/trace"
 )
 
 // Pipeline is the full cloud-aware AM process chain of paper Fig. 1:
@@ -69,20 +72,42 @@ type Run struct {
 	// DesignKt is the stress concentration found by the design-stage
 	// FEA (1 when RunFEA is off or no concentrator is present).
 	DesignKt float64
+	// StageSeconds records each stage's wall time, keyed by stage name
+	// (cad, stl, slice, toolpath, gcode, print, fea). Values are
+	// wall-clock-derived and excluded from determinism contracts; the
+	// key set is fixed by the pipeline shape.
+	StageSeconds map[string]float64
 }
 
 // Execute runs the process chain on the part. The part is not modified.
 func (p Pipeline) Execute(part *brep.Part) (*Run, error) {
+	return p.ExecuteCtx(context.Background(), part)
+}
+
+// ExecuteCtx is Execute with trace propagation: each stage span parents
+// to the span carried by ctx (typically a per-key span of the quality
+// matrix) and the per-stage wall times are retained in Run.StageSeconds
+// for the provenance manifest.
+func (p Pipeline) ExecuteCtx(ctx context.Context, part *brep.Part) (*Run, error) {
 	if err := p.Printer.Validate(); err != nil {
 		return nil, err
 	}
-	run := &Run{Part: part, DesignKt: 1}
+	ctx, tsp := trace.StartSpan(ctx, "stage", "supplychain.execute")
+	defer tsp.End()
+	run := &Run{Part: part, DesignKt: 1, StageSeconds: map[string]float64{}}
+	t0 := time.Now()
+	mark := func(stage string) {
+		now := time.Now()
+		run.StageSeconds[stage] = now.Sub(t0).Seconds()
+		t0 = now
+	}
 
 	cadBytes, err := brep.Save(part)
 	if err != nil {
 		return nil, fmt.Errorf("supplychain: CAD stage: %w", err)
 	}
 	run.CADBytes = cadBytes
+	mark("cad")
 
 	m, err := tessellate.Tessellate(part, p.Resolution)
 	if err != nil {
@@ -101,6 +126,7 @@ func (p Pipeline) Execute(part *brep.Part) (*Run, error) {
 	}
 	run.STLBytes = stlBytes
 	run.STLStats = stl.StatsOf(m)
+	mark("stl")
 
 	sliceOpts := p.SliceOpts
 	if sliceOpts.LayerHeight == 0 && sliceOpts.RoadWidth == 0 {
@@ -108,28 +134,32 @@ func (p Pipeline) Execute(part *brep.Part) (*Run, error) {
 	}
 	sliceOpts.LayerHeight = p.Printer.LayerHeight
 	sliceOpts.RoadWidth = p.Printer.RoadWidth
-	sliced, err := slicer.Slice(m, sliceOpts)
+	sliced, err := slicer.SliceCtx(ctx, m, sliceOpts)
 	if err != nil {
 		return nil, fmt.Errorf("supplychain: slicing stage: %w", err)
 	}
 	run.Sliced = sliced
+	mark("slice")
 
 	paths, err := sliced.Toolpaths()
 	if err != nil {
 		return nil, fmt.Errorf("supplychain: toolpath stage: %w", err)
 	}
 	run.Toolpaths = paths
+	mark("toolpath")
 	prog, err := gcode.Generate(part.Name, paths, gcode.DefaultOptions())
 	if err != nil {
 		return nil, fmt.Errorf("supplychain: G-code stage: %w", err)
 	}
 	run.GCode = prog
+	mark("gcode")
 
-	build, err := printer.Print(sliced, p.Printer, p.PrintOpts)
+	build, err := printer.PrintCtx(ctx, sliced, p.Printer, p.PrintOpts)
 	if err != nil {
 		return nil, fmt.Errorf("supplychain: printing stage: %w", err)
 	}
 	run.Build = build
+	mark("print")
 
 	if p.RunFEA {
 		kt, err := designKt(part, build)
@@ -137,6 +167,7 @@ func (p Pipeline) Execute(part *brep.Part) (*Run, error) {
 			return nil, fmt.Errorf("supplychain: FEA stage: %w", err)
 		}
 		run.DesignKt = kt
+		mark("fea")
 	}
 	return run, nil
 }

@@ -1,0 +1,170 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// chromeEvent is one entry of the Chrome trace_event format (the JSON
+// consumed by Perfetto and chrome://tracing). Timestamps and durations
+// are microseconds; worker lanes map to thread IDs so the pool renders
+// as parallel tracks.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`
+	Dur  *float64          `json:"dur,omitempty"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	S    string            `json:"s,omitempty"` // instant scope
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// chromeTID maps a worker lane to a Chrome thread ID. Lane 0 becomes
+// tid 1, etc.; events recorded outside the pool land on tid 0 ("main").
+func chromeTID(worker int) int { return worker + 1 }
+
+// WriteChromeTrace renders events in the Chrome trace_event JSON format.
+// Spans become complete ("X") events, instants become instant ("i")
+// events, and every worker lane gets a thread_name metadata record so
+// Perfetto labels the tracks.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	tids := map[int]bool{}
+	out := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{
+		{Name: "process_name", Ph: "M", PID: 1, TID: 0,
+			Args: map[string]string{"name": "obfuscade pipeline"}},
+	}}
+	for _, e := range events {
+		tids[chromeTID(e.Worker)] = true
+		ce := chromeEvent{
+			Name: e.Name,
+			Cat:  e.Cat,
+			TS:   float64(e.Start.Nanoseconds()) / 1e3,
+			PID:  1,
+			TID:  chromeTID(e.Worker),
+			Args: map[string]string{
+				"seq":    fmt.Sprintf("%d", e.Seq),
+				"span":   fmt.Sprintf("%d", e.ID),
+				"parent": fmt.Sprintf("%d", e.Parent),
+			},
+		}
+		for _, a := range e.Args {
+			ce.Args[a.Key] = a.Value
+		}
+		if e.Kind == KindInstant {
+			ce.Ph = "i"
+			ce.S = "t"
+		} else {
+			ce.Ph = "X"
+			dur := float64(e.Dur.Nanoseconds()) / 1e3
+			ce.Dur = &dur
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+	lanes := make([]int, 0, len(tids))
+	for tid := range tids {
+		lanes = append(lanes, tid)
+	}
+	sort.Ints(lanes)
+	for _, tid := range lanes {
+		name := "main"
+		if tid > 0 {
+			name = fmt.Sprintf("worker %d", tid-1)
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: 1, TID: tid,
+			Args: map[string]string{"name": name}})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// WriteChrome renders the recorder's retained events as a Chrome trace.
+func (r *Recorder) WriteChrome(w io.Writer) error {
+	return WriteChromeTrace(w, r.Events())
+}
+
+// WriteNDJSON writes the retained events as an NDJSON journal, one
+// event object per line in sequence order.
+func (r *Recorder) WriteNDJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range r.Events() {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// CountRow is the deterministic census of one event shape: how many
+// events share a (kind, cat, name, args) tuple.
+type CountRow struct {
+	Kind  Kind   `json:"kind"`
+	Cat   string `json:"cat"`
+	Name  string `json:"name"`
+	Args  string `json:"args,omitempty"`
+	Count int64  `json:"count"`
+}
+
+// Counts reduces events to their scheduling-independent multiset: rows
+// keyed by (kind, cat, name, args) with occurrence counts, sorted by
+// key. Sequence numbers, IDs, timestamps and worker lanes are dropped —
+// with a fixed seed the result is byte-identical at any pool size.
+func Counts(events []Event) []CountRow {
+	type key struct {
+		kind      Kind
+		cat, name string
+		args      string
+	}
+	argString := func(args []Arg) string {
+		if len(args) == 0 {
+			return ""
+		}
+		parts := make([]string, len(args))
+		for i, a := range args {
+			parts[i] = a.Key + "=" + a.Value
+		}
+		return strings.Join(parts, " ")
+	}
+	m := map[key]int64{}
+	for _, e := range events {
+		m[key{e.Kind, e.Cat, e.Name, argString(e.Args)}]++
+	}
+	rows := make([]CountRow, 0, len(m))
+	for k, n := range m {
+		rows = append(rows, CountRow{Kind: k.kind, Cat: k.cat, Name: k.name, Args: k.args, Count: n})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		if a.Cat != b.Cat {
+			return a.Cat < b.Cat
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		return a.Args < b.Args
+	})
+	return rows
+}
+
+// DeterministicJSON renders the recorder's event multiset (Counts) as
+// indented JSON — the form the determinism tests compare across worker
+// counts.
+func (r *Recorder) DeterministicJSON() ([]byte, error) {
+	return json.MarshalIndent(Counts(r.Events()), "", "  ")
+}

@@ -1,0 +1,160 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenEvents is a fixed, hand-built event slice: a run span on the
+// main lane, two key spans on worker lanes 0 and 1, and a batch instant
+// — enough to exercise spans, instants, lane metadata and arg merging.
+func goldenEvents() []Event {
+	return []Event{
+		{Seq: 0, Kind: KindInstant, Cat: "batch", Name: "slicer.layers",
+			Parent: 2, Worker: 0, Start: 150 * time.Microsecond,
+			Args: []Arg{A("count", "40")}},
+		{Seq: 1, ID: 2, Parent: 1, Kind: KindSpan, Cat: "key", Name: "fine/XY",
+			Worker: 0, Start: 100 * time.Microsecond, Dur: 900 * time.Microsecond,
+			Args: []Arg{A("grade", "good")}},
+		{Seq: 2, ID: 3, Parent: 1, Kind: KindSpan, Cat: "key", Name: "coarse/XZ",
+			Worker: 1, Start: 120 * time.Microsecond, Dur: 700 * time.Microsecond,
+			Args: []Arg{A("grade", "degraded")}},
+		{Seq: 3, ID: 1, Kind: KindSpan, Cat: "run", Name: "core.matrix",
+			Worker: -1, Start: 50 * time.Microsecond, Dur: 1200 * time.Microsecond,
+			Args: []Arg{A("keys", "2")}},
+	}
+}
+
+func TestWriteChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, goldenEvents()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "chrome_trace.golden")
+	if *update {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("Chrome trace drifted from golden.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestWriteChromeTraceIsValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, goldenEvents()); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	// 1 process_name + 4 events + 3 lane thread_names (main, worker 0, worker 1).
+	if len(out.TraceEvents) != 8 {
+		t.Fatalf("want 8 trace events, got %d", len(out.TraceEvents))
+	}
+	phs := map[string]int{}
+	for _, e := range out.TraceEvents {
+		phs[e["ph"].(string)]++
+	}
+	if phs["M"] != 4 || phs["X"] != 3 || phs["i"] != 1 {
+		t.Fatalf("phase census mismatch: %v", phs)
+	}
+}
+
+func TestWriteNDJSON(t *testing.T) {
+	r := New(8)
+	ctx, s := r.StartSpan(context.Background(), "run", "root")
+	r.Instant(ctx, "batch", "mark", A("count", "2"))
+	s.End()
+	var buf bytes.Buffer
+	if err := r.WriteNDJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 NDJSON lines, got %d: %q", len(lines), buf.String())
+	}
+	for i, line := range lines {
+		var e Event
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("line %d not valid JSON: %v", i, err)
+		}
+		if e.Seq != uint64(i) {
+			t.Fatalf("line %d has Seq %d", i, e.Seq)
+		}
+	}
+}
+
+func TestCountsDropsSchedulingDetail(t *testing.T) {
+	// Two event sets with identical work but different interleaving,
+	// worker attribution, IDs and timings must reduce to equal counts.
+	a := []Event{
+		{Seq: 0, ID: 1, Kind: KindSpan, Cat: "key", Name: "fine/XY", Worker: 0, Dur: time.Millisecond},
+		{Seq: 1, ID: 2, Kind: KindSpan, Cat: "key", Name: "coarse/XZ", Worker: 1, Dur: 2 * time.Millisecond},
+		{Seq: 2, Kind: KindInstant, Cat: "batch", Name: "layers", Worker: 0, Args: []Arg{A("count", "40")}},
+	}
+	b := []Event{
+		{Seq: 0, Kind: KindInstant, Cat: "batch", Name: "layers", Worker: -1, Args: []Arg{A("count", "40")}},
+		{Seq: 1, ID: 9, Kind: KindSpan, Cat: "key", Name: "coarse/XZ", Worker: -1, Dur: 5 * time.Millisecond},
+		{Seq: 2, ID: 8, Kind: KindSpan, Cat: "key", Name: "fine/XY", Worker: -1, Dur: 7 * time.Millisecond},
+	}
+	aj, _ := json.Marshal(Counts(a))
+	bj, _ := json.Marshal(Counts(b))
+	if !bytes.Equal(aj, bj) {
+		t.Fatalf("counts differ:\n%s\n%s", aj, bj)
+	}
+}
+
+func TestCountsAggregates(t *testing.T) {
+	events := []Event{
+		{Kind: KindInstant, Cat: "batch", Name: "tick"},
+		{Kind: KindInstant, Cat: "batch", Name: "tick"},
+		{Kind: KindInstant, Cat: "batch", Name: "tick", Args: []Arg{A("count", "1")}},
+	}
+	rows := Counts(events)
+	if len(rows) != 2 {
+		t.Fatalf("want 2 rows, got %+v", rows)
+	}
+	// Sorted by args within same cat/name/kind: "" < "count=1".
+	if rows[0].Count != 2 || rows[0].Args != "" {
+		t.Fatalf("row 0: %+v", rows[0])
+	}
+	if rows[1].Count != 1 || rows[1].Args != "count=1" {
+		t.Fatalf("row 1: %+v", rows[1])
+	}
+}
+
+func TestDeterministicJSONStable(t *testing.T) {
+	r := New(16)
+	ctx, s := r.StartSpan(context.Background(), "run", "root")
+	r.Instant(ctx, "batch", "mark", A("count", "7"))
+	s.End()
+	first, err := r.DeterministicJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := r.DeterministicJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatal("DeterministicJSON not stable across calls")
+	}
+}

@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"obfuscade/internal/obs"
+)
+
+// DebugServer is the unified debug surface shared by the CLIs: live
+// Prometheus metrics, the metrics snapshot as JSON, the trace ring
+// buffer as a Chrome trace download, and the standard pprof handlers.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// NewDebugMux builds the debug handler tree:
+//
+//	/metrics       Prometheus text exposition of the obs registry
+//	/metrics.json  obs snapshot as indented JSON
+//	/trace         current trace ring buffer as Chrome trace JSON
+//	/trace.ndjson  current trace ring buffer as an NDJSON journal
+//	/debug/pprof/  net/http/pprof profiles
+func NewDebugMux(reg *obs.Registry, rec *Recorder) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.Snapshot().WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		data, err := reg.Snapshot().JSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", `attachment; filename="trace.json"`)
+		rec.WriteChrome(w)
+	})
+	mux.HandleFunc("/trace.ndjson", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		rec.WriteNDJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// StartDebugServer binds addr synchronously — a bad address or occupied
+// port fails here, not from a background goroutine — then serves the
+// debug mux until Close. reg and rec default to the process-wide
+// instances when nil.
+func StartDebugServer(addr string, reg *obs.Registry, rec *Recorder) (*DebugServer, error) {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	if rec == nil {
+		rec = Default()
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("trace: debug server: %w", err)
+	}
+	s := &DebugServer{ln: ln, srv: &http.Server{
+		Handler:           NewDebugMux(reg, rec),
+		ReadHeaderTimeout: 5 * time.Second,
+	}}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *DebugServer) Addr() string { return s.ln.Addr().String() }
+
+// URL returns the server's base URL.
+func (s *DebugServer) URL() string { return "http://" + s.Addr() }
+
+// Close stops the server.
+func (s *DebugServer) Close() error { return s.srv.Close() }

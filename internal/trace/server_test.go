@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"obfuscade/internal/obs"
+)
+
+func startTestServer(t *testing.T) (*DebugServer, *obs.Registry, *Recorder) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	reg.Counter("test.hits").Add(3)
+	rec := New(32)
+	ctx, s := rec.StartSpan(context.Background(), "run", "server-test")
+	rec.Instant(ctx, "batch", "mark", A("count", "1"))
+	s.End()
+	srv, err := StartDebugServer("127.0.0.1:0", reg, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, reg, rec
+}
+
+func get(t *testing.T, url string) (string, *http.Response) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d\n%s", url, resp.StatusCode, body)
+	}
+	return string(body), resp
+}
+
+func TestDebugServerMetrics(t *testing.T) {
+	srv, _, _ := startTestServer(t)
+	body, resp := get(t, srv.URL()+"/metrics")
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("Content-Type %q lacks exposition version", ct)
+	}
+	if !strings.Contains(body, "obfuscade_test_hits_total 3") {
+		t.Fatalf("metrics body missing counter:\n%s", body)
+	}
+	// Every non-comment line must be "name value" — the shape Prometheus
+	// scrapes.
+	for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if fields := strings.Fields(line); len(fields) != 2 {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+	}
+}
+
+func TestDebugServerMetricsJSON(t *testing.T) {
+	srv, _, _ := startTestServer(t)
+	body, _ := get(t, srv.URL()+"/metrics.json")
+	var snap map[string]any
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("metrics.json not valid JSON: %v", err)
+	}
+}
+
+func TestDebugServerTrace(t *testing.T) {
+	srv, _, _ := startTestServer(t)
+	body, resp := get(t, srv.URL()+"/trace")
+	if cd := resp.Header.Get("Content-Disposition"); !strings.Contains(cd, "trace.json") {
+		t.Fatalf("Content-Disposition %q", cd)
+	}
+	var out struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatalf("/trace not valid Chrome JSON: %v", err)
+	}
+	if len(out.TraceEvents) < 3 { // process_name + 2 events at least
+		t.Fatalf("too few trace events: %d", len(out.TraceEvents))
+	}
+
+	nd, _ := get(t, srv.URL()+"/trace.ndjson")
+	if lines := strings.Split(strings.TrimRight(nd, "\n"), "\n"); len(lines) != 2 {
+		t.Fatalf("trace.ndjson: want 2 lines, got %d", len(lines))
+	}
+}
+
+func TestDebugServerPprof(t *testing.T) {
+	srv, _, _ := startTestServer(t)
+	body, _ := get(t, srv.URL()+"/debug/pprof/cmdline")
+	if body == "" {
+		t.Fatal("pprof cmdline empty")
+	}
+}
+
+func TestStartDebugServerBindFailure(t *testing.T) {
+	srv, _, _ := startTestServer(t)
+	if _, err := StartDebugServer(srv.Addr(), nil, nil); err == nil {
+		t.Fatal("second bind on the same address must fail synchronously")
+	} else if !strings.Contains(err.Error(), "debug server") {
+		t.Fatalf("error %v lacks context", err)
+	}
+	if _, err := StartDebugServer("not-an-address", nil, nil); err == nil {
+		t.Fatal("bad address must fail")
+	}
+}

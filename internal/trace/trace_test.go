@@ -1,0 +1,159 @@
+package trace
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRecorderSequenceAndHierarchy(t *testing.T) {
+	r := New(16)
+	ctx, run := r.StartSpan(context.Background(), "run", "root")
+	r.Instant(ctx, "batch", "marker", A("count", "3"))
+	kctx, key := r.StartSpan(ctx, "key", "child")
+	key.SetArg("grade", "good")
+	key.End()
+	key.End() // idempotent: second End must not re-record
+	run.End()
+
+	events := r.Events()
+	if len(events) != 3 {
+		t.Fatalf("want 3 events, got %d: %+v", len(events), events)
+	}
+	for i, e := range events {
+		if e.Seq != uint64(i) {
+			t.Fatalf("event %d has Seq %d", i, e.Seq)
+		}
+	}
+	inst, child, root := events[0], events[1], events[2]
+	if inst.Kind != KindInstant || inst.Parent != root.ID {
+		t.Fatalf("instant not parented to run span: %+v (root %d)", inst, root.ID)
+	}
+	if child.Parent != root.ID {
+		t.Fatalf("key span not parented to run span: %+v (root %d)", child, root.ID)
+	}
+	if len(child.Args) != 1 || child.Args[0] != A("grade", "good") {
+		t.Fatalf("SetArg lost: %+v", child.Args)
+	}
+	if got := parentSpan(kctx); got != child.ID {
+		t.Fatalf("derived ctx carries span %d, want %d", got, child.ID)
+	}
+}
+
+func TestRecorderRingWraparound(t *testing.T) {
+	r := New(8)
+	ctx := context.Background()
+	for i := 0; i < 20; i++ {
+		r.Instant(ctx, "batch", fmt.Sprintf("e%d", i))
+	}
+	if r.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", r.Len())
+	}
+	if r.Dropped() != 12 {
+		t.Fatalf("Dropped = %d, want 12", r.Dropped())
+	}
+	events := r.Events()
+	for i, e := range events {
+		want := uint64(12 + i)
+		if e.Seq != want {
+			t.Fatalf("retained event %d has Seq %d, want %d", i, e.Seq, want)
+		}
+		if e.Name != fmt.Sprintf("e%d", want) {
+			t.Fatalf("retained event %d is %q, want e%d", i, e.Name, want)
+		}
+	}
+}
+
+func TestRecorderReset(t *testing.T) {
+	r := New(4)
+	r.Instant(context.Background(), "batch", "before")
+	r.Reset()
+	if r.Len() != 0 || r.Dropped() != 0 {
+		t.Fatalf("after Reset: Len=%d Dropped=%d", r.Len(), r.Dropped())
+	}
+	_, s := r.StartSpan(context.Background(), "run", "after")
+	s.End()
+	if got := r.Events(); len(got) != 1 || got[0].Seq != 0 {
+		t.Fatalf("post-Reset events: %+v", got)
+	}
+}
+
+func TestWorkerContext(t *testing.T) {
+	if Worker(context.Background()) != -1 {
+		t.Fatal("background ctx must report lane -1")
+	}
+	ctx := WithWorker(context.Background(), 3)
+	if Worker(ctx) != 3 {
+		t.Fatalf("Worker = %d, want 3", Worker(ctx))
+	}
+	r := New(4)
+	_, s := r.StartSpan(ctx, "stage", "work")
+	s.End()
+	r.Instant(ctx, "batch", "mark")
+	for _, e := range r.Events() {
+		if e.Worker != 3 {
+			t.Fatalf("event %q attributed to lane %d, want 3", e.Name, e.Worker)
+		}
+	}
+}
+
+func TestNilSpanIsNoOp(t *testing.T) {
+	var s *Span
+	s.SetArg("k", "v") // must not panic
+	s.End()
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := New(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(lane int) {
+			defer wg.Done()
+			ctx := WithWorker(context.Background(), lane)
+			for i := 0; i < 50; i++ {
+				sctx, s := r.StartSpan(ctx, "stage", "work")
+				r.Instant(sctx, "batch", "tick")
+				s.End()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if total := uint64(r.Len()) + r.Dropped(); total != 800 {
+		t.Fatalf("recorded %d events, want 800", total)
+	}
+	// Retained events must still be in strict sequence order.
+	events := r.Events()
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq != events[i-1].Seq+1 {
+			t.Fatalf("sequence gap at %d: %d -> %d", i, events[i-1].Seq, events[i].Seq)
+		}
+	}
+}
+
+func TestSpanDurationAndStart(t *testing.T) {
+	r := New(4)
+	_, s := r.StartSpan(context.Background(), "stage", "sleepy")
+	time.Sleep(5 * time.Millisecond)
+	s.End()
+	e := r.Events()[0]
+	if e.Dur < 5*time.Millisecond {
+		t.Fatalf("Dur = %v, want >= 5ms", e.Dur)
+	}
+	if e.Start < 0 {
+		t.Fatalf("Start = %v, want >= 0", e.Start)
+	}
+}
+
+func TestDefaultRecorderPackageFuncs(t *testing.T) {
+	Default().Reset()
+	defer Default().Reset()
+	ctx, s := StartSpan(context.Background(), "run", "pkg")
+	Instant(ctx, "batch", "pkg-instant")
+	s.End()
+	if Default().Len() != 2 {
+		t.Fatalf("default recorder Len = %d, want 2", Default().Len())
+	}
+}

@@ -5,10 +5,11 @@
 //
 // Usage:
 //
-//	go run ./scripts/benchdiff.go -baseline BENCH_baseline.json \
-//	    -current BENCH_obfuscade.json [-tolerance 0.30] [-max-serial-ratio 1.25]
+//	go run ./scripts -baseline BENCH_baseline.json \
+//	    -current BENCH_obfuscade.json [-tolerance 0.30] [-max-serial-ratio 1.25] \
+//	    [-throughput-tolerance 0.40] [-enforce-throughput]
 //
-// Two gates run:
+// Three gates run:
 //
 //  1. Regression: current parallel matrix wall time must not exceed
 //     baseline * (1 + tolerance). Absolute wall times differ across
@@ -18,8 +19,13 @@
 //  2. Pool sanity (machine-independent): on a multi-core host the pool
 //     must not run slower than the serial baseline by more than
 //     -max-serial-ratio. Skipped when GOMAXPROCS is 1.
+//  3. Throughput: slicer layers/s and mech replicates/s must not drop
+//     more than -throughput-tolerance below the baseline. Warn-only by
+//     default (throughput is noisier than wall time on shared CI
+//     runners); -enforce-throughput promotes the warnings to failures.
 //
-// Exit code 0 when both gates pass, 1 on a regression or unreadable input.
+// Exit code 0 when the enforced gates pass, 1 on a regression or
+// unreadable input.
 package main
 
 import (
@@ -50,6 +56,66 @@ type benchReport struct {
 	} `json:"mech"`
 }
 
+// gateOpts are the thresholds the gates evaluate against.
+type gateOpts struct {
+	// Tolerance is the allowed fractional wall-time regression of the
+	// parallel matrix.
+	Tolerance float64
+	// MaxSerialRatio bounds parallel/serial wall time on multi-core hosts.
+	MaxSerialRatio float64
+	// ThroughputTolerance is the allowed fractional drop in slicer
+	// layers/s and mech replicates/s.
+	ThroughputTolerance float64
+	// EnforceThroughput promotes throughput warnings to failures.
+	EnforceThroughput bool
+}
+
+// gateResult is the outcome of one evaluate pass: failures gate the exit
+// code, warnings are advisory.
+type gateResult struct {
+	Failures []string
+	Warnings []string
+}
+
+func (r gateResult) ok() bool { return len(r.Failures) == 0 }
+
+// evaluate runs every gate against the two reports and returns the
+// failures and warnings. Pure — no I/O — so the CI policy is unit
+// testable.
+func evaluate(base, cur benchReport, opts gateOpts) gateResult {
+	var res gateResult
+	limit := base.Matrix.ParallelSeconds * (1 + opts.Tolerance)
+	if cur.Matrix.ParallelSeconds > limit {
+		res.Failures = append(res.Failures, fmt.Sprintf(
+			"parallel matrix wall %.3fs exceeds baseline %.3fs + %.0f%% tolerance (limit %.3fs)",
+			cur.Matrix.ParallelSeconds, base.Matrix.ParallelSeconds, 100*opts.Tolerance, limit))
+	}
+	if cur.GOMAXPROCS > 1 && cur.Matrix.ParallelSeconds > cur.Matrix.SerialSeconds*opts.MaxSerialRatio {
+		res.Failures = append(res.Failures, fmt.Sprintf(
+			"parallel matrix (%.3fs) slower than %.2fx the serial run (%.3fs) on %d CPUs",
+			cur.Matrix.ParallelSeconds, opts.MaxSerialRatio, cur.Matrix.SerialSeconds, cur.GOMAXPROCS))
+	}
+	throughput := func(name string, baseRate, curRate float64) {
+		if baseRate <= 0 {
+			return
+		}
+		floor := baseRate * (1 - opts.ThroughputTolerance)
+		if curRate >= floor {
+			return
+		}
+		msg := fmt.Sprintf("%s %.1f/s below baseline %.1f/s - %.0f%% tolerance (floor %.1f/s)",
+			name, curRate, baseRate, 100*opts.ThroughputTolerance, floor)
+		if opts.EnforceThroughput {
+			res.Failures = append(res.Failures, msg)
+		} else {
+			res.Warnings = append(res.Warnings, msg)
+		}
+	}
+	throughput("slicer layers", base.Slicer.LayersPerSecond, cur.Slicer.LayersPerSecond)
+	throughput("mech replicates", base.Mech.ReplicatesPerSecond, cur.Mech.ReplicatesPerSecond)
+	return res
+}
+
 func load(path string) (benchReport, error) {
 	var rep benchReport
 	data, err := os.ReadFile(path)
@@ -77,6 +143,8 @@ func main() {
 	current := flag.String("current", "BENCH_obfuscade.json", "freshly measured report")
 	tolerance := flag.Float64("tolerance", 0.30, "allowed fractional wall-time regression of the parallel matrix")
 	maxSerialRatio := flag.Float64("max-serial-ratio", 1.25, "parallel matrix may be at most this multiple of the serial wall time (multi-core hosts only)")
+	throughputTol := flag.Float64("throughput-tolerance", 0.40, "allowed fractional drop in slicer layers/s and mech replicates/s")
+	enforceThroughput := flag.Bool("enforce-throughput", false, "fail (instead of warn) when a throughput gate trips")
 	flag.Parse()
 
 	base, err := load(*baseline)
@@ -99,21 +167,19 @@ func main() {
 	row("slicer layers/s", base.Slicer.LayersPerSecond, cur.Slicer.LayersPerSecond, " ")
 	row("mech replicates/s", base.Mech.ReplicatesPerSecond, cur.Mech.ReplicatesPerSecond, " ")
 
-	failed := false
-	limit := base.Matrix.ParallelSeconds * (1 + *tolerance)
-	if cur.Matrix.ParallelSeconds > limit {
-		fmt.Fprintf(os.Stderr,
-			"benchdiff: FAIL: parallel matrix wall %.3fs exceeds baseline %.3fs + %.0f%% tolerance (limit %.3fs)\n",
-			cur.Matrix.ParallelSeconds, base.Matrix.ParallelSeconds, 100**tolerance, limit)
-		failed = true
+	res := evaluate(base, cur, gateOpts{
+		Tolerance:           *tolerance,
+		MaxSerialRatio:      *maxSerialRatio,
+		ThroughputTolerance: *throughputTol,
+		EnforceThroughput:   *enforceThroughput,
+	})
+	for _, w := range res.Warnings {
+		fmt.Fprintln(os.Stderr, "benchdiff: WARN:", w)
 	}
-	if cur.GOMAXPROCS > 1 && cur.Matrix.ParallelSeconds > cur.Matrix.SerialSeconds**maxSerialRatio {
-		fmt.Fprintf(os.Stderr,
-			"benchdiff: FAIL: parallel matrix (%.3fs) slower than %.2fx the serial run (%.3fs) on %d CPUs\n",
-			cur.Matrix.ParallelSeconds, *maxSerialRatio, cur.Matrix.SerialSeconds, cur.GOMAXPROCS)
-		failed = true
+	for _, f := range res.Failures {
+		fmt.Fprintln(os.Stderr, "benchdiff: FAIL:", f)
 	}
-	if failed {
+	if !res.ok() {
 		os.Exit(1)
 	}
 	fmt.Printf("benchdiff: OK (parallel matrix %.3fs within %.0f%% of baseline %.3fs)\n",

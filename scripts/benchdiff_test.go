@@ -1,0 +1,120 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func report(parallel, serial float64, procs int, layersPS, repsPS float64) benchReport {
+	var r benchReport
+	r.Schema = 1
+	r.GOMAXPROCS = procs
+	r.Matrix.SerialSeconds = serial
+	r.Matrix.ParallelSeconds = parallel
+	r.Slicer.LayersPerSecond = layersPS
+	r.Mech.ReplicatesPerSecond = repsPS
+	return r
+}
+
+var defaultOpts = gateOpts{Tolerance: 0.30, MaxSerialRatio: 1.25, ThroughputTolerance: 0.40}
+
+func TestEvaluatePasses(t *testing.T) {
+	base := report(1.0, 4.0, 8, 1000, 500)
+	cur := report(1.2, 4.1, 8, 900, 480)
+	res := evaluate(base, cur, defaultOpts)
+	if !res.ok() || len(res.Warnings) != 0 {
+		t.Fatalf("want clean pass, got failures=%v warnings=%v", res.Failures, res.Warnings)
+	}
+}
+
+func TestEvaluateWallTimeRegression(t *testing.T) {
+	base := report(1.0, 4.0, 8, 1000, 500)
+	cur := report(1.5, 4.0, 8, 1000, 500) // 50% > 30% tolerance
+	res := evaluate(base, cur, defaultOpts)
+	if res.ok() {
+		t.Fatal("want wall-time failure, got pass")
+	}
+	if !strings.Contains(res.Failures[0], "parallel matrix wall") {
+		t.Fatalf("unexpected failure: %q", res.Failures[0])
+	}
+}
+
+func TestEvaluateSerialRatioGate(t *testing.T) {
+	base := report(10.0, 4.0, 8, 1000, 500)
+	cur := report(6.0, 4.0, 8, 1000, 500) // parallel 1.5x serial > 1.25x
+	res := evaluate(base, cur, defaultOpts)
+	if res.ok() {
+		t.Fatal("want serial-ratio failure, got pass")
+	}
+	// Same shape on a single-core host is skipped.
+	cur.GOMAXPROCS = 1
+	if res := evaluate(base, cur, defaultOpts); !res.ok() {
+		t.Fatalf("single-core host must skip the serial-ratio gate: %v", res.Failures)
+	}
+}
+
+func TestEvaluateThroughputWarnsByDefault(t *testing.T) {
+	base := report(1.0, 4.0, 8, 1000, 500)
+	cur := report(1.0, 4.0, 8, 500, 200) // both rates below 60% of baseline
+	res := evaluate(base, cur, defaultOpts)
+	if !res.ok() {
+		t.Fatalf("throughput must warn, not fail, by default: %v", res.Failures)
+	}
+	if len(res.Warnings) != 2 {
+		t.Fatalf("want 2 throughput warnings, got %v", res.Warnings)
+	}
+	if !strings.Contains(res.Warnings[0], "slicer layers") || !strings.Contains(res.Warnings[1], "mech replicates") {
+		t.Fatalf("unexpected warnings: %v", res.Warnings)
+	}
+}
+
+func TestEvaluateThroughputEnforced(t *testing.T) {
+	base := report(1.0, 4.0, 8, 1000, 500)
+	cur := report(1.0, 4.0, 8, 500, 500)
+	opts := defaultOpts
+	opts.EnforceThroughput = true
+	res := evaluate(base, cur, opts)
+	if res.ok() || len(res.Failures) != 1 {
+		t.Fatalf("want 1 enforced throughput failure, got failures=%v warnings=%v",
+			res.Failures, res.Warnings)
+	}
+}
+
+func TestEvaluateThroughputZeroBaselineSkipped(t *testing.T) {
+	base := report(1.0, 4.0, 8, 0, 0)
+	cur := report(1.0, 4.0, 8, 0, 0)
+	res := evaluate(base, cur, defaultOpts)
+	if !res.ok() || len(res.Warnings) != 0 {
+		t.Fatalf("zero baselines must be skipped: failures=%v warnings=%v",
+			res.Failures, res.Warnings)
+	}
+}
+
+func TestLoadFixture(t *testing.T) {
+	rep, err := load(filepath.Join("testdata", "bench_fixture.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Matrix.Keys != 6 || rep.Matrix.ParallelSeconds != 1.25 {
+		t.Fatalf("fixture mismatch: %+v", rep.Matrix)
+	}
+	if rep.Slicer.LayersPerSecond != 1200.5 || rep.Mech.ReplicatesPerSecond != 640 {
+		t.Fatalf("fixture throughput mismatch: %+v %+v", rep.Slicer, rep.Mech)
+	}
+}
+
+func TestLoadRejectsBadSchema(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(path, []byte(`{"schema": 2}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := load(path); err == nil || !strings.Contains(err.Error(), "unsupported schema") {
+		t.Fatalf("want schema error, got %v", err)
+	}
+	if _, err := load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("want error for missing file")
+	}
+}
