@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify race bench benchdiff cover build test
+.PHONY: verify race bench benchdiff cover build test smoke
 
 # Tier-1 verify: must stay green on every commit.
 verify: build test
@@ -30,6 +30,13 @@ bench:
 #   make bench && cp BENCH_obfuscade.json BENCH_baseline.json
 benchdiff:
 	$(GO) run ./scripts -baseline BENCH_baseline.json -current BENCH_obfuscade.json -tolerance 0.30
+
+# End-to-end smoke of the job service: boots `obfuscade serve` on a
+# random port in a fresh process, submits two identical + one distinct
+# job, and asserts exact cache hit/miss counters on /metrics plus a
+# graceful SIGTERM drain (scripts/smoke_serve.sh).
+smoke:
+	./scripts/smoke_serve.sh
 
 # Coverage floor over the observability, tracing and worker-pool
 # packages — the subsystems every parallel stage depends on.

@@ -1,15 +1,18 @@
 package obfuscade_test
 
 import (
+	"context"
 	"testing"
 
 	"obfuscade/internal/brep"
+	"obfuscade/internal/cache"
 	"obfuscade/internal/core"
 	"obfuscade/internal/experiments"
 	"obfuscade/internal/fea"
 	"obfuscade/internal/mech"
 	"obfuscade/internal/obs"
 	"obfuscade/internal/printer"
+	"obfuscade/internal/serve"
 	"obfuscade/internal/slicer"
 	"obfuscade/internal/stl"
 	"obfuscade/internal/supplychain"
@@ -361,3 +364,45 @@ func benchQualityMatrix(b *testing.B, workers int) {
 
 func BenchmarkQualityMatrixSerial(b *testing.B)   { benchQualityMatrix(b, 1) }
 func BenchmarkQualityMatrixParallel(b *testing.B) { benchQualityMatrix(b, 0) }
+
+// Cold-vs-cached job service. Cold gives every iteration a fresh seed so
+// each request misses and runs the full pipeline; Cached replays one
+// request against a warm cache. Compare ns/op:
+//
+//	go test -bench 'BenchmarkJobService' -run '^$' .
+//
+// The cached path must be orders of magnitude faster (it copies nothing
+// and computes one SHA-256 over the canonical request).
+
+func BenchmarkJobServiceCold(b *testing.B) {
+	svc := serve.NewService(0, printer.DimensionElite())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := svc.Do(context.Background(), serve.Request{Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Outcome != cache.Miss {
+			b.Fatalf("iteration %d outcome = %s, want miss", i, res.Outcome)
+		}
+	}
+}
+
+func BenchmarkJobServiceCached(b *testing.B) {
+	svc := serve.NewService(0, printer.DimensionElite())
+	req := serve.Request{Seed: 1}
+	warm, err := svc.Do(context.Background(), req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := svc.Do(context.Background(), req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Outcome != cache.Hit || res.STLSHA256 != warm.STLSHA256 {
+			b.Fatalf("iteration %d: outcome %s digest %s", i, res.Outcome, res.STLSHA256)
+		}
+	}
+}

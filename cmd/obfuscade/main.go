@@ -13,6 +13,16 @@
 //	obfuscade mark -in part.stl -out marked.stl -key partner-a
 //	obfuscade trace -original part.stl -suspect leaked.stl -keys partner-a,partner-b
 //	obfuscade stats [-with-sphere] [-format text|json] [-workers N]
+//	obfuscade serve [-addr host:port] [-cache-bytes N] [-job-timeout D]
+//	                [-drain-timeout D] [-manifest-out file] [-workers N]
+//
+// serve runs the long-lived obfuscation job service: POST /jobs accepts
+// a JSON request (part, resolution, orientation, restore_sphere, seed,
+// simulate, timeout_ms), results are content-addressed and cached so a
+// repeated identical request is served byte-for-byte from memory, and
+// the debug surface (/metrics, /trace, /debug/pprof) shares the same
+// port. SIGINT/SIGTERM drains in-flight jobs before exiting and flushes
+// provenance manifests to -manifest-out.
 //
 // The manufacture, matrix and keyspace subcommands accept -stats to print
 // the per-stage pipeline metrics (package obs) after their output, plus
@@ -128,6 +138,8 @@ func main() {
 		err = cmdTrace(os.Args[2:])
 	case "stats":
 		err = cmdStats(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 		return
@@ -142,7 +154,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: obfuscade <protect|manufacture|matrix|keyspace|advise|mark|trace|stats> [flags]
+	fmt.Fprintln(os.Stderr, `usage: obfuscade <protect|manufacture|matrix|keyspace|advise|mark|trace|stats|serve> [flags]
 run "obfuscade <subcommand> -h" for flags`)
 }
 

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"obfuscade/internal/serve"
+)
+
+// serveStop receives the shutdown signal. A package variable so the
+// tests can stop a server without sending a real signal to the test
+// process.
+var serveStop = make(chan os.Signal, 1)
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (use :0 for a random port)")
+	cacheBytes := fs.Int64("cache-bytes", 256<<20, "result cache budget in bytes (0 = unbounded)")
+	jobTimeout := fs.Duration("job-timeout", 2*time.Minute, "default per-job pipeline deadline (0 = none)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
+	manifestOut := fs.String("manifest-out", "", "write provenance manifests (NDJSON) to this file on shutdown")
+	addrFile := fs.String("addr-file", "", "write the bound listen address to this file once serving")
+	setWorkers := workersFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	setWorkers()
+
+	opts := serve.Options{
+		Addr:       *addr,
+		CacheBytes: *cacheBytes,
+		JobTimeout: *jobTimeout,
+	}
+	var manifestFile *os.File
+	if *manifestOut != "" {
+		f, err := os.Create(*manifestOut)
+		if err != nil {
+			return err
+		}
+		manifestFile = f
+		opts.ManifestOut = f
+	}
+	s, err := serve.Start(opts)
+	if err != nil {
+		return err
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(s.Addr()+"\n"), 0o644); err != nil {
+			s.Close()
+			return err
+		}
+	}
+	fmt.Fprintln(os.Stderr, "obfuscade: serve listening on", s.URL())
+
+	signal.Notify(serveStop, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(serveStop)
+	sig := <-serveStop
+	fmt.Fprintf(os.Stderr, "obfuscade: %v received, draining\n", sig)
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	err = s.Shutdown(ctx)
+	if manifestFile != nil {
+		if cerr := manifestFile.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "obfuscade: serve drained cleanly")
+	return nil
+}

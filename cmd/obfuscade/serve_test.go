@@ -1,0 +1,88 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// cmdServe boots, writes its bound address, answers a job round trip,
+// and drains on the injected stop signal, flushing the manifest file.
+func TestCmdServeLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	addrFile := filepath.Join(dir, "addr")
+	manifestOut := filepath.Join(dir, "manifests.ndjson")
+
+	done := make(chan error, 1)
+	go func() {
+		done <- cmdServe([]string{
+			"-addr", "127.0.0.1:0",
+			"-addr-file", addrFile,
+			"-manifest-out", manifestOut,
+			"-drain-timeout", "30s",
+		})
+	}()
+
+	var addr string
+	deadline := time.After(10 * time.Second)
+	for addr == "" {
+		select {
+		case err := <-done:
+			t.Fatalf("serve exited early: %v", err)
+		case <-deadline:
+			t.Fatal("address file never appeared")
+		case <-time.After(10 * time.Millisecond):
+		}
+		if data, err := os.ReadFile(addrFile); err == nil {
+			addr = strings.TrimSpace(string(data))
+		}
+	}
+
+	resp, err := http.Post("http://"+addr+"/jobs?wait=1", "application/json",
+		strings.NewReader(`{"seed": 11}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		State     string `json:"state"`
+		Outcome   string `json:"outcome"`
+		STLSHA256 string `json:"stl_sha256"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || st.State != "done" || st.Outcome != "miss" {
+		t.Fatalf("job round trip: status %d %+v", resp.StatusCode, st)
+	}
+
+	serveStop <- os.Interrupt
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve exited with error: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("serve did not drain")
+	}
+
+	data, err := os.ReadFile(manifestOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("manifest lines = %d, want 1:\n%s", len(lines), data)
+	}
+	var prov map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &prov); err != nil {
+		t.Fatalf("manifest line: %v", err)
+	}
+	if prov["stl_sha256"] != st.STLSHA256 {
+		t.Fatal("flushed manifest digest disagrees with the served job")
+	}
+}

@@ -1,0 +1,264 @@
+// Package cache is the content-addressed result cache behind the
+// obfuscation job service (internal/serve): manufactured artifacts are
+// keyed by the SHA-256 of the canonical request that produced them, an
+// LRU byte budget bounds residency, and singleflight coalescing makes N
+// concurrent identical misses trigger exactly one pipeline run.
+//
+// Contracts the serving layer relies on:
+//
+//   - Cached values are immutable. A hit returns the same value the miss
+//     stored, so a repeated request is byte-for-byte identical to the
+//     first — the determinism of the pipeline extends across the cache.
+//   - Errors are never cached: a failed computation propagates to every
+//     coalesced waiter and the next request retries from scratch.
+//   - A waiter whose own context ends returns early with that context's
+//     error; the leader keeps computing and still populates the cache.
+//
+// Hit/miss/coalesce/eviction counts feed package obs (cache.* metrics)
+// and each lookup emits a trace span tagged with its outcome.
+package cache
+
+import (
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+
+	"obfuscade/internal/obs"
+	"obfuscade/internal/trace"
+)
+
+// Cache metrics. The process-wide registry aggregates across instances;
+// per-instance numbers come from Cache.Stats.
+var (
+	mHits      = obs.Default().Counter("cache.hits")
+	mMisses    = obs.Default().Counter("cache.misses")
+	mCoalesced = obs.Default().Counter("cache.coalesced")
+	mEvictions = obs.Default().Counter("cache.evictions")
+	gBytes     = obs.Default().Gauge("cache.bytes")
+	gEntries   = obs.Default().Gauge("cache.entries")
+)
+
+// Key is the content address of a cached result: the hex SHA-256 of the
+// canonical request bytes.
+type Key string
+
+// KeyOf hashes canonical request bytes into a Key.
+func KeyOf(canonical []byte) Key {
+	sum := sha256.Sum256(canonical)
+	return Key(hex.EncodeToString(sum[:]))
+}
+
+// Value is a cacheable result. SizeBytes is the value's residency cost
+// against the byte budget and must be stable for the value's lifetime;
+// cached values are immutable by contract.
+type Value interface{ SizeBytes() int64 }
+
+// Outcome classifies how a GetOrCompute call was served.
+type Outcome int
+
+const (
+	// Hit means the value was already resident.
+	Hit Outcome = iota
+	// Miss means this caller ran the computation (the singleflight
+	// leader).
+	Miss
+	// Coalesced means an identical in-flight computation was joined.
+	Coalesced
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case Hit:
+		return "hit"
+	case Miss:
+		return "miss"
+	default:
+		return "coalesced"
+	}
+}
+
+// Stats is a point-in-time census of one cache instance.
+type Stats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Coalesced int64 `json:"coalesced"`
+	Evictions int64 `json:"evictions"`
+	Entries   int64 `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+	MaxBytes  int64 `json:"max_bytes"`
+}
+
+// call is one in-flight singleflight computation. val and err are
+// written before done closes; waiters read them only after <-done.
+type call struct {
+	done chan struct{}
+	val  Value
+	err  error
+}
+
+// entry is one resident value; list elements hold *entry.
+type entry struct {
+	key  Key
+	val  Value
+	size int64
+}
+
+// Cache is a content-addressed LRU cache with singleflight coalescing.
+// All methods are safe for concurrent use.
+type Cache struct {
+	mu     sync.Mutex
+	max    int64 // byte budget; <= 0 means unbounded
+	bytes  int64
+	ll     *list.List // front = most recently used
+	items  map[Key]*list.Element
+	flight map[Key]*call
+	stats  Stats
+}
+
+// New returns a cache with the given byte budget. maxBytes <= 0 means
+// unbounded (no eviction) — useful for tests, not production serving.
+func New(maxBytes int64) *Cache {
+	return &Cache{
+		max:    maxBytes,
+		ll:     list.New(),
+		items:  map[Key]*list.Element{},
+		flight: map[Key]*call{},
+	}
+}
+
+// Get returns the resident value for key, refreshing its recency.
+func (c *Cache) Get(key Key) (Value, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*entry).val, true
+}
+
+// Add inserts a computed value under key, evicting least-recently-used
+// entries until the byte budget holds again. A value larger than the
+// whole budget is not cached at all.
+func (c *Cache) Add(key Key, v Value) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.addLocked(key, v)
+}
+
+func (c *Cache) addLocked(key Key, v Value) {
+	size := v.SizeBytes()
+	if c.max > 0 && size > c.max {
+		return
+	}
+	if el, ok := c.items[key]; ok {
+		old := el.Value.(*entry)
+		c.bytes += size - old.size
+		gBytes.Add(size - old.size)
+		old.val, old.size = v, size
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&entry{key: key, val: v, size: size})
+		c.bytes += size
+		gBytes.Add(size)
+		gEntries.Add(1)
+	}
+	for c.max > 0 && c.bytes > c.max {
+		c.evictOldestLocked()
+	}
+}
+
+func (c *Cache) evictOldestLocked() {
+	el := c.ll.Back()
+	if el == nil {
+		return
+	}
+	e := el.Value.(*entry)
+	c.ll.Remove(el)
+	delete(c.items, e.key)
+	c.bytes -= e.size
+	c.stats.Evictions++
+	mEvictions.Inc()
+	gBytes.Add(-e.size)
+	gEntries.Add(-1)
+}
+
+// GetOrCompute returns the value for key, computing it with fn on a
+// miss. Concurrent callers with the same key coalesce: exactly one runs
+// fn (the leader, under the leader's ctx), the rest wait for its result.
+// fn must return a non-nil Value on success. Errors are not cached; a
+// failed computation propagates its error to every coalesced waiter. A
+// waiter whose own ctx ends returns early with ctx.Err() while the
+// leader keeps computing.
+func (c *Cache) GetOrCompute(ctx context.Context, key Key, fn func(ctx context.Context) (Value, error)) (v Value, out Outcome, err error) {
+	sctx, sp := trace.StartSpan(ctx, "stage", "cache.lookup")
+	defer func() {
+		sp.SetArg("outcome", out.String())
+		sp.End()
+	}()
+
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.stats.Hits++
+		mHits.Inc()
+		v := el.Value.(*entry).val
+		c.mu.Unlock()
+		return v, Hit, nil
+	}
+	if cl, ok := c.flight[key]; ok {
+		c.stats.Coalesced++
+		mCoalesced.Inc()
+		c.mu.Unlock()
+		select {
+		case <-cl.done:
+			return cl.val, Coalesced, cl.err
+		case <-ctx.Done():
+			return nil, Coalesced, ctx.Err()
+		}
+	}
+	cl := &call{done: make(chan struct{})}
+	c.flight[key] = cl
+	c.stats.Misses++
+	mMisses.Inc()
+	c.mu.Unlock()
+
+	cl.val, cl.err = fn(sctx)
+	c.mu.Lock()
+	delete(c.flight, key)
+	if cl.err == nil && cl.val != nil {
+		c.addLocked(key, cl.val)
+	}
+	c.mu.Unlock()
+	close(cl.done)
+	return cl.val, Miss, cl.err
+}
+
+// Len returns the number of resident entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}
+
+// Bytes returns the resident byte total.
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// Stats returns a snapshot of this instance's counters and residency.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = int64(len(c.items))
+	s.Bytes = c.bytes
+	s.MaxBytes = c.max
+	return s
+}

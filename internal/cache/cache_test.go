@@ -1,0 +1,303 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// blob is a test Value of a declared size.
+type blob struct {
+	id   string
+	size int64
+}
+
+func (b *blob) SizeBytes() int64 { return b.size }
+
+func TestKeyOfStable(t *testing.T) {
+	a := KeyOf([]byte("canonical-request"))
+	b := KeyOf([]byte("canonical-request"))
+	if a != b {
+		t.Fatalf("same bytes hash differently: %s vs %s", a, b)
+	}
+	if len(a) != 64 {
+		t.Fatalf("key length = %d, want 64 hex chars", len(a))
+	}
+	if KeyOf([]byte("other")) == a {
+		t.Fatal("distinct bytes collide")
+	}
+}
+
+func TestGetAddRoundTrip(t *testing.T) {
+	c := New(0)
+	if _, ok := c.Get("missing"); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	v := &blob{id: "a", size: 10}
+	c.Add("k", v)
+	got, ok := c.Get("k")
+	if !ok || got.(*blob).id != "a" {
+		t.Fatalf("Get = %v, %v", got, ok)
+	}
+	if c.Len() != 1 || c.Bytes() != 10 {
+		t.Fatalf("Len=%d Bytes=%d", c.Len(), c.Bytes())
+	}
+	// Replacing a key adjusts the byte total in place.
+	c.Add("k", &blob{id: "a2", size: 25})
+	if c.Len() != 1 || c.Bytes() != 25 {
+		t.Fatalf("after replace: Len=%d Bytes=%d", c.Len(), c.Bytes())
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	c := New(30)
+	c.Add("a", &blob{id: "a", size: 10})
+	c.Add("b", &blob{id: "b", size: 10})
+	c.Add("c", &blob{id: "c", size: 10})
+	// Touch "a" so "b" becomes the least recently used.
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a missing before eviction")
+	}
+	c.Add("d", &blob{id: "d", size: 10})
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("LRU entry b survived eviction")
+	}
+	for _, k := range []Key{"a", "c", "d"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("entry %s evicted out of LRU order", k)
+		}
+	}
+	if s := c.Stats(); s.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", s.Evictions)
+	}
+}
+
+func TestOversizeValueNotCached(t *testing.T) {
+	c := New(100)
+	c.Add("big", &blob{id: "big", size: 101})
+	if c.Len() != 0 {
+		t.Fatal("value larger than the whole budget was cached")
+	}
+	c.Add("fits", &blob{id: "ok", size: 100})
+	if c.Len() != 1 {
+		t.Fatal("budget-sized value rejected")
+	}
+}
+
+func TestGetOrComputeHitMiss(t *testing.T) {
+	c := New(0)
+	calls := 0
+	fn := func(context.Context) (Value, error) {
+		calls++
+		return &blob{id: "v", size: 1}, nil
+	}
+	v, out, err := c.GetOrCompute(context.Background(), "k", fn)
+	if err != nil || out != Miss || v.(*blob).id != "v" {
+		t.Fatalf("first call: v=%v out=%v err=%v", v, out, err)
+	}
+	v, out, err = c.GetOrCompute(context.Background(), "k", fn)
+	if err != nil || out != Hit || v.(*blob).id != "v" {
+		t.Fatalf("second call: v=%v out=%v err=%v", v, out, err)
+	}
+	if calls != 1 {
+		t.Fatalf("fn ran %d times, want 1", calls)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Coalesced != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestErrorsNotCached(t *testing.T) {
+	c := New(0)
+	boom := errors.New("boom")
+	calls := 0
+	_, out, err := c.GetOrCompute(context.Background(), "k", func(context.Context) (Value, error) {
+		calls++
+		return nil, boom
+	})
+	if !errors.Is(err, boom) || out != Miss {
+		t.Fatalf("out=%v err=%v", out, err)
+	}
+	// The failure must not poison the key: the next call recomputes.
+	v, out, err := c.GetOrCompute(context.Background(), "k", func(context.Context) (Value, error) {
+		calls++
+		return &blob{id: "ok", size: 1}, nil
+	})
+	if err != nil || out != Miss || v.(*blob).id != "ok" {
+		t.Fatalf("retry: v=%v out=%v err=%v", v, out, err)
+	}
+	if calls != 2 {
+		t.Fatalf("calls = %d, want 2", calls)
+	}
+}
+
+// Singleflight: N concurrent identical requests run the computation
+// exactly once; everyone gets the same value.
+func TestSingleflightExactlyOnce(t *testing.T) {
+	c := New(0)
+	const goroutines = 32
+	var computations atomic.Int64
+	gate := make(chan struct{})    // holds the leader inside fn
+	arrived := make(chan struct{}) // leader signals it is computing
+	fn := func(context.Context) (Value, error) {
+		computations.Add(1)
+		close(arrived)
+		<-gate
+		return &blob{id: "once", size: 1}, nil
+	}
+
+	var wg sync.WaitGroup
+	outcomes := make([]Outcome, goroutines)
+	values := make([]Value, goroutines)
+	errs := make([]error, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			values[i], outcomes[i], errs[i] = c.GetOrCompute(context.Background(), "k", fn)
+		}(i)
+	}
+	<-arrived
+	// Give the remaining goroutines time to enqueue as waiters, then
+	// release the leader.
+	time.Sleep(10 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+
+	if n := computations.Load(); n != 1 {
+		t.Fatalf("computation ran %d times, want exactly 1", n)
+	}
+	misses := 0
+	for i := 0; i < goroutines; i++ {
+		if errs[i] != nil {
+			t.Fatalf("goroutine %d: %v", i, errs[i])
+		}
+		if values[i].(*blob).id != "once" {
+			t.Fatalf("goroutine %d got %v", i, values[i])
+		}
+		if outcomes[i] == Miss {
+			misses++
+		}
+	}
+	if misses != 1 {
+		t.Fatalf("%d goroutines were leaders, want 1", misses)
+	}
+}
+
+// A waiter whose context dies leaves the leader running; the leader
+// still populates the cache.
+func TestWaiterContextCancellation(t *testing.T) {
+	c := New(0)
+	gate := make(chan struct{})
+	arrived := make(chan struct{})
+	go c.GetOrCompute(context.Background(), "k", func(context.Context) (Value, error) {
+		close(arrived)
+		<-gate
+		return &blob{id: "v", size: 1}, nil
+	})
+	<-arrived
+	ctx, cancel := context.WithCancel(context.Background())
+	waiterErr := make(chan error, 1)
+	go func() {
+		_, _, err := c.GetOrCompute(ctx, "k", func(context.Context) (Value, error) {
+			t.Error("waiter must never compute")
+			return nil, nil
+		})
+		waiterErr <- err
+	}()
+	// Let the waiter register, then cancel only its context.
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	if err := <-waiterErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("waiter err = %v, want context.Canceled", err)
+	}
+	close(gate)
+	// The leader completes and caches despite the waiter's departure.
+	deadline := time.After(5 * time.Second)
+	for {
+		if _, ok := c.Get("k"); ok {
+			return
+		}
+		select {
+		case <-deadline:
+			t.Fatal("leader never populated the cache")
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// Concurrency hammer (run under -race): many goroutines mixing hits,
+// misses and evictions on a tight byte budget, with singleflight
+// exactness asserted per unique key.
+func TestConcurrencyHammer(t *testing.T) {
+	const (
+		goroutines = 16
+		iterations = 200
+		uniqueKeys = 24
+	)
+	// Budget fits only half the key space, so evictions churn constantly.
+	c := New(uniqueKeys / 2 * 10)
+	var perKey [uniqueKeys]atomic.Int64 // computations per key between evictions
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iterations; i++ {
+				k := (g*7 + i) % uniqueKeys
+				key := Key(fmt.Sprintf("key-%02d", k))
+				v, _, err := c.GetOrCompute(context.Background(), key, func(context.Context) (Value, error) {
+					perKey[k].Add(1)
+					return &blob{id: key.short(), size: 10}, nil
+				})
+				if err != nil {
+					t.Errorf("key %s: %v", key, err)
+					return
+				}
+				if v.(*blob).id != key.short() {
+					t.Errorf("key %s returned value %q", key, v.(*blob).id)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	s := c.Stats()
+	total := s.Hits + s.Misses + s.Coalesced
+	if total != goroutines*iterations {
+		t.Fatalf("outcomes %d != requests %d (stats %+v)", total, goroutines*iterations, s)
+	}
+	if s.Evictions == 0 {
+		t.Fatal("hammer never evicted; budget too large for the test to bite")
+	}
+	if s.Hits == 0 || s.Misses == 0 {
+		t.Fatalf("hammer must mix hits and misses: %+v", s)
+	}
+	if c.Bytes() > c.Stats().MaxBytes {
+		t.Fatalf("resident bytes %d exceed budget %d", c.Bytes(), s.MaxBytes)
+	}
+	// Every computation must correspond to a miss: singleflight never let
+	// two concurrent identical requests both compute.
+	var computed int64
+	for k := range perKey {
+		computed += perKey[k].Load()
+	}
+	if computed != s.Misses {
+		t.Fatalf("computations %d != misses %d: coalescing leaked", computed, s.Misses)
+	}
+}
+
+// short gives the hammer a compact stable payload id per key.
+func (k Key) short() string {
+	if len(k) > 8 {
+		return string(k[:8])
+	}
+	return string(k)
+}

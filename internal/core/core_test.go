@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
 	"reflect"
@@ -408,4 +409,50 @@ func mustSave(t *testing.T, p *brep.Part) []byte {
 		t.Fatal(err)
 	}
 	return data
+}
+
+func TestBuildProtectedVocabulary(t *testing.T) {
+	for _, name := range []string{"bar", "bar-sphere", "double-bar", "prism"} {
+		prot, err := BuildProtected(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if prot.Part.Name != name {
+			t.Fatalf("%s: part named %q", name, prot.Part.Name)
+		}
+	}
+	if _, err := BuildProtected("teapot"); err == nil {
+		t.Fatal("unknown part must not build")
+	}
+}
+
+func TestRunJobProducesProvenance(t *testing.T) {
+	prot, err := BuildProtected("bar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := JobSpec{Part: "bar", Key: prot.Manifest.Key, Seed: 5, Simulate: true}
+	job, err := RunJob(context.Background(), spec, printer.DimensionElite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(job.STL) == 0 {
+		t.Fatal("no STL produced")
+	}
+	p := job.Provenance
+	if p.Seed != 5 || p.Part != "bar" || p.STLSHA256 == "" || p.STLBytes != len(job.STL) {
+		t.Fatalf("provenance = %+v", p)
+	}
+	if p.PrintHours <= 0 {
+		t.Fatalf("simulated job reported %.2f print hours", p.PrintHours)
+	}
+	if job.Quality.Grade != Good {
+		t.Fatalf("correct key graded %s", job.Quality.Grade)
+	}
+	// A cancelled context aborts the pipeline mid-run.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunJob(ctx, spec, printer.DimensionElite()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled job error = %v", err)
+	}
 }

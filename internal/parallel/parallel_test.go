@@ -272,3 +272,34 @@ func TestForEachUtilizationGauges(t *testing.T) {
 	}
 	obs.Default().Reset()
 }
+
+// Regression: on a 1-worker pool the dispatcher itself checks ctx only
+// between tasks. A long-running task must therefore observe cancellation
+// through the worker context it receives — the job service relies on this
+// to interrupt pipeline stages mid-task when a request deadline expires.
+func TestSerialTaskObservesMidTaskCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	go func() {
+		<-started
+		cancel()
+	}()
+	err := ForEachCtx(ctx, 3, 1, func(wctx context.Context, i int) error {
+		if i == 0 {
+			close(started)
+			select {
+			case <-wctx.Done():
+				return wctx.Err()
+			case <-time.After(10 * time.Second):
+				return fmt.Errorf("task never saw the cancellation")
+			}
+		}
+		return fmt.Errorf("task %d ran after cancellation", i)
+	})
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

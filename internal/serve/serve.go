@@ -1,0 +1,133 @@
+// Package serve is the obfuscation job service: a long-running HTTP
+// front end over the manufacture pipeline. Requests are normalized,
+// content-addressed (SHA-256 of the canonical request plus the pipeline
+// version) and served through an LRU result cache with singleflight
+// coalescing, so N concurrent identical submissions run the pipeline
+// once and a repeated request returns byte-for-byte the artifact of the
+// first. Jobs run under per-job deadlines that propagate through the
+// context-aware pipeline stages; shutdown drains in-flight jobs and
+// flushes their provenance manifests.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"obfuscade/internal/cache"
+	"obfuscade/internal/core"
+	"obfuscade/internal/obs"
+	"obfuscade/internal/printer"
+)
+
+var (
+	stJob      = obs.Stage("serve.job")
+	mRequests  = obs.Default().Counter("serve.requests")
+	mCompleted = obs.Default().Counter("serve.jobs.completed")
+	mFailed    = obs.Default().Counter("serve.jobs.failed")
+	gInflight  = obs.Default().Gauge("serve.jobs.inflight")
+)
+
+// cachedResult is the immutable artifact stored per cache key.
+type cachedResult struct {
+	stl      []byte
+	manifest []byte // provenance as a single JSON line, no trailing newline
+	stlSHA   string
+	grade    string
+}
+
+// SizeBytes implements cache.Value.
+func (r *cachedResult) SizeBytes() int64 {
+	return int64(len(r.stl) + len(r.manifest) + len(r.stlSHA) + len(r.grade))
+}
+
+// Result is the deliverable of one Service.Do call.
+type Result struct {
+	// Request is the normalized request that was served.
+	Request Request
+	// STL is the binary STL artifact.
+	STL []byte
+	// Manifest is the provenance record as a JSON line.
+	Manifest []byte
+	// STLSHA256 is the artifact digest (also inside the manifest).
+	STLSHA256 string
+	// Grade is the artifact's quality classification.
+	Grade string
+	// Outcome reports how the cache served this call.
+	Outcome cache.Outcome
+}
+
+// Service runs obfuscation jobs through the content-addressed cache.
+// It is the transport-free core of the HTTP server, usable directly
+// from tests and benchmarks.
+type Service struct {
+	cache *cache.Cache
+	prof  printer.Profile
+}
+
+// NewService builds a service with the given cache byte budget
+// (<= 0 means unbounded) and printer profile.
+func NewService(cacheBytes int64, prof printer.Profile) *Service {
+	return &Service{cache: cache.New(cacheBytes), prof: prof}
+}
+
+// CacheStats snapshots the service's cache counters.
+func (s *Service) CacheStats() cache.Stats { return s.cache.Stats() }
+
+// Do serves one request: normalize, address, and either return the
+// cached artifact or run the pipeline (coalescing with concurrent
+// identical requests). ctx bounds the pipeline run when this caller
+// ends up the singleflight leader.
+func (s *Service) Do(ctx context.Context, req Request) (*Result, error) {
+	norm, err := req.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	mRequests.Inc()
+	key := norm.CacheKey()
+	v, out, err := s.cache.GetOrCompute(ctx, key, func(ctx context.Context) (cache.Value, error) {
+		return s.run(ctx, norm)
+	})
+	if err != nil {
+		return nil, err
+	}
+	r := v.(*cachedResult)
+	return &Result{
+		Request:   norm,
+		STL:       r.stl,
+		Manifest:  r.manifest,
+		STLSHA256: r.stlSHA,
+		Grade:     r.grade,
+		Outcome:   out,
+	}, nil
+}
+
+// run executes the pipeline for a normalized request and freezes the
+// outcome into an immutable cache value.
+func (s *Service) run(ctx context.Context, norm Request) (cache.Value, error) {
+	spec, err := norm.spec()
+	if err != nil {
+		return nil, err
+	}
+	gInflight.Add(1)
+	t := stJob.Start()
+	job, err := core.RunJob(ctx, spec, s.prof)
+	t.EndErr(err)
+	gInflight.Add(-1)
+	if err != nil {
+		mFailed.Inc()
+		return nil, fmt.Errorf("serve: job %s: %w", norm.CacheKey(), err)
+	}
+	manifest, err := json.Marshal(job.Provenance)
+	if err != nil {
+		mFailed.Inc()
+		return nil, fmt.Errorf("serve: encoding manifest: %w", err)
+	}
+	mCompleted.Inc()
+	return &cachedResult{
+		stl:      job.STL,
+		manifest: manifest,
+		stlSHA:   job.Provenance.STLSHA256,
+		grade:    job.Provenance.Grade,
+	}, nil
+}

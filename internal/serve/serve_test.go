@@ -1,0 +1,185 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"testing"
+
+	"obfuscade/internal/cache"
+	"obfuscade/internal/parallel"
+	"obfuscade/internal/printer"
+)
+
+func TestNormalizeDefaultsAndValidation(t *testing.T) {
+	norm, err := Request{}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm.Part != "bar" || norm.Resolution != "coarse" || norm.Orientation != "x-y" {
+		t.Fatalf("defaults = %+v", norm)
+	}
+	bad := []Request{
+		{Part: "teapot"},
+		{Resolution: "ultra"},
+		{Orientation: "y-z"},
+		{TimeoutMS: -1},
+	}
+	for _, r := range bad {
+		if _, err := r.Normalize(); err == nil {
+			t.Fatalf("request %+v must not normalize", r)
+		}
+	}
+}
+
+func TestCacheKeyDerivation(t *testing.T) {
+	base, err := Request{Seed: 7}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// timeout_ms must not affect the address: it changes when a job
+	// fails, never what it produces.
+	withTimeout := base
+	withTimeout.TimeoutMS = 5000
+	if base.CacheKey() != withTimeout.CacheKey() {
+		t.Fatal("timeout_ms leaked into the cache key")
+	}
+	// Every output-determining field must affect the address.
+	variants := []Request{
+		{Part: "prism", Seed: 7},
+		{Resolution: "fine", Seed: 7},
+		{Orientation: "x-z", Seed: 7},
+		{RestoreSphere: true, Seed: 7},
+		{Seed: 8},
+		{Simulate: true, Seed: 7},
+	}
+	for _, v := range variants {
+		norm, err := v.Normalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if norm.CacheKey() == base.CacheKey() {
+			t.Fatalf("variant %+v collides with base key", v)
+		}
+	}
+}
+
+func TestDoHitIsByteIdentical(t *testing.T) {
+	svc := NewService(0, printer.DimensionElite())
+	req := Request{Seed: 1}
+	first, err := svc.Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Outcome != cache.Miss {
+		t.Fatalf("first call outcome = %s, want miss", first.Outcome)
+	}
+	second, err := svc.Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Outcome != cache.Hit {
+		t.Fatalf("second call outcome = %s, want hit", second.Outcome)
+	}
+	if !bytes.Equal(first.STL, second.STL) {
+		t.Fatal("cached STL differs from fresh run")
+	}
+	if !bytes.Equal(first.Manifest, second.Manifest) {
+		t.Fatal("cached manifest differs from fresh run")
+	}
+	sum := sha256.Sum256(first.STL)
+	if got := hex.EncodeToString(sum[:]); got != first.STLSHA256 {
+		t.Fatalf("STL digest %s != reported %s", got, first.STLSHA256)
+	}
+	var manifest map[string]any
+	if err := json.Unmarshal(first.Manifest, &manifest); err != nil {
+		t.Fatalf("manifest not valid JSON: %v", err)
+	}
+	if manifest["stl_sha256"] != first.STLSHA256 {
+		t.Fatal("manifest digest disagrees with result digest")
+	}
+	s := svc.CacheStats()
+	if s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("cache stats = %+v", s)
+	}
+}
+
+// The cached artifact must be byte-identical to a fresh run at any pool
+// size: caching extends the pipeline's determinism contract, it must
+// not narrow it.
+func TestDoDeterministicAcrossPoolSizes(t *testing.T) {
+	req := Request{Seed: 42}
+	defer parallel.SetDefault(0)
+
+	runAt := func(workers int) *Result {
+		parallel.SetDefault(workers)
+		svc := NewService(0, printer.DimensionElite())
+		res, err := svc.Do(context.Background(), req)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res
+	}
+	serial := runAt(1)
+	pooled := runAt(8)
+	if !bytes.Equal(serial.STL, pooled.STL) {
+		t.Fatal("STL bytes differ between pool sizes 1 and 8")
+	}
+	if serial.STLSHA256 != pooled.STLSHA256 {
+		t.Fatalf("digests differ: %s vs %s", serial.STLSHA256, pooled.STLSHA256)
+	}
+	// stage_seconds is wall-clock-derived and exempt from the
+	// determinism contract; every other manifest field must agree.
+	stripTimes := func(raw []byte) map[string]any {
+		var m map[string]any
+		if err := json.Unmarshal(raw, &m); err != nil {
+			t.Fatal(err)
+		}
+		delete(m, "stage_seconds")
+		return m
+	}
+	a, b := stripTimes(serial.Manifest), stripTimes(pooled.Manifest)
+	aj, _ := json.Marshal(a)
+	bj, _ := json.Marshal(b)
+	if !bytes.Equal(aj, bj) {
+		t.Fatalf("deterministic manifest fields differ:\n%s\n%s", aj, bj)
+	}
+}
+
+func TestDoDistinctRequestsMiss(t *testing.T) {
+	svc := NewService(0, printer.DimensionElite())
+	a, err := svc.Do(context.Background(), Request{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := svc.Do(context.Background(), Request{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Outcome != cache.Miss || b.Outcome != cache.Miss {
+		t.Fatalf("outcomes = %s, %s; want two misses", a.Outcome, b.Outcome)
+	}
+	// Seed is provenance metadata, not geometry: the STLs agree but the
+	// manifests (and so the cache entries) do not.
+	if !bytes.Equal(a.STL, b.STL) {
+		t.Fatal("same geometry with different seeds must produce the same STL")
+	}
+	if bytes.Equal(a.Manifest, b.Manifest) {
+		t.Fatal("manifests with different seeds must differ")
+	}
+	if s := svc.CacheStats(); s.Misses != 2 || s.Entries != 2 {
+		t.Fatalf("cache stats = %+v", s)
+	}
+}
+
+func TestDoValidationError(t *testing.T) {
+	svc := NewService(0, printer.DimensionElite())
+	if _, err := svc.Do(context.Background(), Request{Part: "teapot"}); err == nil {
+		t.Fatal("invalid request must not run")
+	}
+	if s := svc.CacheStats(); s.Misses != 0 {
+		t.Fatalf("invalid request reached the cache: %+v", s)
+	}
+}

@@ -1,0 +1,411 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"obfuscade/internal/obs"
+	"obfuscade/internal/printer"
+	"obfuscade/internal/trace"
+)
+
+// maxRequestBytes bounds a job submission body; requests are small
+// parameter records, never geometry.
+const maxRequestBytes = 1 << 20
+
+// Options configures a Server.
+type Options struct {
+	// Addr is the listen address ("127.0.0.1:0" picks a free port).
+	Addr string
+	// CacheBytes is the result cache budget; <= 0 means unbounded.
+	CacheBytes int64
+	// JobTimeout is the default per-job pipeline deadline; <= 0 means
+	// no default (a request may still set timeout_ms).
+	JobTimeout time.Duration
+	// Profile is the printer profile; the zero value selects the
+	// Dimension Elite.
+	Profile printer.Profile
+	// ManifestOut, when non-nil, receives one NDJSON provenance line
+	// per completed job at shutdown.
+	ManifestOut io.Writer
+}
+
+// jobState is the lifecycle of a submitted job.
+type jobState string
+
+const (
+	stateRunning jobState = "running"
+	stateDone    jobState = "done"
+	stateFailed  jobState = "failed"
+)
+
+// job is one submitted request, keyed by its cache key so identical
+// submissions share an entry.
+type job struct {
+	id      string
+	req     Request
+	done    chan struct{} // closed when result/err are set
+	result  *Result
+	err     error
+	created time.Time
+}
+
+// jobStatus is the JSON the status endpoints return.
+type jobStatus struct {
+	ID        string `json:"id"`
+	State     string `json:"state"`
+	Outcome   string `json:"outcome,omitempty"`
+	Grade     string `json:"grade,omitempty"`
+	STLSHA256 string `json:"stl_sha256,omitempty"`
+	STLBytes  int    `json:"stl_bytes,omitempty"`
+	Error     string `json:"error,omitempty"`
+	STLURL    string `json:"stl_url,omitempty"`
+	Manifest  string `json:"manifest_url,omitempty"`
+}
+
+// Server is the HTTP job service. Job routes and the debug surface
+// (/metrics, /trace, /debug/pprof/) share one mux on one port.
+type Server struct {
+	svc  *Service
+	http *trace.DebugServer
+
+	rootCtx    context.Context
+	cancelJobs context.CancelFunc
+	jobTimeout time.Duration
+	manifestW  io.Writer
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	draining bool
+	wg       sync.WaitGroup
+}
+
+// Start builds the service, mounts the job routes on the shared debug
+// mux, and binds the listener synchronously.
+func Start(opts Options) (*Server, error) {
+	prof := opts.Profile
+	if prof.Name == "" {
+		prof = printer.DimensionElite()
+	}
+	rootCtx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		svc:        NewService(opts.CacheBytes, prof),
+		rootCtx:    rootCtx,
+		cancelJobs: cancel,
+		jobTimeout: opts.JobTimeout,
+		manifestW:  opts.ManifestOut,
+		jobs:       map[string]*job{},
+	}
+	mux := trace.NewDebugMux(obs.Default(), trace.Default())
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /jobs/{id}/stl", s.handleSTL)
+	mux.HandleFunc("GET /jobs/{id}/manifest", s.handleManifest)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	ds, err := trace.StartServer(opts.Addr, mux)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	s.http = ds
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.http.Addr() }
+
+// URL returns the server's base URL.
+func (s *Server) URL() string { return s.http.URL() }
+
+// Service exposes the underlying job service (tests and benchmarks).
+func (s *Server) Service() *Service { return s.svc }
+
+// Close drops everything immediately: in-flight jobs are cancelled and
+// connections closed. Use Shutdown for a graceful drain.
+func (s *Server) Close() error {
+	s.cancelJobs()
+	return s.http.Close()
+}
+
+// Shutdown drains the server: new submissions are refused, in-flight
+// jobs run to completion or until ctx expires (then they are
+// cancelled), completed manifests are flushed to Options.ManifestOut,
+// and finally the HTTP listener closes.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		// Out of patience: cancel the root context so the context-aware
+		// pipeline stages abort, then wait for the workers to unwind.
+		s.cancelJobs()
+		<-drained
+	}
+
+	var flushErr error
+	if s.manifestW != nil {
+		flushErr = s.flushManifests()
+	}
+	if err := s.http.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	s.cancelJobs()
+	return flushErr
+}
+
+// flushManifests writes one NDJSON provenance line per completed job,
+// in submission order.
+func (s *Server) flushManifests() error {
+	s.mu.Lock()
+	done := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		select {
+		case <-j.done:
+			if j.err == nil {
+				done = append(done, j)
+			}
+		default:
+		}
+	}
+	s.mu.Unlock()
+	sort.Slice(done, func(a, b int) bool { return done[a].created.Before(done[b].created) })
+	bw := bufio.NewWriter(s.manifestW)
+	for _, j := range done {
+		bw.Write(j.result.Manifest)
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// submit registers (or joins) the job for a normalized request. The
+// bool reports whether this call started a new run.
+func (s *Server) submit(norm Request) (*job, bool, error) {
+	id := string(norm.CacheKey())
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, false, errDraining
+	}
+	if j, ok := s.jobs[id]; ok {
+		select {
+		case <-j.done:
+			// Finished: fall through and re-run. The cache makes the
+			// re-run a hit, so this only refreshes the job entry.
+		default:
+			return j, false, nil // join the in-flight run
+		}
+	}
+	j := &job{id: id, req: norm, done: make(chan struct{}), created: time.Now()}
+	s.jobs[id] = j
+	s.wg.Add(1)
+	go s.runJob(j)
+	return j, true, nil
+}
+
+var errDraining = errors.New("serve: draining, not accepting jobs")
+
+// runJob executes one job under the root context and the per-job
+// deadline, then publishes the result.
+func (s *Server) runJob(j *job) {
+	defer s.wg.Done()
+	ctx := s.rootCtx
+	if t := s.effectiveTimeout(j.req); t > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, t)
+		defer cancel()
+	}
+	res, err := s.svc.Do(ctx, j.req)
+	s.mu.Lock()
+	j.result, j.err = res, err
+	s.mu.Unlock()
+	close(j.done)
+}
+
+// effectiveTimeout resolves a job's deadline: the request's timeout_ms
+// when set, capped by the server default.
+func (s *Server) effectiveTimeout(req Request) time.Duration {
+	t := s.jobTimeout
+	if req.TimeoutMS > 0 {
+		rt := time.Duration(req.TimeoutMS) * time.Millisecond
+		if t <= 0 || rt < t {
+			t = rt
+		}
+	}
+	return t
+}
+
+// lookup returns the job entry for an id.
+func (s *Server) lookup(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// status snapshots a job into its wire form.
+func (s *Server) status(j *job) jobStatus {
+	st := jobStatus{ID: j.id, State: string(stateRunning)}
+	select {
+	case <-j.done:
+	default:
+		return st
+	}
+	s.mu.Lock()
+	res, err := j.result, j.err
+	s.mu.Unlock()
+	if err != nil {
+		st.State = string(stateFailed)
+		st.Error = err.Error()
+		return st
+	}
+	st.State = string(stateDone)
+	st.Outcome = res.Outcome.String()
+	st.Grade = res.Grade
+	st.STLSHA256 = res.STLSHA256
+	st.STLBytes = len(res.STL)
+	st.STLURL = "/jobs/" + j.id + "/stl"
+	st.Manifest = "/jobs/" + j.id + "/manifest"
+	return st
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// handleSubmit accepts a job request. By default it returns 202 with
+// the job's id immediately; ?wait=1 blocks until the job finishes and
+// returns the final status.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	var req Request
+	if err := dec.Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: decoding request: %w", err))
+		return
+	}
+	norm, err := req.Normalize()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	j, _, err := s.submit(norm)
+	if errors.Is(err, errDraining) {
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if r.URL.Query().Get("wait") == "" {
+		writeJSON(w, http.StatusAccepted, s.status(j))
+		return
+	}
+	select {
+	case <-j.done:
+	case <-r.Context().Done():
+		writeError(w, http.StatusRequestTimeout, r.Context().Err())
+		return
+	}
+	st := s.status(j)
+	if st.State == string(stateFailed) {
+		writeJSON(w, http.StatusInternalServerError, st)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("serve: unknown job"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.status(j))
+}
+
+// artifact fetches a finished job's result, translating lifecycle into
+// status codes: 404 unknown, 409 still running, 500 failed.
+func (s *Server) artifact(w http.ResponseWriter, r *http.Request) (*Result, bool) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("serve: unknown job"))
+		return nil, false
+	}
+	select {
+	case <-j.done:
+	default:
+		writeError(w, http.StatusConflict, errors.New("serve: job still running"))
+		return nil, false
+	}
+	s.mu.Lock()
+	res, err := j.result, j.err
+	s.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return nil, false
+	}
+	return res, true
+}
+
+func (s *Server) handleSTL(w http.ResponseWriter, r *http.Request) {
+	res, ok := s.artifact(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", `attachment; filename="`+res.Request.Part+`.stl"`)
+	w.Header().Set("X-Stl-Sha256", res.STLSHA256)
+	w.Write(res.STL)
+}
+
+func (s *Server) handleManifest(w http.ResponseWriter, r *http.Request) {
+	res, ok := s.artifact(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(res.Manifest)
+	w.Write([]byte("\n"))
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	inflight := 0
+	for _, j := range s.jobs {
+		select {
+		case <-j.done:
+		default:
+			inflight++
+		}
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   map[bool]string{false: "ok", true: "draining"}[draining],
+		"inflight": inflight,
+		"cache":    s.svc.CacheStats(),
+	})
+}

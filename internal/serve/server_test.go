@@ -1,0 +1,291 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func startTestServer(t *testing.T, opts Options) *Server {
+	t.Helper()
+	if opts.Addr == "" {
+		opts.Addr = "127.0.0.1:0"
+	}
+	s, err := Start(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// post submits a job body and decodes the status reply.
+func post(t *testing.T, url, body string) (jobStatus, *http.Response) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st jobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("POST %s: decoding reply: %v", url, err)
+	}
+	return st, resp
+}
+
+func fetch(t *testing.T, url string) ([]byte, *http.Response) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body, resp
+}
+
+func TestServerEndToEnd(t *testing.T) {
+	s := startTestServer(t, Options{})
+
+	// First submission: a miss that runs the pipeline.
+	first, resp := post(t, s.URL()+"/jobs?wait=1", `{"seed": 1}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %+v", resp.StatusCode, first)
+	}
+	if first.State != "done" || first.Outcome != "miss" {
+		t.Fatalf("first submission: %+v", first)
+	}
+	if first.STLSHA256 == "" || first.Grade == "" {
+		t.Fatalf("missing artifact metadata: %+v", first)
+	}
+
+	// Identical submission: a hit with the identical digest.
+	second, _ := post(t, s.URL()+"/jobs?wait=1", `{"seed": 1}`)
+	if second.Outcome != "hit" {
+		t.Fatalf("repeat submission outcome = %s, want hit", second.Outcome)
+	}
+	if second.ID != first.ID || second.STLSHA256 != first.STLSHA256 {
+		t.Fatalf("repeat submission differs: %+v vs %+v", second, first)
+	}
+
+	// Distinct submission: a different job and a second miss.
+	distinct, _ := post(t, s.URL()+"/jobs?wait=1", `{"seed": 2, "resolution": "fine"}`)
+	if distinct.Outcome != "miss" || distinct.ID == first.ID {
+		t.Fatalf("distinct submission: %+v", distinct)
+	}
+
+	// The STL artifact hashes to the reported digest.
+	stlBytes, resp := fetch(t, s.URL()+first.STLURL)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("STL fetch: %d", resp.StatusCode)
+	}
+	sum := sha256.Sum256(stlBytes)
+	if got := hex.EncodeToString(sum[:]); got != first.STLSHA256 {
+		t.Fatalf("served STL hashes to %s, reported %s", got, first.STLSHA256)
+	}
+	if h := resp.Header.Get("X-Stl-Sha256"); h != first.STLSHA256 {
+		t.Fatalf("X-Stl-Sha256 = %s", h)
+	}
+
+	// The manifest is one provenance JSON line agreeing with the digest.
+	manifest, _ := fetch(t, s.URL()+first.Manifest)
+	var prov map[string]any
+	if err := json.Unmarshal(manifest, &prov); err != nil {
+		t.Fatalf("manifest: %v", err)
+	}
+	if prov["stl_sha256"] != first.STLSHA256 {
+		t.Fatal("manifest digest disagrees with job status")
+	}
+
+	// Cache counters surface on /metrics for scrapers.
+	metrics, _ := fetch(t, s.URL()+"/metrics")
+	for _, name := range []string{"obfuscade_cache_hits_total", "obfuscade_cache_misses_total"} {
+		if !strings.Contains(string(metrics), name) {
+			t.Fatalf("/metrics missing %s", name)
+		}
+	}
+	st := s.Service().CacheStats()
+	if st.Hits != 1 || st.Misses != 2 {
+		t.Fatalf("cache stats = %+v", st)
+	}
+}
+
+func TestServerAsyncSubmitAndPoll(t *testing.T) {
+	s := startTestServer(t, Options{})
+	st, resp := post(t, s.URL()+"/jobs", `{"seed": 3}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async submit status %d", resp.StatusCode)
+	}
+	if st.ID == "" {
+		t.Fatalf("no job id: %+v", st)
+	}
+	deadline := time.After(60 * time.Second)
+	for st.State != "done" {
+		select {
+		case <-deadline:
+			t.Fatalf("job never finished: %+v", st)
+		case <-time.After(20 * time.Millisecond):
+		}
+		body, resp := fetch(t, s.URL()+"/jobs/"+st.ID)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("poll status %d", resp.StatusCode)
+		}
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.State == "failed" {
+			t.Fatalf("job failed: %+v", st)
+		}
+	}
+}
+
+func TestServerRejectsBadRequests(t *testing.T) {
+	s := startTestServer(t, Options{})
+	for _, body := range []string{
+		`{"part": "teapot"}`,
+		`{"resolution": "ultra"}`,
+		`{"orientation": "diagonal"}`,
+		`{"unknown_field": 1}`,
+		`{"timeout_ms": -5}`,
+		`not json`,
+	} {
+		st, resp := post(t, s.URL()+"/jobs", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("body %s: status %d (%+v)", body, resp.StatusCode, st)
+		}
+	}
+	if _, resp := fetch(t, s.URL()+"/jobs/no-such-job"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job status %d", resp.StatusCode)
+	}
+}
+
+// A job whose deadline expires fails with a deadline error, and the
+// server keeps serving fresh jobs afterwards — a timeout must not
+// poison the worker pool or the cache.
+func TestServerJobDeadline(t *testing.T) {
+	s := startTestServer(t, Options{})
+	st, resp := post(t, s.URL()+"/jobs?wait=1", `{"seed": 4, "timeout_ms": 1}`)
+	if resp.StatusCode != http.StatusInternalServerError || st.State != "failed" {
+		t.Fatalf("timed-out job: status %d %+v", resp.StatusCode, st)
+	}
+	if !strings.Contains(st.Error, context.DeadlineExceeded.Error()) {
+		t.Fatalf("error %q does not mention the deadline", st.Error)
+	}
+	// Errors are not cached: the same request with a sane deadline runs
+	// fresh and succeeds.
+	ok, resp := post(t, s.URL()+"/jobs?wait=1", `{"seed": 4}`)
+	if resp.StatusCode != http.StatusOK || ok.State != "done" || ok.Outcome != "miss" {
+		t.Fatalf("post-timeout job: status %d %+v", resp.StatusCode, ok)
+	}
+}
+
+// Shutdown refuses new submissions, drains in-flight jobs, and flushes
+// one NDJSON provenance line per completed job.
+func TestServerGracefulShutdownFlushesManifests(t *testing.T) {
+	var manifests bytes.Buffer
+	s := startTestServer(t, Options{ManifestOut: &manifests})
+	for seed := 1; seed <= 3; seed++ {
+		st, resp := post(t, s.URL()+"/jobs?wait=1", fmt.Sprintf(`{"seed": %d}`, seed))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("seed %d: status %d %+v", seed, resp.StatusCode, st)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	lines := strings.Split(strings.TrimRight(manifests.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("manifest lines = %d, want 3:\n%s", len(lines), manifests.String())
+	}
+	seeds := map[float64]bool{}
+	for _, line := range lines {
+		var prov map[string]any
+		if err := json.Unmarshal([]byte(line), &prov); err != nil {
+			t.Fatalf("manifest line %q: %v", line, err)
+		}
+		seeds[prov["seed"].(float64)] = true
+	}
+	if len(seeds) != 3 {
+		t.Fatalf("flushed seeds = %v", seeds)
+	}
+	// The listener is closed: no new connection is accepted.
+	if _, err := http.Get(s.URL() + "/healthz"); err == nil {
+		t.Fatal("connection accepted after Shutdown")
+	}
+}
+
+// A draining server refuses new submissions with 503.
+func TestServerDrainingRefusesSubmissions(t *testing.T) {
+	s := startTestServer(t, Options{})
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	norm, err := Request{}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.submit(norm); !errors.Is(err, errDraining) {
+		t.Fatalf("submit while draining: %v", err)
+	}
+	st, resp := post(t, s.URL()+"/jobs", `{}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining submit: status %d %+v", resp.StatusCode, st)
+	}
+}
+
+// Concurrent identical submissions coalesce onto one job entry.
+func TestServerCoalescesIdenticalSubmissions(t *testing.T) {
+	s := startTestServer(t, Options{})
+	const n = 8
+	type out struct {
+		st   jobStatus
+		code int
+	}
+	results := make(chan out, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			resp, err := http.Post(s.URL()+"/jobs?wait=1", "application/json",
+				strings.NewReader(`{"seed": 9}`))
+			if err != nil {
+				results <- out{code: -1}
+				return
+			}
+			defer resp.Body.Close()
+			var st jobStatus
+			json.NewDecoder(resp.Body).Decode(&st)
+			results <- out{st: st, code: resp.StatusCode}
+		}()
+	}
+	ids := map[string]bool{}
+	for i := 0; i < n; i++ {
+		r := <-results
+		if r.code != http.StatusOK || r.st.State != "done" {
+			t.Fatalf("submission %d: code %d %+v", i, r.code, r.st)
+		}
+		ids[r.st.ID] = true
+	}
+	if len(ids) != 1 {
+		t.Fatalf("identical submissions produced %d job ids", len(ids))
+	}
+	// All 8 submissions ran the pipeline at most once; every outcome
+	// beyond the leader's is a hit or a coalesce, never a second miss.
+	st := s.Service().CacheStats()
+	if st.Misses != 1 {
+		t.Fatalf("pipeline ran %d times for one unique request (stats %+v)", st.Misses, st)
+	}
+}

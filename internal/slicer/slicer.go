@@ -172,13 +172,19 @@ func SliceCtx(ctx context.Context, m *mesh.Mesh, opts Options) (res *Result, err
 	}
 	// Each layer depends only on its own plane height, so layers slice
 	// concurrently on the worker pool and assemble by index — the stack is
-	// identical to a serial run.
+	// identical to a serial run. Tasks take the worker context and check it
+	// between shells, so a deadline set by the job service interrupts a
+	// slice mid-stage (even on a 1-worker pool, where ForEachCtx itself
+	// only checks between tasks) instead of running the stage to its end.
 	res.Layers = make([]Layer, nLayers)
 	trace.Instant(ctx, "batch", "slicer.layers", trace.A("count", fmt.Sprint(nLayers)))
-	if err := parallel.ForEach(ctx, nLayers, 0, func(i int) error {
+	if err := parallel.ForEachCtx(ctx, nLayers, 0, func(tctx context.Context, i int) error {
 		z := bounds.Min.Z + (float64(i)+0.5)*opts.LayerHeight
 		layer := Layer{Index: i, Z: z}
 		for si := range m.Shells {
+			if err := tctx.Err(); err != nil {
+				return err
+			}
 			shell := &m.Shells[si]
 			contours := sliceShell(shell, z, opts)
 			layer.Contours = append(layer.Contours, contours...)

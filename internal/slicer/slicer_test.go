@@ -1,6 +1,8 @@
 package slicer
 
 import (
+	"context"
+	"errors"
 	"math"
 	"reflect"
 	"testing"
@@ -408,5 +410,27 @@ func TestSliceSTLRoundTripComponents(t *testing.T) {
 	frac := sliced.DiscontinuousLayerFraction(sliced.BodyNames[0], sliced.BodyNames[1])
 	if frac != 0 {
 		t.Errorf("x-y recovered-component discontinuity = %g, want 0", frac)
+	}
+}
+
+// Regression: a deadline must interrupt slicing mid-stage. The layer
+// tasks receive the worker context and check it between shells, so even
+// a serial (1-worker) pool aborts promptly instead of slicing the whole
+// stack to the stage boundary.
+func TestSliceCtxCancellation(t *testing.T) {
+	m := boxMesh(geom.V3(0, 0, 0), geom.V3(10, 5, 50)) // a few hundred layers
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		parallel.SetDefault(workers)
+		res, err := SliceCtx(ctx, m, DefaultOptions())
+		parallel.SetDefault(0)
+		if err == nil {
+			t.Fatalf("workers=%d: cancelled slice succeeded with %d layers",
+				workers, len(res.Layers))
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
 	}
 }

@@ -46,9 +46,15 @@ const (
 	binaryFacetSize  = 50
 )
 
+// maxBinaryTriangles is the largest facet count the binary dialect can
+// represent: the on-disk count field is a uint32.
+const maxBinaryTriangles = math.MaxUint32
+
 // BinarySize returns the exact byte size of a binary STL file holding n
-// triangles.
-func BinarySize(n int) int { return binaryHeaderSize + 4 + binaryFacetSize*n }
+// triangles. The result is int64 so a facet count near the uint32 limit
+// (a ~200 GB file) sizes correctly even on 32-bit platforms, where the
+// multiplication would overflow int.
+func BinarySize(n int) int64 { return binaryHeaderSize + 4 + binaryFacetSize*int64(n) }
 
 // Encode writes the mesh to w in the given format. The header/solid name
 // is taken from name (truncated to fit binary headers).
@@ -72,14 +78,39 @@ func Marshal(m *mesh.Mesh, format Format, name string) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
+// sanitizeBinaryHeader returns the header text for a binary STL file. A
+// header beginning with "solid" is the ASCII dialect's magic word: format
+// sniffers (including looksASCII on length-damaged files) would misread
+// the binary file as ASCII, so such names are prefixed out of the
+// ambiguous form.
+func sanitizeBinaryHeader(name string) string {
+	if strings.HasPrefix(strings.TrimLeft(name, " \t\r\n"), "solid") {
+		return "bin: " + strings.TrimLeft(name, " \t\r\n")
+	}
+	return name
+}
+
+// checkBinaryTriangleCount rejects facet counts the binary dialect cannot
+// represent; uint32 truncation would silently emit a corrupt file.
+func checkBinaryTriangleCount(n int) error {
+	if n < 0 || int64(n) > maxBinaryTriangles {
+		return fmt.Errorf("stl: %d triangles exceed the binary format's uint32 facet count", n)
+	}
+	return nil
+}
+
 func encodeBinary(w io.Writer, m *mesh.Mesh, name string) error {
+	n := m.TriangleCount()
+	if err := checkBinaryTriangleCount(n); err != nil {
+		return err
+	}
 	bw := bufio.NewWriter(w)
 	var header [binaryHeaderSize]byte
-	copy(header[:], name)
+	copy(header[:], sanitizeBinaryHeader(name))
 	if _, err := bw.Write(header[:]); err != nil {
 		return fmt.Errorf("stl: write header: %w", err)
 	}
-	count := uint32(m.TriangleCount())
+	count := uint32(n)
 	if err := binary.Write(bw, binary.LittleEndian, count); err != nil {
 		return fmt.Errorf("stl: write count: %w", err)
 	}
@@ -162,7 +193,7 @@ func looksASCII(data []byte) bool {
 	}
 	if len(data) >= binaryHeaderSize+4 {
 		count := binary.LittleEndian.Uint32(data[binaryHeaderSize:])
-		if BinarySize(int(count)) == len(data) {
+		if BinarySize(int(count)) == int64(len(data)) {
 			return false // consistent binary file that happens to say "solid"
 		}
 	}
@@ -176,7 +207,7 @@ func decodeBinary(data []byte) (*mesh.Mesh, error) {
 	name := string(bytes.SplitN(data[:binaryHeaderSize], []byte{0}, 2)[0])
 	count := binary.LittleEndian.Uint32(data[binaryHeaderSize:])
 	want := BinarySize(int(count))
-	if len(data) < want {
+	if int64(len(data)) < want {
 		return nil, fmt.Errorf("stl: truncated binary file: have %d bytes, want %d for %d facets",
 			len(data), want, count)
 	}
@@ -249,7 +280,7 @@ func decodeASCII(data []byte) (*mesh.Mesh, error) {
 // "Review 3D rendering/file contents").
 type Stats struct {
 	Triangles   int
-	BinaryBytes int
+	BinaryBytes int64
 	SurfaceArea float64
 	Volume      float64
 	Bounds      geom.AABB

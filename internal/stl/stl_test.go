@@ -23,7 +23,7 @@ func TestBinaryRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(data) != BinarySize(12) {
+	if int64(len(data)) != BinarySize(12) {
 		t.Errorf("binary size = %d, want %d", len(data), BinarySize(12))
 	}
 	got, err := Unmarshal(data)
@@ -242,5 +242,80 @@ func TestDialectAgreement(t *testing.T) {
 	}
 	if math.Abs(mb.Volume()-ma.Volume()) > 1e-3 {
 		t.Errorf("volumes differ: %v vs %v", mb.Volume(), ma.Volume())
+	}
+}
+
+// Regression: a mesh named "solid ..." must not produce a binary file
+// whose 80-byte header starts with the ASCII dialect's magic word. Before
+// the header was sanitized, such files passed format sniffing only while
+// their length exactly matched the facet count; one trailing byte (a
+// newline appended in transit, a partial download) flipped detection to
+// ASCII and the decode failed.
+func TestBinaryHeaderNeverStartsWithSolid(t *testing.T) {
+	m := boxMesh()
+	for _, name := range []string{"solid", "solid part", "  solid indented", "solidify"} {
+		data, err := Marshal(m, Binary, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bytes.HasPrefix(bytes.TrimLeft(data[:binaryHeaderSize], " \t\r\n"), []byte("solid")) {
+			t.Errorf("name %q: binary header starts with %q", name, data[:12])
+		}
+		got, err := Unmarshal(data)
+		if err != nil {
+			t.Fatalf("name %q: %v", name, err)
+		}
+		if got.TriangleCount() != 12 {
+			t.Errorf("name %q: round-trip triangles = %d, want 12", name, got.TriangleCount())
+		}
+		// The sniffer-ambiguous case: the same file with one trailing byte
+		// no longer length-matches the binary layout, so only the header
+		// text keeps it out of the ASCII decoder.
+		damaged, err := Unmarshal(append(append([]byte(nil), data...), '\n'))
+		if err != nil {
+			t.Fatalf("name %q with trailing byte: %v", name, err)
+		}
+		if damaged.TriangleCount() != 12 {
+			t.Errorf("name %q with trailing byte: triangles = %d, want 12",
+				name, damaged.TriangleCount())
+		}
+	}
+	// Names that are not ambiguous pass through untouched.
+	data, err := Marshal(m, Binary, "part-7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(data, []byte("part-7")) {
+		t.Errorf("unambiguous name rewritten: %q", data[:12])
+	}
+}
+
+// Regression: facet counts above the uint32 limit must be rejected, not
+// silently truncated into a corrupt file.
+func TestBinaryTriangleCountRange(t *testing.T) {
+	if err := checkBinaryTriangleCount(12); err != nil {
+		t.Errorf("count 12 rejected: %v", err)
+	}
+	if err := checkBinaryTriangleCount(math.MaxUint32); err != nil {
+		t.Errorf("count MaxUint32 rejected: %v", err)
+	}
+	if err := checkBinaryTriangleCount(math.MaxUint32 + 1); err == nil {
+		t.Error("count 2^32 accepted; uint32 truncation would corrupt the file")
+	}
+	if err := checkBinaryTriangleCount(-1); err == nil {
+		t.Error("negative count accepted")
+	}
+}
+
+// Regression: BinarySize of a maximal binary STL (~200 GB) must not
+// overflow; the previous int arithmetic wrapped on 32-bit platforms.
+func TestBinarySizeNoOverflow(t *testing.T) {
+	const maxCount = math.MaxUint32
+	want := int64(84) + 50*int64(maxCount)
+	if got := BinarySize(maxCount); got != want {
+		t.Errorf("BinarySize(MaxUint32) = %d, want %d", got, want)
+	}
+	if BinarySize(maxCount) <= 0 {
+		t.Error("BinarySize overflowed")
 	}
 }

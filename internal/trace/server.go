@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/http"
@@ -57,10 +58,27 @@ func NewDebugMux(reg *obs.Registry, rec *Recorder) *http.ServeMux {
 	return mux
 }
 
-// StartDebugServer binds addr synchronously — a bad address or occupied
-// port fails here, not from a background goroutine — then serves the
-// debug mux until Close. reg and rec default to the process-wide
-// instances when nil.
+// StartServer binds addr synchronously — a bad address or occupied port
+// fails here, not from a background goroutine — then serves h until
+// Close or Shutdown. It is the listener/lifecycle half of
+// StartDebugServer, shared with the obfuscation job service so the job
+// routes and the debug routes ride one mux on one port.
+func StartServer(addr string, h http.Handler) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("trace: debug server: %w", err)
+	}
+	s := &DebugServer{ln: ln, srv: &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+	}}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// StartDebugServer binds addr synchronously and serves the debug mux
+// until Close. reg and rec default to the process-wide instances when
+// nil.
 func StartDebugServer(addr string, reg *obs.Registry, rec *Recorder) (*DebugServer, error) {
 	if reg == nil {
 		reg = obs.Default()
@@ -68,16 +86,7 @@ func StartDebugServer(addr string, reg *obs.Registry, rec *Recorder) (*DebugServ
 	if rec == nil {
 		rec = Default()
 	}
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("trace: debug server: %w", err)
-	}
-	s := &DebugServer{ln: ln, srv: &http.Server{
-		Handler:           NewDebugMux(reg, rec),
-		ReadHeaderTimeout: 5 * time.Second,
-	}}
-	go s.srv.Serve(ln)
-	return s, nil
+	return StartServer(addr, NewDebugMux(reg, rec))
 }
 
 // Addr returns the bound address (useful with ":0").
@@ -86,5 +95,10 @@ func (s *DebugServer) Addr() string { return s.ln.Addr().String() }
 // URL returns the server's base URL.
 func (s *DebugServer) URL() string { return "http://" + s.Addr() }
 
-// Close stops the server.
+// Close stops the server immediately, dropping in-flight requests.
 func (s *DebugServer) Close() error { return s.srv.Close() }
+
+// Shutdown stops the server gracefully: the listener closes at once so
+// no new connection is accepted, while in-flight requests run to
+// completion or until ctx expires, whichever comes first.
+func (s *DebugServer) Shutdown(ctx context.Context) error { return s.srv.Shutdown(ctx) }

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"strings"
 	"testing"
+	"time"
 
 	"obfuscade/internal/obs"
 )
@@ -113,5 +114,56 @@ func TestStartDebugServerBindFailure(t *testing.T) {
 	}
 	if _, err := StartDebugServer("not-an-address", nil, nil); err == nil {
 		t.Fatal("bad address must fail")
+	}
+}
+
+// Shutdown drains gracefully: an in-flight request completes, and no new
+// connection is accepted afterwards.
+func TestDebugServerShutdown(t *testing.T) {
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, _ *http.Request) {
+		close(entered)
+		<-release
+		io.WriteString(w, "drained")
+	})
+	srv, err := StartServer("127.0.0.1:0", mux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type result struct {
+		body string
+		err  error
+	}
+	got := make(chan result, 1)
+	go func() {
+		resp, err := http.Get(srv.URL() + "/slow")
+		if err != nil {
+			got <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		got <- result{body: string(body), err: err}
+	}()
+	<-entered
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		shutdownDone <- srv.Shutdown(ctx)
+	}()
+	// The in-flight request is still blocked; release it and both the
+	// request and the shutdown must complete.
+	close(release)
+	if r := <-got; r.err != nil || r.body != "drained" {
+		t.Fatalf("in-flight request: body=%q err=%v", r.body, r.err)
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if _, err := http.Get(srv.URL() + "/slow"); err == nil {
+		t.Fatal("connection accepted after Shutdown")
 	}
 }

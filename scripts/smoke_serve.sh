@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# Smoke test for the obfuscation job service: boot `obfuscade serve` on
+# a random port, submit two identical and one distinct job, and assert
+#
+#   - the identical pair reports one miss then one hit, with the same
+#     job id and STL digest, and the served STL bytes hash to that digest
+#   - /metrics exposes exactly one cache hit and two misses
+#   - SIGTERM drains gracefully (exit 0) and flushes one provenance
+#     manifest line per completed job
+#
+# CI runs this in a fresh process, so the exact /metrics counter values
+# are assertable (in-process tests share the global registry and cannot
+# do this).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+workdir="$(mktemp -d)"
+server_pid=""
+cleanup() {
+    [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+fail() { echo "smoke_serve: FAIL: $*" >&2; exit 1; }
+
+go build -o "$workdir/obfuscade" ./cmd/obfuscade
+
+"$workdir/obfuscade" serve \
+    -addr 127.0.0.1:0 \
+    -addr-file "$workdir/addr" \
+    -manifest-out "$workdir/manifests.ndjson" &
+server_pid=$!
+
+for _ in $(seq 1 100); do
+    [ -s "$workdir/addr" ] && break
+    kill -0 "$server_pid" 2>/dev/null || fail "server died during startup"
+    sleep 0.1
+done
+[ -s "$workdir/addr" ] || fail "server never wrote its address"
+base="http://$(cat "$workdir/addr" | tr -d '[:space:]')"
+
+submit() { curl -sf -X POST -H 'Content-Type: application/json' -d "$1" "$base/jobs?wait=1"; }
+
+r1="$(submit '{"seed": 1}')"
+r2="$(submit '{"seed": 1}')"
+r3="$(submit '{"seed": 2, "resolution": "fine"}')"
+
+for name in r1 r2 r3; do
+    state="$(echo "${!name}" | jq -r .state)"
+    [ "$state" = done ] || fail "$name state = $state: ${!name}"
+done
+
+[ "$(echo "$r1" | jq -r .outcome)" = miss ] || fail "first identical job must miss: $r1"
+[ "$(echo "$r2" | jq -r .outcome)" = hit ]  || fail "second identical job must hit: $r2"
+[ "$(echo "$r3" | jq -r .outcome)" = miss ] || fail "distinct job must miss: $r3"
+
+sha1="$(echo "$r1" | jq -r .stl_sha256)"
+sha2="$(echo "$r2" | jq -r .stl_sha256)"
+[ -n "$sha1" ] && [ "$sha1" = "$sha2" ] || fail "identical jobs served different digests: $sha1 vs $sha2"
+[ "$(echo "$r1" | jq -r .id)" = "$(echo "$r2" | jq -r .id)" ] || fail "identical jobs got different ids"
+
+# The served STL bytes hash to the reported digest.
+id1="$(echo "$r1" | jq -r .id)"
+curl -sf "$base/jobs/$id1/stl" -o "$workdir/job1.stl"
+served_sha="$(sha256sum "$workdir/job1.stl" | cut -d' ' -f1)"
+[ "$served_sha" = "$sha1" ] || fail "served STL hashes to $served_sha, reported $sha1"
+
+# Fresh process: the cache counters on /metrics are exact.
+metrics="$(curl -sf "$base/metrics")"
+echo "$metrics" | grep -qx 'obfuscade_cache_hits_total 1' \
+    || fail "expected one cache hit:$(echo; echo "$metrics" | grep ^obfuscade_cache)"
+echo "$metrics" | grep -qx 'obfuscade_cache_misses_total 2' \
+    || fail "expected two cache misses:$(echo; echo "$metrics" | grep ^obfuscade_cache)"
+
+# Graceful drain: SIGTERM exits 0 and flushes both completed manifests.
+kill -TERM "$server_pid"
+if ! wait "$server_pid"; then
+    fail "server did not exit cleanly on SIGTERM"
+fi
+server_pid=""
+
+lines="$(wc -l < "$workdir/manifests.ndjson")"
+[ "$lines" -eq 2 ] || fail "manifest lines = $lines, want 2"
+while IFS= read -r line; do
+    echo "$line" | jq -e .stl_sha256 >/dev/null || fail "bad manifest line: $line"
+done < "$workdir/manifests.ndjson"
+
+echo "smoke_serve: OK (1 hit, 2 misses, digest $sha1, 2 manifests flushed)"
