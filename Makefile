@@ -17,19 +17,21 @@ race:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 
-# Serial-vs-parallel wall time for the quality matrix, plus the
-# machine-readable BENCH_obfuscade.json artifact that the CI bench job
-# diffs against the committed BENCH_baseline.json (scripts/benchdiff.go).
+# Serial-vs-parallel wall time for the quality matrix, the indexed-vs-
+# naive slicer kernel comparison, plus the machine-readable
+# BENCH_obfuscade.json artifact that the CI bench job diffs against the
+# committed BENCH_baseline.json (scripts/benchdiff.go).
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkQualityMatrix' -benchtime 2x .
+	$(GO) test -run '^$$' -bench 'BenchmarkSliceKernel|BenchmarkRasterize' -benchmem ./internal/slicer
 	$(GO) run ./cmd/paperbench -exp bench -benchout BENCH_obfuscade.json
 
 # Perf-regression gate: fails on >30% parallel-matrix wall-time
-# regression against the committed baseline. Re-baseline after an
-# intentional perf change with:
+# regression or >30% slicer layers/s regression against the committed
+# baseline. Re-baseline after an intentional perf change with:
 #   make bench && cp BENCH_obfuscade.json BENCH_baseline.json
 benchdiff:
-	$(GO) run ./scripts -baseline BENCH_baseline.json -current BENCH_obfuscade.json -tolerance 0.30
+	$(GO) run ./scripts -baseline BENCH_baseline.json -current BENCH_obfuscade.json -tolerance 0.30 -slicer-tolerance 0.30
 
 # End-to-end smoke of the job service: boots `obfuscade serve` on a
 # random port in a fresh process, submits two identical + one distinct

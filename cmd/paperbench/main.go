@@ -413,6 +413,10 @@ type benchReport struct {
 	Slicer struct {
 		Layers          int64   `json:"layers"`
 		LayersPerSecond float64 `json:"layers_per_second"`
+		// IndexBuildSeconds is the total wall time spent building sweep
+		// indices during the parallel matrix run — the serial prologue
+		// the per-layer speedup is paid for with.
+		IndexBuildSeconds float64 `json:"index_build_seconds"`
 	} `json:"slicer"`
 	Mech struct {
 		Replicates          int64   `json:"replicates"`
@@ -467,6 +471,11 @@ func runBench(out string, replicates int, seed int64) error {
 	rep.Slicer.Layers = layers
 	if par > 0 {
 		rep.Slicer.LayersPerSecond = float64(layers) / par
+	}
+	// The matrix() reset scoped the registry to the parallel run, so the
+	// index-build histogram sum is exactly that run's serial prologue.
+	if h, ok := reg.Snapshot().Stage("slicer.index.build.seconds"); ok {
+		rep.Slicer.IndexBuildSeconds = h.SumSeconds
 	}
 
 	// Replicate throughput: a seam specimen group on the shared pool.

@@ -72,6 +72,9 @@ func TestRunBenchJSON(t *testing.T) {
 		t.Errorf("slicer throughput missing: %d layers, %g layers/s",
 			rep.Slicer.Layers, rep.Slicer.LayersPerSecond)
 	}
+	if rep.Slicer.IndexBuildSeconds <= 0 {
+		t.Errorf("index build seconds = %g, want > 0", rep.Slicer.IndexBuildSeconds)
+	}
 	if rep.Mech.Replicates != 16 {
 		t.Errorf("replicates = %d, want 4 groups x 4", rep.Mech.Replicates)
 	}

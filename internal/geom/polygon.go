@@ -74,6 +74,38 @@ type Bounds2 struct {
 	Min, Max Vec2
 }
 
+// ContainsPoint reports whether q lies inside the closed box. Every point
+// outside the bounding box of a closed loop has winding number zero, which
+// is what makes the box a safe reject test for the winding probes.
+func (b Bounds2) ContainsPoint(q Vec2) bool {
+	return q.X >= b.Min.X && q.X <= b.Max.X && q.Y >= b.Min.Y && q.Y <= b.Max.Y
+}
+
+// Overlaps reports whether the two closed boxes share at least one point.
+func (b Bounds2) Overlaps(o Bounds2) bool {
+	return b.Min.X <= o.Max.X && o.Min.X <= b.Max.X &&
+		b.Min.Y <= o.Max.Y && o.Min.Y <= b.Max.Y
+}
+
+// DistSq returns the squared distance from q to the closed box (zero
+// inside). It lower-bounds the squared distance from q to anything the box
+// contains, so distance searches can prune whole boxes against the best
+// squared distance found so far without changing their result.
+func (b Bounds2) DistSq(q Vec2) float64 {
+	var dx, dy float64
+	if q.X < b.Min.X {
+		dx = b.Min.X - q.X
+	} else if q.X > b.Max.X {
+		dx = q.X - b.Max.X
+	}
+	if q.Y < b.Min.Y {
+		dy = b.Min.Y - q.Y
+	} else if q.Y > b.Max.Y {
+		dy = q.Y - b.Max.Y
+	}
+	return dx*dx + dy*dy
+}
+
 // Bounds returns the polygon's bounding box.
 func (p Polygon) Bounds() Bounds2 {
 	inf := math.Inf(1)

@@ -159,3 +159,66 @@ func TestWindingOutsideBounds(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestBounds2ContainsOverlapsDistSq(t *testing.T) {
+	b := Bounds2{Min: V2(1, 2), Max: V2(4, 6)}
+	for _, p := range []Vec2{V2(1, 2), V2(4, 6), V2(2.5, 4)} {
+		if !b.ContainsPoint(p) {
+			t.Errorf("ContainsPoint(%v) = false, want true", p)
+		}
+		if b.DistSq(p) != 0 {
+			t.Errorf("DistSq(%v) = %g, want 0 inside", p, b.DistSq(p))
+		}
+	}
+	if b.ContainsPoint(V2(0.99, 4)) || b.ContainsPoint(V2(2, 6.01)) {
+		t.Error("ContainsPoint accepted an outside point")
+	}
+	if got := b.DistSq(V2(-2, 2)); got != 9 {
+		t.Errorf("DistSq left = %g, want 9", got)
+	}
+	if got := b.DistSq(V2(7, 10)); got != 25 {
+		t.Errorf("DistSq corner = %g, want 25", got)
+	}
+	cases := []struct {
+		o    Bounds2
+		want bool
+	}{
+		{Bounds2{Min: V2(4, 6), Max: V2(5, 7)}, true},  // shared corner
+		{Bounds2{Min: V2(2, 3), Max: V2(3, 4)}, true},  // contained
+		{Bounds2{Min: V2(5, 2), Max: V2(6, 6)}, false}, // right of b
+		{Bounds2{Min: V2(1, 7), Max: V2(4, 8)}, false}, // above b
+	}
+	for _, tc := range cases {
+		if got := b.Overlaps(tc.o); got != tc.want {
+			t.Errorf("Overlaps(%v) = %t, want %t", tc.o, got, tc.want)
+		}
+		if got := tc.o.Overlaps(b); got != tc.want {
+			t.Errorf("Overlaps symmetric (%v) = %t, want %t", tc.o, got, tc.want)
+		}
+	}
+}
+
+// Property: DistSq(q) lower-bounds the squared distance from q to any
+// point inside the box — the guarantee the slicer's pruning relies on.
+func TestBounds2DistSqLowerBound(t *testing.T) {
+	b := Bounds2{Min: V2(-1, -2), Max: V2(3, 1)}
+	f := func(qx, qy, tx, ty float64) bool {
+		q := V2(math.Mod(qx, 50), math.Mod(qy, 50))
+		in := V2(
+			b.Min.X+(b.Max.X-b.Min.X)*frac(tx),
+			b.Min.Y+(b.Max.Y-b.Min.Y)*frac(ty),
+		)
+		return b.DistSq(q) <= q.DistSq(in)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func frac(x float64) float64 {
+	f := math.Abs(x - math.Trunc(x))
+	if math.IsNaN(f) {
+		return 0
+	}
+	return f
+}

@@ -172,34 +172,41 @@ func (t Triangle) IntersectPlaneZ(h float64) (p, q Vec3, ok bool) {
 	if pos == 0 || neg == 0 {
 		return Vec3{}, Vec3{}, false // no transversal crossing
 	}
-	var pts []Vec3
+	// Each edge contributes at most one point, so a fixed buffer keeps
+	// this allocation-free (it sits in the slicer's innermost loop).
+	var pts [3]Vec3
+	np := 0
 	edge := func(u, v Vec3, du, dv float64) {
 		if (du > 0 && dv < 0) || (du < 0 && dv > 0) {
 			t := du / (du - dv)
-			pts = append(pts, u.Lerp(v, t))
+			pts[np] = u.Lerp(v, t)
+			np++
 		} else if du == 0 {
-			pts = append(pts, u)
+			pts[np] = u
+			np++
 		}
 	}
 	edge(t.A, t.B, da, db)
 	edge(t.B, t.C, db, dc)
 	edge(t.C, t.A, dc, da)
-	// Deduplicate (a vertex exactly on the plane is visited twice).
-	uniq := pts[:0]
-	for _, p := range pts {
+	// Deduplicate in place (a vertex exactly on the plane is visited
+	// twice).
+	uniq := 0
+	for i := 0; i < np; i++ {
 		dup := false
-		for _, u := range uniq {
-			if p.Eq(u, 1e-12) {
+		for j := 0; j < uniq; j++ {
+			if pts[i].Eq(pts[j], 1e-12) {
 				dup = true
 				break
 			}
 		}
 		if !dup {
-			uniq = append(uniq, p)
+			pts[uniq] = pts[i]
+			uniq++
 		}
 	}
-	if len(uniq) < 2 {
+	if uniq < 2 {
 		return Vec3{}, Vec3{}, false
 	}
-	return uniq[0], uniq[1], true
+	return pts[0], pts[1], true
 }

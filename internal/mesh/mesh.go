@@ -155,6 +155,36 @@ func (m *Mesh) ShellByName(name string) *Shell {
 	return nil
 }
 
+// ZSpan is the z-extent of one triangle: the closed interval [Min, Max]
+// its vertices cover along the build direction.
+type ZSpan struct {
+	Min, Max float64
+}
+
+// ZSpans appends the z-extent of every triangle, in triangle order, to buf
+// and returns it. The result is the sweep view the slicer's layer index is
+// built from: a plane at height z can only intersect triangle i
+// transversally when spans[i].Min < z < spans[i].Max. Passing a previous
+// result as buf reuses its backing array.
+func (s *Shell) ZSpans(buf []ZSpan) []ZSpan {
+	buf = buf[:0]
+	for _, t := range s.Tris {
+		lo, hi := t.A.Z, t.A.Z
+		if t.B.Z < lo {
+			lo = t.B.Z
+		} else if t.B.Z > hi {
+			hi = t.B.Z
+		}
+		if t.C.Z < lo {
+			lo = t.C.Z
+		} else if t.C.Z > hi {
+			hi = t.C.Z
+		}
+		buf = append(buf, ZSpan{Min: lo, Max: hi})
+	}
+	return buf
+}
+
 // weldKey quantises a vertex to a lattice so numerically-identical
 // vertices weld together.
 type weldKey struct{ X, Y, Z int64 }

@@ -255,3 +255,31 @@ func TestWatertightUnderRigidMotion(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// ZSpans must report, per triangle in order, exactly the min and max
+// vertex z — the invariant the slicer's sweep index relies on: a plane
+// can cross triangle i transversally only strictly inside its span.
+func TestZSpans(t *testing.T) {
+	s := BoxShell("box", "b", geom.V3(0, 0, 1), geom.V3(2, 3, 4))
+	spans := s.ZSpans(nil)
+	if len(spans) != len(s.Tris) {
+		t.Fatalf("spans = %d, want %d", len(spans), len(s.Tris))
+	}
+	for i, tr := range s.Tris {
+		lo := math.Min(tr.A.Z, math.Min(tr.B.Z, tr.C.Z))
+		hi := math.Max(tr.A.Z, math.Max(tr.B.Z, tr.C.Z))
+		if spans[i].Min != lo || spans[i].Max != hi {
+			t.Fatalf("tri %d span [%g,%g], want [%g,%g]", i, spans[i].Min, spans[i].Max, lo, hi)
+		}
+		for _, z := range []float64{spans[i].Min - 0.1, spans[i].Max + 0.1} {
+			if _, _, ok := tr.IntersectPlaneZ(z); ok {
+				t.Fatalf("tri %d intersects plane %g outside its span", i, z)
+			}
+		}
+	}
+	// Buffer reuse keeps the backing array.
+	spans2 := s.ZSpans(spans)
+	if &spans2[0] != &spans[0] {
+		t.Error("ZSpans did not reuse the provided buffer")
+	}
+}

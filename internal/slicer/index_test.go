@@ -1,0 +1,108 @@
+package slicer
+
+import (
+	"math/rand"
+	"testing"
+
+	"obfuscade/internal/geom"
+	"obfuscade/internal/mesh"
+	"obfuscade/internal/parallel"
+)
+
+// The sweep index must be complete (every triangle that transversally
+// crosses a layer plane appears in that layer's bucket) and ordered
+// (bucket entries ascend, matching the naive rescan's visiting order).
+func TestSweepIndexCompleteAndOrdered(t *testing.T) {
+	const baseSeed = 0x1d3a5eed
+	opts := DefaultOptions()
+	for trial := 0; trial < 10; trial++ {
+		rng := rand.New(rand.NewSource(parallel.SplitMix(baseSeed, trial)))
+		m := randomBoxMesh(rng)
+		bounds := m.Bounds()
+		nLayers := int((bounds.Max.Z - bounds.Min.Z) / opts.LayerHeight)
+		if nLayers <= 0 {
+			nLayers = 1
+		}
+		idx := buildSweepIndex(m, bounds.Min.Z, opts.LayerHeight, nLayers)
+		for si := range m.Shells {
+			shell := &m.Shells[si]
+			for li := 0; li < nLayers; li++ {
+				z := bounds.Min.Z + (float64(li)+0.5)*opts.LayerHeight
+				bucket := idx.shells[si].layer(li)
+				inBucket := make(map[int32]bool, len(bucket))
+				prev := int32(-1)
+				for _, ti := range bucket {
+					if ti <= prev {
+						t.Fatalf("trial %d shell %d layer %d: bucket not ascending", trial, si, li)
+					}
+					prev = ti
+					inBucket[ti] = true
+				}
+				for ti, tr := range shell.Tris {
+					if _, _, ok := tr.IntersectPlaneZ(z); ok && !inBucket[int32(ti)] {
+						t.Fatalf("trial %d shell %d layer %d: crossing triangle %d missing from bucket",
+							trial, si, li, ti)
+					}
+				}
+			}
+		}
+	}
+}
+
+// layerSpan must be conservative: the returned range contains every layer
+// whose plane lies strictly inside the z-interval.
+func TestLayerSpanConservative(t *testing.T) {
+	const (
+		minZ    = 0.0
+		h       = 0.25
+		nLayers = 40
+	)
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 2000; trial++ {
+		a := rng.Float64() * 10
+		b := a + rng.Float64()*3
+		lo, hi := layerSpan(a, b, minZ, h, nLayers)
+		for l := 0; l < nLayers; l++ {
+			z := minZ + (float64(l)+0.5)*h
+			if a < z && z < b && (l < lo || l > hi) {
+				t.Fatalf("trial %d: plane %g inside (%g,%g) but layer %d outside [%d,%d]",
+					trial, z, a, b, l, lo, hi)
+			}
+		}
+	}
+}
+
+// A zero-extent interval (horizontal facet) must not panic and may map to
+// an empty or single-layer range.
+func TestLayerSpanDegenerate(t *testing.T) {
+	lo, hi := layerSpan(1.0, 1.0, 0, 0.25, 10)
+	if lo < 0 || hi > 9 {
+		t.Fatalf("degenerate span [%d,%d] out of clamp range", lo, hi)
+	}
+}
+
+// The pooled chain scratch must not leak state between uses: slicing the
+// same mesh twice through the pool yields identical results.
+func TestChainScratchReuse(t *testing.T) {
+	m := &mesh.Mesh{Shells: []mesh.Shell{
+		mesh.BoxShell("box", "box", geom.V3(0, 0, 0), geom.V3(5, 4, 1)),
+	}}
+	first, err := Slice(m, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		again, err := Slice(m, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(again.Layers) != len(first.Layers) {
+			t.Fatal("layer count changed on scratch reuse")
+		}
+		for li := range again.Layers {
+			if len(again.Layers[li].Contours) != len(first.Layers[li].Contours) {
+				t.Fatalf("layer %d contours changed on scratch reuse", li)
+			}
+		}
+	}
+}

@@ -7,13 +7,40 @@ import (
 	"obfuscade/internal/geom"
 )
 
+// probeIndex caches read-only, derived geometry for one layer's probes:
+// the bounding box of every contour. A point outside a closed loop's box
+// has winding number zero, so the box is an exact reject test — indexed
+// probes return precisely what the unindexed scans return.
+type probeIndex struct {
+	bounds []geom.Bounds2 // parallel to Layer.Contours
+}
+
+// buildProbeIndex computes the per-contour bounds cache. The slicer calls
+// it once per layer, after chaining and before interface probing; it is
+// deterministic, so serial and pooled runs produce identical layers.
+func (l *Layer) buildProbeIndex() {
+	px := &probeIndex{bounds: make([]geom.Bounds2, len(l.Contours))}
+	for i := range l.Contours {
+		px.bounds[i] = l.Contours[i].Poly.Bounds()
+	}
+	l.probe = px
+}
+
+// rejects reports whether contour i's bounding box excludes p, meaning
+// its winding contribution is provably zero. Always false without a probe
+// index.
+func (l *Layer) rejects(i int, p geom.Vec2) bool {
+	return l.probe != nil && !l.probe.bounds[i].ContainsPoint(p)
+}
+
 // SignedWinding returns the summed winding number of every closed contour
 // around p. Outward shells contribute positively around material, cavity
 // and reversed-surface shells negatively.
 func (l *Layer) SignedWinding(p geom.Vec2) int {
 	w := 0
-	for _, c := range l.Contours {
-		if !c.Closed {
+	for i := range l.Contours {
+		c := &l.Contours[i]
+		if !c.Closed || l.rejects(i, p) {
 			continue
 		}
 		w += c.Poly.WindingNumber(p)
@@ -41,8 +68,9 @@ func (l *Layer) Material(p geom.Vec2) bool {
 // contours around p.
 func (l *Layer) BodyWinding(body string, p geom.Vec2) int {
 	w := 0
-	for _, c := range l.Contours {
-		if !c.Closed || c.Body != body {
+	for i := range l.Contours {
+		c := &l.Contours[i]
+		if !c.Closed || c.Body != body || l.rejects(i, p) {
 			continue
 		}
 		w += c.Poly.WindingNumber(p)
@@ -157,33 +185,101 @@ func findInterfaces(l *Layer, opts Options) []BodyInterface {
 // are skipped: offsets this small have numerically meaningless direction.
 const nearTol = 0.02
 
+// probeEdge is one boundary segment of the probed body with its bounding
+// box, flattened for the nearest-boundary search.
+type probeEdge struct {
+	a, b   geom.Vec2
+	bounds geom.Bounds2
+}
+
+// probeLoop is one closed loop of the probed body as a flat edge list
+// with a loop-level bounding box, so the nearest-boundary search prunes
+// whole loops (then single edges) against the best squared distance found
+// so far. Pruning is exact: a box's DistSq lower-bounds the distance to
+// every edge it contains, and only strict improvements update the best,
+// so the surviving minimum — and its tangent — match the full scan.
+type probeLoop struct {
+	bounds geom.Bounds2
+	edges  []probeEdge
+}
+
+func buildProbeLoop(poly geom.Polygon, bounds geom.Bounds2) probeLoop {
+	n := len(poly)
+	pl := probeLoop{bounds: bounds, edges: make([]probeEdge, n)}
+	for i := 0; i < n; i++ {
+		a, b := poly[i], poly[(i+1)%n]
+		pl.edges[i] = probeEdge{a: a, b: b, bounds: geom.Bounds2{
+			Min: geom.V2(math.Min(a.X, b.X), math.Min(a.Y, b.Y)),
+			Max: geom.V2(math.Max(a.X, b.X), math.Max(a.Y, b.Y)),
+		}}
+	}
+	return pl
+}
+
 func probeInterface(l *Layer, a, b string, opts Options) BodyInterface {
 	bi := BodyInterface{BodyA: a, BodyB: b}
-	var bLoops []geom.Polygon
-	for _, c := range l.Contours {
+	var bLoops []probeLoop
+	for i := range l.Contours {
+		c := &l.Contours[i]
 		if c.Closed && c.Body == b {
-			bLoops = append(bLoops, c.Poly)
+			bounds := c.Poly.Bounds()
+			if l.probe != nil {
+				bounds = l.probe.bounds[i]
+			}
+			bLoops = append(bLoops, buildProbeLoop(c.Poly, bounds))
 		}
 	}
 	if len(bLoops) == 0 {
 		return bi
 	}
-	// nearestOnB returns the distance from p to B's boundary and the unit
-	// tangent of the nearest boundary segment.
-	nearestOnB := func(p geom.Vec2) (float64, geom.Vec2) {
-		best := math.Inf(1)
-		var tangent geom.Vec2
-		for _, lp := range bLoops {
-			n := len(lp)
-			for i := 0; i < n; i++ {
-				s := geom.Segment2{A: lp[i], B: lp[(i+1)%n]}
-				if d := s.Dist(p); d < best {
-					best = d
-					tangent = s.B.Sub(s.A).Normalized()
+	// nearestOnB returns the distance from p to B's boundary, the unit
+	// tangent of the nearest boundary segment, and the nearest point
+	// itself (so the offset needs no second scan). Squared distances
+	// drive the search and the sqrt happens once on the winner.
+	//
+	// The search is bounded at the interface range: probes farther than
+	// that are discarded by the caller regardless of the exact distance,
+	// so the bound starts one ulp above rangeSq and the +Inf return means
+	// "beyond range". Any squared distance > rangeSq is >= that sentinel
+	// (no float lies between), so every probe within range still sees the
+	// exhaustive minimum — most probe points are far from B and now cost
+	// one bounding-box check per loop instead of a full edge scan.
+	rangeSq := opts.InterfaceRange * opts.InterfaceRange
+	sentinel := math.Nextafter(rangeSq, math.Inf(1))
+	nearestOnB := func(p geom.Vec2) (float64, geom.Vec2, geom.Vec2) {
+		best := sentinel
+		found := false
+		var tangent, closest geom.Vec2
+		for li := range bLoops {
+			lp := &bLoops[li]
+			if lp.bounds.DistSq(p) >= best {
+				continue
+			}
+			for ei := range lp.edges {
+				e := &lp.edges[ei]
+				if e.bounds.DistSq(p) >= best {
+					continue
+				}
+				d := e.b.Sub(e.a)
+				t := 0.0
+				if ll := d.LenSq(); ll != 0 {
+					t = geom.Clamp(p.Sub(e.a).Dot(d)/ll, 0, 1)
+				}
+				c := e.a.Lerp(e.b, t)
+				if dsq := c.DistSq(p); dsq < best {
+					best = dsq
+					found = true
+					tangent = d.Normalized()
+					closest = c
 				}
 			}
 		}
-		return best, tangent
+		if !found {
+			return math.Inf(1), geom.Vec2{}, geom.Vec2{}
+		}
+		// Hypot, not sqrt(best): bit-compatible with the reference scan's
+		// Segment2.Dist so the naive-equivalence goldens compare exactly.
+		return closest.Dist(p), tangent, closest
 	}
 	// Probe along body A's boundary at road-width/4 spacing. A probe
 	// counts as an interface sample only when the offset to B is mostly
@@ -204,7 +300,7 @@ func probeInterface(l *Layer, a, b string, opts Options) BodyInterface {
 			steps := int(segLen/step) + 1
 			for k := 0; k < steps; k++ {
 				p := p0.Lerp(p1, (float64(k)+0.5)/float64(steps))
-				d, tB := nearestOnB(p)
+				d, tB, q := nearestOnB(p)
 				if d > opts.InterfaceRange {
 					continue
 				}
@@ -213,7 +309,7 @@ func probeInterface(l *Layer, a, b string, opts Options) BodyInterface {
 						continue // boundaries not locally parallel
 					}
 					// The offset must be mostly normal to B's boundary.
-					off := offsetToBoundary(p, bLoops)
+					off := q.Sub(p)
 					if off.Len() > 0 && math.Abs(off.Normalized().Dot(tB)) > 0.5 {
 						continue // offset runs along B's boundary
 					}
@@ -239,61 +335,43 @@ func probeInterface(l *Layer, a, b string, opts Options) BodyInterface {
 	return bi
 }
 
-// offsetToBoundary returns the vector from p to the nearest point on any
-// of the loops.
-func offsetToBoundary(p geom.Vec2, loops []geom.Polygon) geom.Vec2 {
-	best := math.Inf(1)
-	var q geom.Vec2
-	for _, lp := range loops {
-		n := len(lp)
-		for i := 0; i < n; i++ {
-			s := geom.Segment2{A: lp[i], B: lp[(i+1)%n]}
-			c := s.ClosestPoint(p)
-			if d := c.Dist(p); d < best {
-				best = d
-				q = c
-			}
-		}
-	}
-	return q.Sub(p)
-}
-
 // countCrossings counts proper boundary intersections between the two
-// bodies' contours, with bounding-box rejection.
+// bodies' contours. Whole contour pairs are rejected by bounding box
+// before any edge pair is tested; disjoint boxes cannot intersect, so the
+// count is unchanged.
 func countCrossings(l *Layer, a, b string) int {
-	type edge struct {
-		s          geom.Segment2
-		minX, maxX float64
-		minY, maxY float64
-	}
-	collect := func(body string) []edge {
-		var out []edge
-		for _, c := range l.Contours {
+	collect := func(body string) []probeLoop {
+		var out []probeLoop
+		for i := range l.Contours {
+			c := &l.Contours[i]
 			if !c.Closed || c.Body != body {
 				continue
 			}
-			n := len(c.Poly)
-			for i := 0; i < n; i++ {
-				s := geom.Segment2{A: c.Poly[i], B: c.Poly[(i+1)%n]}
-				out = append(out, edge{
-					s:    s,
-					minX: math.Min(s.A.X, s.B.X), maxX: math.Max(s.A.X, s.B.X),
-					minY: math.Min(s.A.Y, s.B.Y), maxY: math.Max(s.A.Y, s.B.Y),
-				})
+			bounds := c.Poly.Bounds()
+			if l.probe != nil {
+				bounds = l.probe.bounds[i]
 			}
+			out = append(out, buildProbeLoop(c.Poly, bounds))
 		}
 		return out
 	}
-	ea := collect(a)
-	eb := collect(b)
+	la := collect(a)
+	lb := collect(b)
 	count := 0
-	for _, x := range ea {
-		for _, y := range eb {
-			if x.maxX < y.minX || y.maxX < x.minX || x.maxY < y.minY || y.maxY < x.minY {
+	for ai := range la {
+		for bi := range lb {
+			if !la[ai].bounds.Overlaps(lb[bi].bounds) {
 				continue
 			}
-			if x.s.ProperlyIntersects(y.s) {
-				count++
+			for _, x := range la[ai].edges {
+				for _, y := range lb[bi].edges {
+					if !x.bounds.Overlaps(y.bounds) {
+						continue
+					}
+					if (geom.Segment2{A: x.a, B: x.b}).ProperlyIntersects(geom.Segment2{A: y.a, B: y.b}) {
+						count++
+					}
+				}
 			}
 		}
 	}

@@ -1,12 +1,17 @@
 package slicer
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 
+	"obfuscade/internal/brep"
 	"obfuscade/internal/geom"
 	"obfuscade/internal/mesh"
+	"obfuscade/internal/parallel"
+	"obfuscade/internal/tessellate"
 )
 
 // Property: every layer of a sliced axis-aligned box has exactly the
@@ -115,5 +120,189 @@ func TestRasterMatchesPointClassification(t *testing.T) {
 				t.Fatalf("cell (%d,%d) at %v: raster %t vs point %t", ix, iy, p, got, want)
 			}
 		}
+	}
+}
+
+// randomBoxMesh builds a randomized multi-shell, multi-body mesh: a few
+// solid boxes (distinct bodies), sometimes with a flipped inward cavity
+// inside, sometimes overlapping each other — the configurations whose
+// chaining and winding behaviour the indexed kernels must reproduce.
+func randomBoxMesh(rng *rand.Rand) *mesh.Mesh {
+	m := &mesh.Mesh{}
+	nBodies := 1 + rng.Intn(3)
+	for bi := 0; bi < nBodies; bi++ {
+		body := fmt.Sprintf("body%d", bi)
+		ox := rng.Float64() * 14
+		oy := rng.Float64() * 10
+		w := 2 + rng.Float64()*10
+		d := 2 + rng.Float64()*8
+		h := 0.5 + rng.Float64()*3
+		min := geom.V3(ox, oy, 0)
+		max := geom.V3(ox+w, oy+d, h)
+		m.Shells = append(m.Shells, mesh.BoxShell(body+"-outer", body, min, max))
+		if rng.Float64() < 0.5 && w > 2 && d > 2 && h > 0.8 {
+			inner := mesh.BoxShell(body+"-cavity", body,
+				min.Add(geom.V3(w/4, d/4, h/4)),
+				max.Sub(geom.V3(w/4, d/4, h/4)))
+			inner.FlipOrientation()
+			inner.Orient = mesh.Inward
+			m.Shells = append(m.Shells, inner)
+		}
+	}
+	return m
+}
+
+// Property: the indexed slicer is byte-identical to the naive full-rescan
+// reference on randomized multi-shell meshes, both serial and on a pool.
+func TestSliceMatchesNaiveRandomMeshes(t *testing.T) {
+	defer parallel.SetDefault(0)
+	const baseSeed = 0x5eed_0b5f
+	for trial := 0; trial < 20; trial++ {
+		rng := rand.New(rand.NewSource(parallel.SplitMix(baseSeed, trial)))
+		m := randomBoxMesh(rng)
+		opts := DefaultOptions()
+		want, err := sliceNaive(m, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 8} {
+			parallel.SetDefault(workers)
+			got, err := Slice(m, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d (workers=%d): indexed slice differs from naive reference",
+					trial, workers)
+			}
+		}
+	}
+}
+
+// Property: the bucketed rasterizer is byte-identical to the naive
+// per-row rescan on layers of randomized meshes, with and without body
+// ownership tracking.
+func TestRasterizeMatchesNaiveRandomMeshes(t *testing.T) {
+	const baseSeed = 0x7a57e2
+	for trial := 0; trial < 10; trial++ {
+		rng := rand.New(rand.NewSource(parallel.SplitMix(baseSeed, trial)))
+		m := randomBoxMesh(rng)
+		res, err := Slice(m, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := res.Bounds
+		min := geom.V2(b.Min.X-1, b.Min.Y-1)
+		max := geom.V2(b.Max.X+1, b.Max.Y+1)
+		cell := 0.2 + rng.Float64()*0.4
+		for _, li := range []int{0, len(res.Layers) / 2, len(res.Layers) - 1} {
+			l := &res.Layers[li]
+			for _, bodies := range [][]string{nil, res.BodyNames} {
+				got, err := l.Rasterize(min, max, cell, bodies)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := rasterizeNaive(l, min, max, cell, bodies)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("trial %d layer %d (bodies=%v): raster differs from naive",
+						trial, li, bodies)
+				}
+			}
+		}
+	}
+}
+
+// Golden: on the paper's split tensile bar, in both print orientations,
+// the indexed kernels reproduce the naive reference exactly — including
+// the discontinuous-layer fraction that drives Table 2.
+func TestSliceMatchesNaiveSplitBarGolden(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		orient func(*mesh.Mesh)
+	}{
+		{"xy", func(*mesh.Mesh) {}},
+		{"xz", orientXZ},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			m := buildSplitBar(t, tessellate.Coarse)
+			tc.orient(m)
+			opts := DefaultOptions()
+			got, err := Slice(m, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := sliceNaive(m, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatal("indexed slice differs from naive reference")
+			}
+			gf := got.DiscontinuousLayerFraction("bar-upper", "bar-lower")
+			wf := want.DiscontinuousLayerFraction("bar-upper", "bar-lower")
+			if gf != wf {
+				t.Fatalf("discontinuous fraction %g != naive %g", gf, wf)
+			}
+		})
+	}
+}
+
+// Golden: the four embedded-sphere CAD variants of Table 3 slice
+// identically through the indexed and naive kernels, and the material
+// decision at the sphere centre stays pinned to the table.
+func TestSliceMatchesNaiveSphereVariantsGolden(t *testing.T) {
+	size := geom.V3(25.4, 12.7, 12.7)
+	c := geom.V3(12.7, 6.35, 6.35)
+	const r = 3.175
+	cases := []struct {
+		name     string
+		opts     brep.EmbedOpts
+		material bool
+	}{
+		{"solid-no-removal", brep.EmbedOpts{}, false},
+		{"solid-removal", brep.EmbedOpts{MaterialRemoval: true}, true},
+		{"surface-removal", brep.EmbedOpts{MaterialRemoval: true, SurfaceBody: true}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := brep.NewRectPrism("prism", size)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := brep.EmbedSphere(p, "prism", c, r, tc.opts); err != nil {
+				t.Fatal(err)
+			}
+			m, err := tessellate.Tessellate(p, tessellate.Coarse)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := Slice(m, DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := sliceNaive(m, DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatal("indexed slice differs from naive reference")
+			}
+			var layer *Layer
+			for i := range got.Layers {
+				if math.Abs(got.Layers[i].Z-c.Z) <= got.Opts.LayerHeight/2 {
+					layer = &got.Layers[i]
+					break
+				}
+			}
+			if layer == nil {
+				t.Fatal("no layer at sphere centre")
+			}
+			if m := layer.Material(geom.V2(c.X, c.Y)); m != tc.material {
+				t.Errorf("material at centre = %t, want %t", m, tc.material)
+			}
+		})
 	}
 }

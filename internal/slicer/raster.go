@@ -3,7 +3,8 @@ package slicer
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
+	"sync"
 
 	"obfuscade/internal/geom"
 )
@@ -74,8 +75,61 @@ func (r *Raster) CountClass(c CellClass) int {
 	return n
 }
 
+// crossing is one scanline/edge intersection.
+type crossing struct {
+	x     float64
+	delta int32 // contribution to signed winding for points right of x
+	body  int32 // body bit, -1 if unknown
+}
+
+// rasterEdge is one non-horizontal contour edge flattened for scanline
+// rasterization, with its winding contribution and body bit precomputed.
+type rasterEdge struct {
+	a, b  geom.Vec2
+	delta int32
+	body  int32
+}
+
+// rasterScratch is the reusable working set of one Rasterize call: the
+// flat edge list, the per-row bucket arena, the crossing list and the
+// per-body winding accumulator. Pooled so repeated rasterization (the
+// toolpath planner calls Rasterize once per layer) stays allocation-flat.
+type rasterScratch struct {
+	edges     []rasterEdge
+	rowCnt    []int32
+	rowOff    []int32
+	entries   []int32
+	crossings []crossing
+	bodyW     []int
+}
+
+var rasterScratchPool = sync.Pool{New: func() any { return new(rasterScratch) }}
+
+// rowSpan converts an edge's y-interval to a conservative [lo, hi] row
+// range for scanlines at y = minY + (iy+0.5)*cell, clamped to [0, ny).
+// Rows can only be added, never lost: the exact half-open crossing rule is
+// re-checked per row, so a conservative range cannot change the raster.
+func rowSpan(yLo, yHi, minY, cell float64, ny int) (lo, hi int) {
+	lo = int(math.Floor((yLo-minY)/cell - 0.5))
+	hi = int(math.Ceil((yHi-minY)/cell - 0.5))
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > ny-1 {
+		hi = ny - 1
+	}
+	return lo, hi
+}
+
 // Rasterize classifies the layer over the given 2D bounds with the given
-// cell size, using one scanline pass per row (O(edges + cells)).
+// cell size. Edges are flattened and bucketed by row interval once, so
+// each scanline visits only the edges that can cross it
+// (O(edges + crossings + cells) instead of O(rows * edges)).
+//
+// The per-row crossing list is built by ascending edge index — the same
+// order the naive full scan produces — and equal-x crossings are consumed
+// together before any cell is classified, so the output is byte-identical
+// to rasterizeNaive.
 func (l *Layer) Rasterize(min, max geom.Vec2, cell float64, bodies []string) (*Raster, error) {
 	if cell <= 0 {
 		return nil, fmt.Errorf("slicer: cell size must be positive, got %g", cell)
@@ -105,52 +159,125 @@ func (l *Layer) Rasterize(min, max geom.Vec2, cell float64, bodies []string) (*R
 		Bodies: bodies,
 	}
 
-	type crossing struct {
-		x     float64
-		delta int // contribution to signed winding for points right of x
-		body  int // body bit, -1 if unknown
+	sc := rasterScratchPool.Get().(*rasterScratch)
+	defer rasterScratchPool.Put(sc)
+
+	// Flatten the closed contours' edges in contour order. Horizontal
+	// edges can never satisfy the half-open crossing rule and are dropped
+	// here once instead of per row.
+	edges := sc.edges[:0]
+	for _, c := range l.Contours {
+		if !c.Closed {
+			continue
+		}
+		bit, okBody := bodyBit[c.Body]
+		if !okBody {
+			bit = -1
+		}
+		n := len(c.Poly)
+		for i := 0; i < n; i++ {
+			a := c.Poly[i]
+			b := c.Poly[(i+1)%n]
+			if a.Y == b.Y {
+				continue
+			}
+			delta := int32(1)
+			if b.Y > a.Y {
+				delta = -1 // upward edge closes the winding to its right
+			}
+			edges = append(edges, rasterEdge{a: a, b: b, delta: delta, body: int32(bit)})
+		}
 	}
-	var crossings []crossing
+	sc.edges = edges
+
+	// Bucket edges by row interval (count, prefix offsets, cursor fill).
+	// Filling in ascending edge order keeps every bucket ascending.
+	sc.rowCnt = grow(sc.rowCnt, ny)
+	for i := range sc.rowCnt {
+		sc.rowCnt[i] = 0
+	}
+	total := 0
+	for ei := range edges {
+		e := &edges[ei]
+		yLo, yHi := e.a.Y, e.b.Y
+		if yLo > yHi {
+			yLo, yHi = yHi, yLo
+		}
+		lo, hi := rowSpan(yLo, yHi, min.Y, cell, ny)
+		for iy := lo; iy <= hi; iy++ {
+			sc.rowCnt[iy]++
+			total++
+		}
+	}
+	sc.rowOff = grow(sc.rowOff, ny+1)
+	var acc int32
+	for iy, c := range sc.rowCnt {
+		sc.rowOff[iy] = acc
+		acc += c
+	}
+	sc.rowOff[ny] = acc
+	sc.entries = grow(sc.entries, total)
+	for ei := range edges {
+		e := &edges[ei]
+		yLo, yHi := e.a.Y, e.b.Y
+		if yLo > yHi {
+			yLo, yHi = yHi, yLo
+		}
+		lo, hi := rowSpan(yLo, yHi, min.Y, cell, ny)
+		for iy := lo; iy <= hi; iy++ {
+			sc.entries[sc.rowOff[iy]] = int32(ei)
+			sc.rowOff[iy]++
+		}
+	}
+	for iy := ny - 1; iy > 0; iy-- {
+		sc.rowOff[iy] = sc.rowOff[iy-1]
+	}
+	if ny > 0 {
+		sc.rowOff[0] = 0
+	}
+
+	if cap(sc.bodyW) < len(bodies) {
+		sc.bodyW = make([]int, len(bodies))
+	}
+	bodyW := sc.bodyW[:len(bodies)]
+
+	crossings := sc.crossings
 	for iy := 0; iy < ny; iy++ {
 		y := min.Y + (float64(iy)+0.5)*cell
 		crossings = crossings[:0]
-		for _, c := range l.Contours {
-			if !c.Closed {
+		for _, ei := range sc.entries[sc.rowOff[iy]:sc.rowOff[iy+1]] {
+			e := &edges[ei]
+			// Half-open rule [minY, maxY) avoids double counting at
+			// shared vertices.
+			if (e.a.Y <= y) == (e.b.Y <= y) {
 				continue
 			}
-			bit, okBody := bodyBit[c.Body]
-			if !okBody {
-				bit = -1
-			}
-			n := len(c.Poly)
-			for i := 0; i < n; i++ {
-				a := c.Poly[i]
-				b := c.Poly[(i+1)%n]
-				// Half-open rule [minY, maxY) avoids double counting at
-				// shared vertices.
-				if (a.Y <= y) == (b.Y <= y) {
-					continue
-				}
-				t := (y - a.Y) / (b.Y - a.Y)
-				x := a.X + t*(b.X-a.X)
-				delta := 1
-				if b.Y > a.Y {
-					delta = -1 // upward edge closes the winding to its right
-				}
-				crossings = append(crossings, crossing{x: x, delta: delta, body: bit})
-			}
+			t := (y - e.a.Y) / (e.b.Y - e.a.Y)
+			x := e.a.X + t*(e.b.X-e.a.X)
+			crossings = append(crossings, crossing{x: x, delta: e.delta, body: e.body})
 		}
-		sort.Slice(crossings, func(i, j int) bool { return crossings[i].x < crossings[j].x })
+		slices.SortFunc(crossings, func(p, q crossing) int {
+			switch {
+			case p.x < q.x:
+				return -1
+			case p.x > q.x:
+				return 1
+			default:
+				return 0
+			}
+		})
 
 		w := 0
-		bodyW := make([]int, len(bodies))
+		for i := range bodyW {
+			bodyW[i] = 0
+		}
 		ci := 0
 		for ix := 0; ix < nx; ix++ {
 			xc := min.X + (float64(ix)+0.5)*cell
 			for ci < len(crossings) && crossings[ci].x <= xc {
-				w += crossings[ci].delta
+				w += int(crossings[ci].delta)
 				if crossings[ci].body >= 0 {
-					bodyW[crossings[ci].body] += crossings[ci].delta
+					bodyW[crossings[ci].body] += int(crossings[ci].delta)
 				}
 				ci++
 			}
@@ -175,6 +302,7 @@ func (l *Layer) Rasterize(min, max geom.Vec2, cell float64, bodies []string) (*R
 			}
 		}
 	}
+	sc.crossings = crossings
 	return r, nil
 }
 

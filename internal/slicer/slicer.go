@@ -117,6 +117,10 @@ type Layer struct {
 	Contours []Contour
 	// Interfaces describes where distinct bodies meet in this layer.
 	Interfaces []BodyInterface
+	// probe caches per-contour bounding boxes for the winding and
+	// distance probes. Built by the slicer after the contours assemble;
+	// nil for hand-built layers, which fall back to the unindexed scans.
+	probe *probeIndex
 }
 
 // Result is a sliced model.
@@ -170,6 +174,14 @@ func SliceCtx(ctx context.Context, m *mesh.Mesh, opts Options) (res *Result, err
 		return nil, fmt.Errorf("slicer: %d layers exceed sanity limit (layer height %g)",
 			nLayers, opts.LayerHeight)
 	}
+	// The sweep index is built once, serially, before the fan-out: every
+	// layer bucket then holds exactly the triangles whose z-extent spans
+	// that plane, so each layer task does O(crossings) work instead of
+	// rescanning the whole shell.
+	_, isp := trace.StartSpan(ctx, "stage", "slicer.index.build")
+	idx := buildSweepIndex(m, bounds.Min.Z, opts.LayerHeight, nLayers)
+	isp.End()
+
 	// Each layer depends only on its own plane height, so layers slice
 	// concurrently on the worker pool and assemble by index — the stack is
 	// identical to a serial run. Tasks take the worker context and check it
@@ -181,14 +193,18 @@ func SliceCtx(ctx context.Context, m *mesh.Mesh, opts Options) (res *Result, err
 	if err := parallel.ForEachCtx(ctx, nLayers, 0, func(tctx context.Context, i int) error {
 		z := bounds.Min.Z + (float64(i)+0.5)*opts.LayerHeight
 		layer := Layer{Index: i, Z: z}
+		sc := chainScratchPool.Get().(*chainScratch)
 		for si := range m.Shells {
 			if err := tctx.Err(); err != nil {
+				chainScratchPool.Put(sc)
 				return err
 			}
 			shell := &m.Shells[si]
-			contours := sliceShell(shell, z, opts)
+			contours := sliceShell(shell, idx.shells[si].layer(i), z, opts, sc)
 			layer.Contours = append(layer.Contours, contours...)
 		}
+		chainScratchPool.Put(sc)
+		layer.buildProbeIndex()
 		layer.Interfaces = findInterfaces(&layer, opts)
 		res.Layers[i] = layer
 		return nil
@@ -204,12 +220,18 @@ func SliceCtx(ctx context.Context, m *mesh.Mesh, opts Options) (res *Result, err
 	return res, nil
 }
 
-// sliceShell intersects one shell with the plane z and chains the directed
-// segments into contours.
-func sliceShell(s *mesh.Shell, z float64, opts Options) []Contour {
-	type seg struct{ a, b geom.Vec2 }
-	var segs []seg
-	for _, t := range s.Tris {
+// sliceShell intersects the bucketed triangles of one shell with the
+// plane z and chains the directed segments into contours. tris is the
+// ascending triangle subset from the sweep index (only triangles whose
+// z-extent spans the plane); sc is the pooled scratch. Output is
+// byte-identical to sliceShellNaive: the bucket visits crossing triangles
+// in the same order as a full rescan, and the snap-grid cell lists stay in
+// ascending segment order, so chaining picks the same successor at every
+// step.
+func sliceShell(s *mesh.Shell, tris []int32, z float64, opts Options, sc *chainScratch) []Contour {
+	segs := sc.segs[:0]
+	for _, ti := range tris {
+		t := s.Tris[ti]
 		p, q, ok := t.IntersectPlaneZ(z)
 		if !ok {
 			continue
@@ -225,34 +247,103 @@ func sliceShell(s *mesh.Shell, z float64, opts Options) []Contour {
 		if b.Sub(a).Dot(dir) < 0 {
 			a, b = b, a
 		}
-		segs = append(segs, seg{a, b})
+		segs = append(segs, chainSeg{a, b})
 	}
+	sc.segs = segs
 	if len(segs) == 0 {
 		return nil
 	}
 
-	// Chain segments end-to-start using a snap grid.
+	// Chain segments end-to-start using a snap grid. The per-cell index
+	// lists live in one arena (sc.entries) and consumed segments are
+	// removed by an order-preserving delete, so a cell's list only ever
+	// shrinks: chaining a degenerate mesh where many endpoints share a
+	// snap cell stays near-linear instead of rescanning consumed entries
+	// (the naive take() walk degrades to O(n²) there).
 	quant := func(p geom.Vec2) [2]int64 {
 		return [2]int64{
 			int64(math.Round(p.X / opts.SnapTol)),
 			int64(math.Round(p.Y / opts.SnapTol)),
 		}
 	}
-	starts := make(map[[2]int64][]int)
+	clear(sc.cellOf)
+	sc.segCell = grow(sc.segCell, len(segs))
+	nCells := int32(0)
 	for i, sg := range segs {
 		k := quant(sg.a)
-		starts[k] = append(starts[k], i)
+		id, ok := sc.cellOf[k]
+		if !ok {
+			id = nCells
+			nCells++
+			sc.cellOf[k] = id
+		}
+		sc.segCell[i] = id
 	}
-	used := make([]bool, len(segs))
+	sc.cellCnt = grow(sc.cellCnt, int(nCells))
+	for c := range sc.cellCnt {
+		sc.cellCnt[c] = 0
+	}
+	for _, c := range sc.segCell {
+		sc.cellCnt[c]++
+	}
+	sc.cellOff = grow(sc.cellOff, int(nCells))
+	var acc int32
+	for c, n := range sc.cellCnt {
+		sc.cellOff[c] = acc
+		acc += n
+	}
+	sc.entries = grow(sc.entries, len(segs))
+	// Fill with the cursor trick (ascending segment order per cell), then
+	// restore the offsets.
+	for i := range segs {
+		c := sc.segCell[i]
+		sc.entries[sc.cellOff[c]] = int32(i)
+		sc.cellOff[c]++
+	}
+	for c := range sc.cellOff {
+		sc.cellOff[c] -= sc.cellCnt[c]
+	}
+	if cap(sc.used) < len(segs) {
+		sc.used = make([]bool, len(segs))
+	}
+	used := sc.used[:len(segs)]
+	for i := range used {
+		used[i] = false
+	}
+
+	// removeEntry deletes the j-th live entry of cell c, preserving order.
+	removeEntry := func(c int32, j int32) {
+		off, cnt := sc.cellOff[c], sc.cellCnt[c]
+		copy(sc.entries[j:off+cnt-1], sc.entries[j+1:off+cnt])
+		sc.cellCnt[c] = cnt - 1
+	}
+	// consume removes segment i from its own cell list.
+	consume := func(i int) {
+		c := sc.segCell[i]
+		off, cnt := sc.cellOff[c], sc.cellCnt[c]
+		for j := off; j < off+cnt; j++ {
+			if sc.entries[j] == int32(i) {
+				removeEntry(c, j)
+				return
+			}
+		}
+	}
 	take := func(p geom.Vec2) int {
 		k := quant(p)
 		// Check the snap cell and its 8 neighbours to be robust at cell
 		// boundaries.
 		for dx := int64(-1); dx <= 1; dx++ {
 			for dy := int64(-1); dy <= 1; dy++ {
-				for _, i := range starts[[2]int64{k[0] + dx, k[1] + dy}] {
-					if !used[i] && segs[i].a.Eq(p, opts.SnapTol) {
-						return i
+				c, ok := sc.cellOf[[2]int64{k[0] + dx, k[1] + dy}]
+				if !ok {
+					continue
+				}
+				off, cnt := sc.cellOff[c], sc.cellCnt[c]
+				for j := off; j < off+cnt; j++ {
+					i := sc.entries[j]
+					if segs[i].a.Eq(p, opts.SnapTol) {
+						removeEntry(c, j)
+						return int(i)
 					}
 				}
 			}
@@ -266,6 +357,7 @@ func sliceShell(s *mesh.Shell, z float64, opts Options) []Contour {
 			continue
 		}
 		used[i] = true
+		consume(i)
 		loop := geom.Polygon{segs[i].a, segs[i].b}
 		closed := false
 		for {

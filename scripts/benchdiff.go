@@ -7,9 +7,9 @@
 //
 //	go run ./scripts -baseline BENCH_baseline.json \
 //	    -current BENCH_obfuscade.json [-tolerance 0.30] [-max-serial-ratio 1.25] \
-//	    [-throughput-tolerance 0.40] [-enforce-throughput]
+//	    [-slicer-tolerance 0.30] [-throughput-tolerance 0.40] [-enforce-throughput]
 //
-// Three gates run:
+// Four gates run:
 //
 //  1. Regression: current parallel matrix wall time must not exceed
 //     baseline * (1 + tolerance). Absolute wall times differ across
@@ -18,11 +18,17 @@
 //     intentional perf change.
 //  2. Pool sanity (machine-independent): on a multi-core host the pool
 //     must not run slower than the serial baseline by more than
-//     -max-serial-ratio. Skipped when GOMAXPROCS is 1.
-//  3. Throughput: slicer layers/s and mech replicates/s must not drop
-//     more than -throughput-tolerance below the baseline. Warn-only by
-//     default (throughput is noisier than wall time on shared CI
-//     runners); -enforce-throughput promotes the warnings to failures.
+//     -max-serial-ratio. Skipped with a warning when either report was
+//     produced single-proc (GOMAXPROCS=1 or a 1-worker pool): a
+//     "parallel" run on one processor is just a serial run, so its
+//     speedup carries no signal.
+//  3. Slicer throughput (enforced): layers/s must not drop more than
+//     -slicer-tolerance below the baseline. The indexed slicing kernels
+//     make this the one throughput number CI guards strictly.
+//  4. Throughput: mech replicates/s must not drop more than
+//     -throughput-tolerance below the baseline. Warn-only by default
+//     (throughput is noisier than wall time on shared CI runners);
+//     -enforce-throughput promotes the warnings to failures.
 //
 // Exit code 0 when the enforced gates pass, 1 on a regression or
 // unreadable input.
@@ -47,8 +53,9 @@ type benchReport struct {
 		Speedup         float64 `json:"speedup"`
 	} `json:"matrix"`
 	Slicer struct {
-		Layers          int64   `json:"layers"`
-		LayersPerSecond float64 `json:"layers_per_second"`
+		Layers            int64   `json:"layers"`
+		LayersPerSecond   float64 `json:"layers_per_second"`
+		IndexBuildSeconds float64 `json:"index_build_seconds"`
 	} `json:"slicer"`
 	Mech struct {
 		Replicates          int64   `json:"replicates"`
@@ -63,8 +70,11 @@ type gateOpts struct {
 	Tolerance float64
 	// MaxSerialRatio bounds parallel/serial wall time on multi-core hosts.
 	MaxSerialRatio float64
-	// ThroughputTolerance is the allowed fractional drop in slicer
-	// layers/s and mech replicates/s.
+	// SlicerTolerance is the allowed fractional drop in slicer layers/s;
+	// unlike ThroughputTolerance this gate always fails on regression.
+	SlicerTolerance float64
+	// ThroughputTolerance is the allowed fractional drop in mech
+	// replicates/s.
 	ThroughputTolerance float64
 	// EnforceThroughput promotes throughput warnings to failures.
 	EnforceThroughput bool
@@ -90,10 +100,35 @@ func evaluate(base, cur benchReport, opts gateOpts) gateResult {
 			"parallel matrix wall %.3fs exceeds baseline %.3fs + %.0f%% tolerance (limit %.3fs)",
 			cur.Matrix.ParallelSeconds, base.Matrix.ParallelSeconds, 100*opts.Tolerance, limit))
 	}
-	if cur.GOMAXPROCS > 1 && cur.Matrix.ParallelSeconds > cur.Matrix.SerialSeconds*opts.MaxSerialRatio {
+	// The speedup comparison needs both reports to come from genuinely
+	// parallel runs: with GOMAXPROCS=1 or a 1-worker pool the "parallel"
+	// matrix is a serial run wearing a different label, and its speedup
+	// (or lack of one) is meaningless. Skip loudly rather than fail or
+	// silently pass.
+	singleProc := func(r benchReport) bool {
+		return r.GOMAXPROCS <= 1 || r.Matrix.Workers == 1
+	}
+	switch {
+	case singleProc(base) || singleProc(cur):
+		res.Warnings = append(res.Warnings, fmt.Sprintf(
+			"pool-sanity (speedup) gate skipped: single-proc report (baseline gomaxprocs=%d workers=%d, current gomaxprocs=%d workers=%d)",
+			base.GOMAXPROCS, base.Matrix.Workers, cur.GOMAXPROCS, cur.Matrix.Workers))
+	case cur.Matrix.ParallelSeconds > cur.Matrix.SerialSeconds*opts.MaxSerialRatio:
 		res.Failures = append(res.Failures, fmt.Sprintf(
 			"parallel matrix (%.3fs) slower than %.2fx the serial run (%.3fs) on %d CPUs",
 			cur.Matrix.ParallelSeconds, opts.MaxSerialRatio, cur.Matrix.SerialSeconds, cur.GOMAXPROCS))
+	}
+	// Slicer layers/s is an enforced gate: the indexed slicing kernels
+	// are a deliverable this repository documents, so losing more than
+	// the tolerance fails CI outright.
+	if base.Slicer.LayersPerSecond > 0 {
+		floor := base.Slicer.LayersPerSecond * (1 - opts.SlicerTolerance)
+		if cur.Slicer.LayersPerSecond < floor {
+			res.Failures = append(res.Failures, fmt.Sprintf(
+				"slicer layers %.1f/s below baseline %.1f/s - %.0f%% tolerance (floor %.1f/s)",
+				cur.Slicer.LayersPerSecond, base.Slicer.LayersPerSecond,
+				100*opts.SlicerTolerance, floor))
+		}
 	}
 	throughput := func(name string, baseRate, curRate float64) {
 		if baseRate <= 0 {
@@ -111,7 +146,6 @@ func evaluate(base, cur benchReport, opts gateOpts) gateResult {
 			res.Warnings = append(res.Warnings, msg)
 		}
 	}
-	throughput("slicer layers", base.Slicer.LayersPerSecond, cur.Slicer.LayersPerSecond)
 	throughput("mech replicates", base.Mech.ReplicatesPerSecond, cur.Mech.ReplicatesPerSecond)
 	return res
 }
@@ -143,7 +177,8 @@ func main() {
 	current := flag.String("current", "BENCH_obfuscade.json", "freshly measured report")
 	tolerance := flag.Float64("tolerance", 0.30, "allowed fractional wall-time regression of the parallel matrix")
 	maxSerialRatio := flag.Float64("max-serial-ratio", 1.25, "parallel matrix may be at most this multiple of the serial wall time (multi-core hosts only)")
-	throughputTol := flag.Float64("throughput-tolerance", 0.40, "allowed fractional drop in slicer layers/s and mech replicates/s")
+	slicerTol := flag.Float64("slicer-tolerance", 0.30, "allowed fractional drop in slicer layers/s (always enforced)")
+	throughputTol := flag.Float64("throughput-tolerance", 0.40, "allowed fractional drop in mech replicates/s")
 	enforceThroughput := flag.Bool("enforce-throughput", false, "fail (instead of warn) when a throughput gate trips")
 	flag.Parse()
 
@@ -165,11 +200,13 @@ func main() {
 	row("matrix serial wall", base.Matrix.SerialSeconds, cur.Matrix.SerialSeconds, "s")
 	row("matrix parallel wall", base.Matrix.ParallelSeconds, cur.Matrix.ParallelSeconds, "s")
 	row("slicer layers/s", base.Slicer.LayersPerSecond, cur.Slicer.LayersPerSecond, " ")
+	row("slicer index build", base.Slicer.IndexBuildSeconds, cur.Slicer.IndexBuildSeconds, "s")
 	row("mech replicates/s", base.Mech.ReplicatesPerSecond, cur.Mech.ReplicatesPerSecond, " ")
 
 	res := evaluate(base, cur, gateOpts{
 		Tolerance:           *tolerance,
 		MaxSerialRatio:      *maxSerialRatio,
+		SlicerTolerance:     *slicerTol,
 		ThroughputTolerance: *throughputTol,
 		EnforceThroughput:   *enforceThroughput,
 	})

@@ -13,12 +13,13 @@ func report(parallel, serial float64, procs int, layersPS, repsPS float64) bench
 	r.GOMAXPROCS = procs
 	r.Matrix.SerialSeconds = serial
 	r.Matrix.ParallelSeconds = parallel
+	r.Matrix.Workers = 8
 	r.Slicer.LayersPerSecond = layersPS
 	r.Mech.ReplicatesPerSecond = repsPS
 	return r
 }
 
-var defaultOpts = gateOpts{Tolerance: 0.30, MaxSerialRatio: 1.25, ThroughputTolerance: 0.40}
+var defaultOpts = gateOpts{Tolerance: 0.30, MaxSerialRatio: 1.25, SlicerTolerance: 0.30, ThroughputTolerance: 0.40}
 
 func TestEvaluatePasses(t *testing.T) {
 	base := report(1.0, 4.0, 8, 1000, 500)
@@ -48,36 +49,103 @@ func TestEvaluateSerialRatioGate(t *testing.T) {
 	if res.ok() {
 		t.Fatal("want serial-ratio failure, got pass")
 	}
-	// Same shape on a single-core host is skipped.
+	// Same shape on a single-core host is skipped (with a warning).
 	cur.GOMAXPROCS = 1
 	if res := evaluate(base, cur, defaultOpts); !res.ok() {
 		t.Fatalf("single-core host must skip the serial-ratio gate: %v", res.Failures)
 	}
 }
 
-func TestEvaluateThroughputWarnsByDefault(t *testing.T) {
+// The speedup gate is meaningless when either report ran single-proc;
+// benchdiff must skip it with a warning rather than fail or stay silent.
+func TestEvaluateSingleProcSkipsSpeedup(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*benchReport)
+	}{
+		{"baseline gomaxprocs=1", func(r *benchReport) { r.GOMAXPROCS = 1 }},
+		{"baseline workers=1", func(r *benchReport) { r.Matrix.Workers = 1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			base := report(10.0, 4.0, 8, 1000, 500)
+			cur := report(6.0, 4.0, 8, 1000, 500) // would trip the ratio gate
+			tc.mut(&base)
+			res := evaluate(base, cur, defaultOpts)
+			if !res.ok() {
+				t.Fatalf("single-proc baseline must skip the speedup gate: %v", res.Failures)
+			}
+			if len(res.Warnings) != 1 || !strings.Contains(res.Warnings[0], "skipped") {
+				t.Fatalf("want one skip warning, got %v", res.Warnings)
+			}
+		})
+	}
+	// Single-proc on the current side likewise skips.
+	base := report(10.0, 4.0, 8, 1000, 500)
+	cur := report(6.0, 4.0, 8, 1000, 500)
+	cur.Matrix.Workers = 1
+	res := evaluate(base, cur, defaultOpts)
+	if !res.ok() || len(res.Warnings) != 1 {
+		t.Fatalf("single-proc current must skip with a warning: failures=%v warnings=%v",
+			res.Failures, res.Warnings)
+	}
+}
+
+// A committed single-proc artifact (the shape BENCH_obfuscade.json had
+// when produced with GOMAXPROCS=1) must flow through load + evaluate as a
+// skip, never a speedup failure.
+func TestSingleProcFixtureSkipsSpeedup(t *testing.T) {
+	rep, err := load(filepath.Join("testdata", "bench_fixture_singleproc.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GOMAXPROCS != 1 || rep.Matrix.Workers != 1 {
+		t.Fatalf("fixture is not single-proc: %+v", rep.Matrix)
+	}
+	// Speedup ~1.0 would fail the ratio gate if it were evaluated.
+	res := evaluate(rep, rep, defaultOpts)
+	if !res.ok() {
+		t.Fatalf("single-proc fixture must not fail the speedup gate: %v", res.Failures)
+	}
+	found := false
+	for _, w := range res.Warnings {
+		if strings.Contains(w, "skipped") && strings.Contains(w, "single-proc") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("want a single-proc skip warning, got %v", res.Warnings)
+	}
+}
+
+// Slicer layers/s is an enforced gate: a regression beyond tolerance
+// fails even though mech throughput only warns.
+func TestEvaluateSlicerGateEnforced(t *testing.T) {
 	base := report(1.0, 4.0, 8, 1000, 500)
 	cur := report(1.0, 4.0, 8, 500, 200) // both rates below 60% of baseline
 	res := evaluate(base, cur, defaultOpts)
-	if !res.ok() {
-		t.Fatalf("throughput must warn, not fail, by default: %v", res.Failures)
+	if res.ok() || len(res.Failures) != 1 || !strings.Contains(res.Failures[0], "slicer layers") {
+		t.Fatalf("want 1 slicer failure, got failures=%v", res.Failures)
 	}
-	if len(res.Warnings) != 2 {
-		t.Fatalf("want 2 throughput warnings, got %v", res.Warnings)
+	if len(res.Warnings) != 1 || !strings.Contains(res.Warnings[0], "mech replicates") {
+		t.Fatalf("want 1 mech warning, got %v", res.Warnings)
 	}
-	if !strings.Contains(res.Warnings[0], "slicer layers") || !strings.Contains(res.Warnings[1], "mech replicates") {
-		t.Fatalf("unexpected warnings: %v", res.Warnings)
+	// Within tolerance both ways stays clean.
+	ok := evaluate(base, report(1.0, 4.0, 8, 750, 400), defaultOpts)
+	if !ok.ok() || len(ok.Warnings) != 0 {
+		t.Fatalf("within-tolerance run must be clean: failures=%v warnings=%v",
+			ok.Failures, ok.Warnings)
 	}
 }
 
 func TestEvaluateThroughputEnforced(t *testing.T) {
 	base := report(1.0, 4.0, 8, 1000, 500)
-	cur := report(1.0, 4.0, 8, 500, 500)
+	cur := report(1.0, 4.0, 8, 1000, 200)
 	opts := defaultOpts
 	opts.EnforceThroughput = true
 	res := evaluate(base, cur, opts)
-	if res.ok() || len(res.Failures) != 1 {
-		t.Fatalf("want 1 enforced throughput failure, got failures=%v warnings=%v",
+	if res.ok() || len(res.Failures) != 1 || !strings.Contains(res.Failures[0], "mech replicates") {
+		t.Fatalf("want 1 enforced mech failure, got failures=%v warnings=%v",
 			res.Failures, res.Warnings)
 	}
 }
