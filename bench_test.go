@@ -6,6 +6,7 @@ import (
 
 	"obfuscade/internal/brep"
 	"obfuscade/internal/cache"
+	"obfuscade/internal/cache/diskstore"
 	"obfuscade/internal/core"
 	"obfuscade/internal/experiments"
 	"obfuscade/internal/fea"
@@ -402,6 +403,36 @@ func BenchmarkJobServiceCached(b *testing.B) {
 			b.Fatal(err)
 		}
 		if res.Outcome != cache.Hit || res.STLSHA256 != warm.STLSHA256 {
+			b.Fatalf("iteration %d: outcome %s digest %s", i, res.Outcome, res.STLSHA256)
+		}
+	}
+}
+
+// Disk-tier replay: a 1-byte memory budget keeps the value out of the
+// LRU, so every iteration misses memory and restores the artifact from
+// the content-addressed disk store — the restart-warm path. Compare
+// against Cold (full pipeline) and Cached (memory hit):
+//
+//	go test -bench 'BenchmarkJobService' -run '^$' .
+func BenchmarkJobServiceDiskHit(b *testing.B) {
+	store, err := diskstore.Open(b.TempDir(), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer store.Close()
+	svc := serve.NewTieredService(1, printer.DimensionElite(), store)
+	req := serve.Request{Seed: 1}
+	warm, err := svc.Do(context.Background(), req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := svc.Do(context.Background(), req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Outcome != cache.DiskHit || res.STLSHA256 != warm.STLSHA256 {
 			b.Fatalf("iteration %d: outcome %s digest %s", i, res.Outcome, res.STLSHA256)
 		}
 	}

@@ -21,6 +21,9 @@ func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address (use :0 for a random port)")
 	cacheBytes := fs.Int64("cache-bytes", 256<<20, "result cache budget in bytes (0 = unbounded)")
+	cacheDir := fs.String("cache-dir", "", "persist results to this directory so they survive restarts (empty = memory only)")
+	cacheDiskBytes := fs.Int64("cache-disk-bytes", 4<<30, "disk cache budget in bytes when -cache-dir is set (0 = unbounded)")
+	maxQueue := fs.Int("max-queue", 0, "shed new submissions (429) past this many in-flight jobs (0 = unbounded)")
 	jobTimeout := fs.Duration("job-timeout", 2*time.Minute, "default per-job pipeline deadline (0 = none)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
 	manifestOut := fs.String("manifest-out", "", "write provenance manifests (NDJSON) to this file on shutdown")
@@ -32,9 +35,12 @@ func cmdServe(args []string) error {
 	setWorkers()
 
 	opts := serve.Options{
-		Addr:       *addr,
-		CacheBytes: *cacheBytes,
-		JobTimeout: *jobTimeout,
+		Addr:           *addr,
+		CacheBytes:     *cacheBytes,
+		CacheDir:       *cacheDir,
+		DiskCacheBytes: *cacheDiskBytes,
+		MaxQueue:       *maxQueue,
+		JobTimeout:     *jobTimeout,
 	}
 	var manifestFile *os.File
 	if *manifestOut != "" {

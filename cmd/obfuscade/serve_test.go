@@ -86,3 +86,87 @@ func TestCmdServeLifecycle(t *testing.T) {
 		t.Fatal("flushed manifest digest disagrees with the served job")
 	}
 }
+
+// bootServe starts cmdServe in a goroutine and waits for its address
+// file. The returned stop func injects the shutdown signal and waits
+// for a clean exit.
+func bootServe(t *testing.T, args []string) (addr string, stop func()) {
+	t.Helper()
+	dir := t.TempDir()
+	addrFile := filepath.Join(dir, "addr")
+	done := make(chan error, 1)
+	go func() {
+		done <- cmdServe(append([]string{"-addr", "127.0.0.1:0", "-addr-file", addrFile}, args...))
+	}()
+	deadline := time.After(10 * time.Second)
+	for addr == "" {
+		select {
+		case err := <-done:
+			t.Fatalf("serve exited early: %v", err)
+		case <-deadline:
+			t.Fatal("address file never appeared")
+		case <-time.After(10 * time.Millisecond):
+		}
+		if data, err := os.ReadFile(addrFile); err == nil {
+			addr = strings.TrimSpace(string(data))
+		}
+	}
+	return addr, func() {
+		serveStop <- os.Interrupt
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("serve exited with error: %v", err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("serve did not drain")
+		}
+	}
+}
+
+func submitJob(t *testing.T, addr, body string) (outcome, sha string) {
+	t.Helper()
+	resp, err := http.Post("http://"+addr+"/jobs?wait=1", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st struct {
+		State     string `json:"state"`
+		Outcome   string `json:"outcome"`
+		STLSHA256 string `json:"stl_sha256"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || st.State != "done" {
+		t.Fatalf("job round trip: status %d %+v", resp.StatusCode, st)
+	}
+	return st.Outcome, st.STLSHA256
+}
+
+// A -cache-dir server restarted on the same directory serves the same
+// request from disk without re-running the pipeline: the CLI-level
+// restart-warm contract.
+func TestCmdServeRestartWarmCache(t *testing.T) {
+	cacheDir := filepath.Join(t.TempDir(), "cache")
+	req := `{"seed": 12, "resolution": "coarse"}`
+	args := []string{"-cache-dir", cacheDir, "-max-queue", "8"}
+
+	addr, stop := bootServe(t, args)
+	outcome, sha := submitJob(t, addr, req)
+	if outcome != "miss" {
+		t.Fatalf("cold outcome = %s, want miss", outcome)
+	}
+	stop()
+
+	addr, stop = bootServe(t, args)
+	defer stop()
+	outcome2, sha2 := submitJob(t, addr, req)
+	if outcome2 != "disk_hit" {
+		t.Fatalf("post-restart outcome = %s, want disk_hit", outcome2)
+	}
+	if sha2 != sha {
+		t.Fatalf("digest changed across restart: %s vs %s", sha2, sha)
+	}
+}

@@ -4,15 +4,26 @@
 // LRU byte budget bounds residency, and singleflight coalescing makes N
 // concurrent identical misses trigger exactly one pipeline run.
 //
+// A cache may be tiered over a persistent backing Store (see
+// internal/cache/diskstore): a memory miss falls through to the store
+// before it falls through to the computation, and computed values are
+// written through, so results survive process restarts. Because the
+// key hashes the pipeline version, a deploy that changes output bytes
+// invalidates naturally — old objects just stop being addressed.
+//
 // Contracts the serving layer relies on:
 //
 //   - Cached values are immutable. A hit returns the same value the miss
 //     stored, so a repeated request is byte-for-byte identical to the
 //     first — the determinism of the pipeline extends across the cache.
 //   - Errors are never cached: a failed computation propagates to every
-//     coalesced waiter and the next request retries from scratch.
+//     coalesced waiter whose own run is also doomed, and the next
+//     request retries from scratch.
 //   - A waiter whose own context ends returns early with that context's
 //     error; the leader keeps computing and still populates the cache.
+//   - A waiter whose leader fails because the *leader's* context was
+//     cancelled is promoted: it re-runs the computation itself instead
+//     of inheriting a cancellation that was never its own.
 //
 // Hit/miss/coalesce/eviction counts feed package obs (cache.* metrics)
 // and each lookup emits a trace span tagged with its outcome.
@@ -32,12 +43,14 @@ import (
 // Cache metrics. The process-wide registry aggregates across instances;
 // per-instance numbers come from Cache.Stats.
 var (
-	mHits      = obs.Default().Counter("cache.hits")
-	mMisses    = obs.Default().Counter("cache.misses")
-	mCoalesced = obs.Default().Counter("cache.coalesced")
-	mEvictions = obs.Default().Counter("cache.evictions")
-	gBytes     = obs.Default().Gauge("cache.bytes")
-	gEntries   = obs.Default().Gauge("cache.entries")
+	mHits       = obs.Default().Counter("cache.hits")
+	mMisses     = obs.Default().Counter("cache.misses")
+	mCoalesced  = obs.Default().Counter("cache.coalesced")
+	mEvictions  = obs.Default().Counter("cache.evictions")
+	mPromoted   = obs.Default().Counter("cache.promoted")
+	mStoreFails = obs.Default().Counter("cache.store.errors")
+	gBytes      = obs.Default().Gauge("cache.bytes")
+	gEntries    = obs.Default().Gauge("cache.entries")
 )
 
 // Key is the content address of a cached result: the hex SHA-256 of the
@@ -55,17 +68,38 @@ func KeyOf(canonical []byte) Key {
 // cached values are immutable by contract.
 type Value interface{ SizeBytes() int64 }
 
+// Store is a persistent second tier under the in-memory LRU. Get
+// reports a miss for absent or failed-integrity objects; Put is
+// best-effort write-through — its error is counted, never propagated,
+// so a flaky disk degrades the cache rather than failing jobs.
+// Implementations must be safe for concurrent use.
+type Store interface {
+	Get(ctx context.Context, key Key) (data []byte, ok bool)
+	Put(ctx context.Context, key Key, data []byte) error
+}
+
+// Codec translates cache values to and from the byte payloads a Store
+// persists. Decode must reject payloads it cannot faithfully restore
+// (a decode failure falls back to recomputation).
+type Codec interface {
+	Encode(v Value) ([]byte, error)
+	Decode(data []byte) (Value, error)
+}
+
 // Outcome classifies how a GetOrCompute call was served.
 type Outcome int
 
 const (
-	// Hit means the value was already resident.
+	// Hit means the value was already resident in memory.
 	Hit Outcome = iota
 	// Miss means this caller ran the computation (the singleflight
 	// leader).
 	Miss
 	// Coalesced means an identical in-flight computation was joined.
 	Coalesced
+	// DiskHit means the value was restored from the backing store
+	// without running the computation.
+	DiskHit
 )
 
 // String implements fmt.Stringer.
@@ -75,6 +109,8 @@ func (o Outcome) String() string {
 		return "hit"
 	case Miss:
 		return "miss"
+	case DiskHit:
+		return "disk_hit"
 	default:
 		return "coalesced"
 	}
@@ -85,6 +121,8 @@ type Stats struct {
 	Hits      int64 `json:"hits"`
 	Misses    int64 `json:"misses"`
 	Coalesced int64 `json:"coalesced"`
+	DiskHits  int64 `json:"disk_hits"`
+	Promoted  int64 `json:"promoted"`
 	Evictions int64 `json:"evictions"`
 	Entries   int64 `json:"entries"`
 	Bytes     int64 `json:"bytes"`
@@ -93,8 +131,12 @@ type Stats struct {
 
 // call is one in-flight singleflight computation. val and err are
 // written before done closes; waiters read them only after <-done.
+// ctx is the leader's context: after done, a waiter inspects it to
+// distinguish "the computation failed" from "the leader was cancelled
+// out from under me" (the latter promotes the waiter to re-run).
 type call struct {
 	done chan struct{}
+	ctx  context.Context
 	val  Value
 	err  error
 }
@@ -106,9 +148,13 @@ type entry struct {
 	size int64
 }
 
-// Cache is a content-addressed LRU cache with singleflight coalescing.
-// All methods are safe for concurrent use.
+// Cache is a content-addressed LRU cache with singleflight coalescing,
+// optionally tiered over a persistent backing store. All methods are
+// safe for concurrent use.
 type Cache struct {
+	store Store // nil for a memory-only cache
+	codec Codec
+
 	mu     sync.Mutex
 	max    int64 // byte budget; <= 0 means unbounded
 	bytes  int64
@@ -118,8 +164,9 @@ type Cache struct {
 	stats  Stats
 }
 
-// New returns a cache with the given byte budget. maxBytes <= 0 means
-// unbounded (no eviction) — useful for tests, not production serving.
+// New returns a memory-only cache with the given byte budget.
+// maxBytes <= 0 means unbounded (no eviction) — useful for tests, not
+// production serving.
 func New(maxBytes int64) *Cache {
 	return &Cache{
 		max:    maxBytes,
@@ -127,6 +174,20 @@ func New(maxBytes int64) *Cache {
 		items:  map[Key]*list.Element{},
 		flight: map[Key]*call{},
 	}
+}
+
+// NewTiered returns a cache layered over a persistent store: a memory
+// miss falls through to the store before it falls through to the
+// computation, and computed values are written through. codec
+// round-trips values through the store's byte payloads; both must be
+// non-nil.
+func NewTiered(maxBytes int64, store Store, codec Codec) *Cache {
+	if store == nil || codec == nil {
+		panic("cache: NewTiered requires a store and a codec")
+	}
+	c := New(maxBytes)
+	c.store, c.codec = store, codec
+	return c
 }
 
 // Get returns the resident value for key, refreshing its recency.
@@ -190,10 +251,14 @@ func (c *Cache) evictOldestLocked() {
 // GetOrCompute returns the value for key, computing it with fn on a
 // miss. Concurrent callers with the same key coalesce: exactly one runs
 // fn (the leader, under the leader's ctx), the rest wait for its result.
-// fn must return a non-nil Value on success. Errors are not cached; a
-// failed computation propagates its error to every coalesced waiter. A
-// waiter whose own ctx ends returns early with ctx.Err() while the
-// leader keeps computing.
+// On a tiered cache the leader consults the backing store before
+// running fn and writes computed values through to it. fn must return a
+// non-nil Value on success. Errors are not cached; a failed computation
+// propagates its error to every coalesced waiter — unless the failure
+// was the leader's own context being cancelled, in which case a waiter
+// whose context is still live is promoted and re-runs the computation
+// itself. A waiter whose own ctx ends returns early with ctx.Err()
+// while the leader keeps computing.
 func (c *Cache) GetOrCompute(ctx context.Context, key Key, fn func(ctx context.Context) (Value, error)) (v Value, out Outcome, err error) {
 	sctx, sp := trace.StartSpan(ctx, "stage", "cache.lookup")
 	defer func() {
@@ -201,41 +266,89 @@ func (c *Cache) GetOrCompute(ctx context.Context, key Key, fn func(ctx context.C
 		sp.End()
 	}()
 
-	c.mu.Lock()
-	if el, ok := c.items[key]; ok {
-		c.ll.MoveToFront(el)
-		c.stats.Hits++
-		mHits.Inc()
-		v := el.Value.(*entry).val
+	for {
+		c.mu.Lock()
+		if el, ok := c.items[key]; ok {
+			c.ll.MoveToFront(el)
+			c.stats.Hits++
+			mHits.Inc()
+			v := el.Value.(*entry).val
+			c.mu.Unlock()
+			return v, Hit, nil
+		}
+		if cl, ok := c.flight[key]; ok {
+			c.stats.Coalesced++
+			mCoalesced.Inc()
+			c.mu.Unlock()
+			select {
+			case <-cl.done:
+				if cl.err != nil && cl.ctx.Err() != nil && ctx.Err() == nil {
+					// The leader failed because *its* context was
+					// cancelled, not because the computation is doomed.
+					// This waiter is still live — promote it: loop back
+					// and re-run rather than inheriting the leader's
+					// cancellation.
+					c.mu.Lock()
+					c.stats.Promoted++
+					c.mu.Unlock()
+					mPromoted.Inc()
+					continue
+				}
+				return cl.val, Coalesced, cl.err
+			case <-ctx.Done():
+				return nil, Coalesced, ctx.Err()
+			}
+		}
+		cl := &call{done: make(chan struct{}), ctx: sctx}
+		c.flight[key] = cl
 		c.mu.Unlock()
-		return v, Hit, nil
+
+		out = c.lead(sctx, key, cl, fn)
+		return cl.val, out, cl.err
 	}
-	if cl, ok := c.flight[key]; ok {
-		c.stats.Coalesced++
-		mCoalesced.Inc()
-		c.mu.Unlock()
-		select {
-		case <-cl.done:
-			return cl.val, Coalesced, cl.err
-		case <-ctx.Done():
-			return nil, Coalesced, ctx.Err()
+}
+
+// lead runs the leader's half of GetOrCompute: consult the backing
+// store, fall through to fn, write through, publish to waiters.
+func (c *Cache) lead(ctx context.Context, key Key, cl *call, fn func(ctx context.Context) (Value, error)) Outcome {
+	out := Miss
+	if c.store != nil {
+		if data, ok := c.store.Get(ctx, key); ok {
+			if v, err := c.codec.Decode(data); err == nil {
+				cl.val, cl.err = v, nil
+				out = DiskHit
+			} else {
+				// Undecodable payload (e.g. written by a build with a
+				// different value layout): recompute and overwrite.
+				mStoreFails.Inc()
+			}
 		}
 	}
-	cl := &call{done: make(chan struct{})}
-	c.flight[key] = cl
-	c.stats.Misses++
-	mMisses.Inc()
-	c.mu.Unlock()
+	if out != DiskHit {
+		cl.val, cl.err = fn(ctx)
+		if cl.err == nil && cl.val != nil && c.store != nil {
+			if data, err := c.codec.Encode(cl.val); err != nil {
+				mStoreFails.Inc()
+			} else if err := c.store.Put(ctx, key, data); err != nil {
+				mStoreFails.Inc()
+			}
+		}
+	}
 
-	cl.val, cl.err = fn(sctx)
 	c.mu.Lock()
 	delete(c.flight, key)
 	if cl.err == nil && cl.val != nil {
 		c.addLocked(key, cl.val)
 	}
+	if out == DiskHit {
+		c.stats.DiskHits++
+	} else {
+		c.stats.Misses++
+		mMisses.Inc()
+	}
 	c.mu.Unlock()
 	close(cl.done)
-	return cl.val, Miss, cl.err
+	return out
 }
 
 // Len returns the number of resident entries.

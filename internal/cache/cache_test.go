@@ -301,3 +301,225 @@ func (k Key) short() string {
 	}
 	return string(k)
 }
+
+// fakeStore is an in-memory cache.Store for tier tests.
+type fakeStore struct {
+	mu   sync.Mutex
+	m    map[Key][]byte
+	gets int
+	puts int
+}
+
+func newFakeStore() *fakeStore { return &fakeStore{m: map[Key][]byte{}} }
+
+func (f *fakeStore) Get(_ context.Context, key Key) ([]byte, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.gets++
+	data, ok := f.m[key]
+	return data, ok
+}
+
+func (f *fakeStore) Put(_ context.Context, key Key, data []byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.puts++
+	f.m[key] = append([]byte(nil), data...)
+	return nil
+}
+
+// blobCodec round-trips blob values as "<id>" payloads.
+type blobCodec struct{ failDecode bool }
+
+func (c blobCodec) Encode(v Value) ([]byte, error) { return []byte(v.(*blob).id), nil }
+func (c blobCodec) Decode(data []byte) (Value, error) {
+	if c.failDecode {
+		return nil, errors.New("undecodable")
+	}
+	return &blob{id: string(data), size: int64(len(data))}, nil
+}
+
+// A computed value is written through to the store, and a fresh cache
+// instance over the same store restores it without recomputing — the
+// restart-warm contract.
+func TestTieredWriteThroughAndDiskHit(t *testing.T) {
+	store := newFakeStore()
+	c1 := NewTiered(0, store, blobCodec{})
+	v, out, err := c1.GetOrCompute(context.Background(), "k", func(context.Context) (Value, error) {
+		return &blob{id: "computed", size: 8}, nil
+	})
+	if err != nil || out != Miss || v.(*blob).id != "computed" {
+		t.Fatalf("first call: v=%v out=%v err=%v", v, out, err)
+	}
+	if store.puts != 1 {
+		t.Fatalf("puts = %d, want 1 (write-through)", store.puts)
+	}
+
+	// "Restart": a new memory tier over the same store.
+	c2 := NewTiered(0, store, blobCodec{})
+	v, out, err = c2.GetOrCompute(context.Background(), "k", func(context.Context) (Value, error) {
+		t.Error("disk hit must not recompute")
+		return nil, nil
+	})
+	if err != nil || out != DiskHit || v.(*blob).id != "computed" {
+		t.Fatalf("restart call: v=%v out=%v err=%v", v, out, err)
+	}
+	if out.String() != "disk_hit" {
+		t.Fatalf("outcome string = %q", out.String())
+	}
+	// The disk hit populated the memory tier: the next call is a plain hit.
+	_, out, err = c2.GetOrCompute(context.Background(), "k", func(context.Context) (Value, error) {
+		return nil, errors.New("unreachable")
+	})
+	if err != nil || out != Hit {
+		t.Fatalf("after disk hit: out=%v err=%v", out, err)
+	}
+	s := c2.Stats()
+	if s.DiskHits != 1 || s.Hits != 1 || s.Misses != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// A payload the codec cannot decode falls back to recomputation and is
+// overwritten — never served, never fatal.
+func TestTieredDecodeFailureRecomputes(t *testing.T) {
+	store := newFakeStore()
+	store.m["k"] = []byte("from-old-build")
+	c := NewTiered(0, store, blobCodec{failDecode: true})
+	v, out, err := c.GetOrCompute(context.Background(), "k", func(context.Context) (Value, error) {
+		return &blob{id: "fresh", size: 5}, nil
+	})
+	if err != nil || out != Miss || v.(*blob).id != "fresh" {
+		t.Fatalf("v=%v out=%v err=%v", v, out, err)
+	}
+	if store.puts != 1 {
+		t.Fatalf("puts = %d; recomputed value must overwrite the bad payload", store.puts)
+	}
+}
+
+// A failed computation is not written through.
+func TestTieredErrorsNotPersisted(t *testing.T) {
+	store := newFakeStore()
+	c := NewTiered(0, store, blobCodec{})
+	_, _, err := c.GetOrCompute(context.Background(), "k", func(context.Context) (Value, error) {
+		return nil, errors.New("boom")
+	})
+	if err == nil || store.puts != 0 {
+		t.Fatalf("err=%v puts=%d", err, store.puts)
+	}
+}
+
+// The promotion contract: when the leader fails because its own context
+// was cancelled, a live waiter re-runs the computation instead of
+// inheriting the leader's cancellation.
+func TestWaiterPromotedOnLeaderCancellation(t *testing.T) {
+	c := New(0)
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	inFn := make(chan struct{})
+	var runs atomic.Int64
+
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, _, err := c.GetOrCompute(leaderCtx, "k", func(ctx context.Context) (Value, error) {
+			runs.Add(1)
+			close(inFn)
+			<-ctx.Done() // a context-aware pipeline stage aborting
+			return nil, ctx.Err()
+		})
+		leaderDone <- err
+	}()
+	<-inFn
+
+	type res struct {
+		v   Value
+		out Outcome
+		err error
+	}
+	waiterDone := make(chan res, 1)
+	go func() {
+		v, out, err := c.GetOrCompute(context.Background(), "k", func(ctx context.Context) (Value, error) {
+			runs.Add(1)
+			return &blob{id: "promoted", size: 4}, nil
+		})
+		waiterDone <- res{v, out, err}
+	}()
+	// Let the waiter register on the in-flight call, then kill only the
+	// leader's context.
+	deadline := time.After(5 * time.Second)
+	for {
+		c.mu.Lock()
+		n := c.stats.Coalesced
+		c.mu.Unlock()
+		if n == 1 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("waiter never registered")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	cancelLeader()
+
+	if err := <-leaderDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("leader err = %v, want context.Canceled", err)
+	}
+	r := <-waiterDone
+	if r.err != nil {
+		t.Fatalf("promoted waiter inherited the leader's fate: %v", r.err)
+	}
+	if r.out != Miss || r.v.(*blob).id != "promoted" {
+		t.Fatalf("promoted waiter: v=%v out=%v", r.v, r.out)
+	}
+	if n := runs.Load(); n != 2 {
+		t.Fatalf("fn ran %d times, want 2 (leader + promoted waiter)", n)
+	}
+	s := c.Stats()
+	if s.Promoted != 1 {
+		t.Fatalf("stats = %+v, want one promotion", s)
+	}
+	// The promoted run populated the cache for everyone after.
+	if _, ok := c.Get("k"); !ok {
+		t.Fatal("promoted run did not populate the cache")
+	}
+}
+
+// A waiter whose own context died alongside the leader's is NOT
+// promoted: it reports its own cancellation.
+func TestWaiterNotPromotedWhenOwnContextDead(t *testing.T) {
+	c := New(0)
+	shared, cancelShared := context.WithCancel(context.Background())
+	inFn := make(chan struct{})
+	go c.GetOrCompute(shared, "k", func(ctx context.Context) (Value, error) {
+		close(inFn)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	<-inFn
+	waiterErr := make(chan error, 1)
+	go func() {
+		_, _, err := c.GetOrCompute(shared, "k", func(context.Context) (Value, error) {
+			t.Error("doomed waiter must not be promoted")
+			return nil, nil
+		})
+		waiterErr <- err
+	}()
+	deadline := time.After(5 * time.Second)
+	for {
+		c.mu.Lock()
+		n := c.stats.Coalesced
+		c.mu.Unlock()
+		if n == 1 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("waiter never registered")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	cancelShared()
+	if err := <-waiterErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("doomed waiter err = %v, want context.Canceled", err)
+	}
+}

@@ -1,17 +1,23 @@
 // Package serve is the obfuscation job service: a long-running HTTP
 // front end over the manufacture pipeline. Requests are normalized,
 // content-addressed (SHA-256 of the canonical request plus the pipeline
-// version) and served through an LRU result cache with singleflight
+// version) and served through a two-tier result cache — an in-memory
+// LRU over an optional content-addressed disk store — with singleflight
 // coalescing, so N concurrent identical submissions run the pipeline
-// once and a repeated request returns byte-for-byte the artifact of the
-// first. Jobs run under per-job deadlines that propagate through the
-// context-aware pipeline stages; shutdown drains in-flight jobs and
-// flushes their provenance manifests.
+// once, a repeated request returns byte-for-byte the artifact of the
+// first, and a process restart on the same cache directory serves
+// previously computed artifacts without re-running the pipeline. Jobs
+// run under per-job deadlines that propagate through the context-aware
+// pipeline stages; admission control sheds load (429 + Retry-After)
+// once the in-flight queue passes its bound; shutdown drains in-flight
+// jobs and flushes their provenance manifests.
 package serve
 
 import (
 	"context"
+	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 
 	"obfuscade/internal/cache"
@@ -25,6 +31,9 @@ var (
 	mRequests  = obs.Default().Counter("serve.requests")
 	mCompleted = obs.Default().Counter("serve.jobs.completed")
 	mFailed    = obs.Default().Counter("serve.jobs.failed")
+	mShed      = obs.Default().Counter("serve.shed")
+	mBatches   = obs.Default().Counter("serve.batch.requests")
+	mBatchJobs = obs.Default().Counter("serve.batch.jobs")
 	gInflight  = obs.Default().Gauge("serve.jobs.inflight")
 )
 
@@ -39,6 +48,62 @@ type cachedResult struct {
 // SizeBytes implements cache.Value.
 func (r *cachedResult) SizeBytes() int64 {
 	return int64(len(r.stl) + len(r.manifest) + len(r.stlSHA) + len(r.grade))
+}
+
+// resultCodec round-trips cachedResult values through the disk tier as
+// length-prefixed binary frames: four fields (stl, manifest, sha,
+// grade), each a big-endian uint32 length followed by that many bytes.
+// The disk store's own integrity digest covers the frame, so the codec
+// only validates structure, not content.
+type resultCodec struct{}
+
+// Encode implements cache.Codec.
+func (resultCodec) Encode(v cache.Value) ([]byte, error) {
+	r, ok := v.(*cachedResult)
+	if !ok {
+		return nil, fmt.Errorf("serve: encoding %T, want *cachedResult", v)
+	}
+	fields := [][]byte{r.stl, r.manifest, []byte(r.stlSHA), []byte(r.grade)}
+	size := 0
+	for _, f := range fields {
+		size += 4 + len(f)
+	}
+	buf := make([]byte, 0, size)
+	for _, f := range fields {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(f)))
+		buf = append(buf, f...)
+	}
+	return buf, nil
+}
+
+var errBadFrame = errors.New("serve: malformed cached result frame")
+
+// Decode implements cache.Codec. A structurally invalid payload (for
+// example one written by a build with a different layout) returns an
+// error, which the cache treats as a miss and recomputes.
+func (resultCodec) Decode(data []byte) (cache.Value, error) {
+	var fields [4][]byte
+	for i := range fields {
+		if len(data) < 4 {
+			return nil, errBadFrame
+		}
+		n := binary.BigEndian.Uint32(data)
+		data = data[4:]
+		if uint64(len(data)) < uint64(n) {
+			return nil, errBadFrame
+		}
+		fields[i] = data[:n:n]
+		data = data[n:]
+	}
+	if len(data) != 0 {
+		return nil, errBadFrame
+	}
+	return &cachedResult{
+		stl:      fields[0],
+		manifest: fields[1],
+		stlSHA:   string(fields[2]),
+		grade:    string(fields[3]),
+	}, nil
 }
 
 // Result is the deliverable of one Service.Do call.
@@ -65,10 +130,17 @@ type Service struct {
 	prof  printer.Profile
 }
 
-// NewService builds a service with the given cache byte budget
-// (<= 0 means unbounded) and printer profile.
+// NewService builds a memory-only service with the given cache byte
+// budget (<= 0 means unbounded) and printer profile.
 func NewService(cacheBytes int64, prof printer.Profile) *Service {
 	return &Service{cache: cache.New(cacheBytes), prof: prof}
+}
+
+// NewTieredService builds a service whose result cache is layered over
+// a persistent backing store, so computed artifacts survive process
+// restarts.
+func NewTieredService(cacheBytes int64, prof printer.Profile, store cache.Store) *Service {
+	return &Service{cache: cache.NewTiered(cacheBytes, store, resultCodec{}), prof: prof}
 }
 
 // CacheStats snapshots the service's cache counters.

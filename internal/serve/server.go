@@ -9,9 +9,11 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
+	"obfuscade/internal/cache/diskstore"
 	"obfuscade/internal/obs"
 	"obfuscade/internal/printer"
 	"obfuscade/internal/trace"
@@ -21,12 +23,43 @@ import (
 // parameter records, never geometry.
 const maxRequestBytes = 1 << 20
 
+// maxBatchJobs bounds one batch submission. A full quality-matrix
+// sweep (parts × resolutions × orientations × restore) is well under
+// this; anything larger should be split across batches.
+const maxBatchJobs = 256
+
+// defaultMaxCompleted bounds the completed-job registry when
+// Options.MaxCompleted is zero. Pruned jobs cost one re-submission
+// round trip: the result cache makes the re-run a hit.
+const defaultMaxCompleted = 4096
+
+// retryAfterSeconds is the backoff hint attached to shed responses.
+const retryAfterSeconds = 1
+
 // Options configures a Server.
 type Options struct {
 	// Addr is the listen address ("127.0.0.1:0" picks a free port).
 	Addr string
-	// CacheBytes is the result cache budget; <= 0 means unbounded.
+	// CacheBytes is the in-memory result cache budget; <= 0 means
+	// unbounded.
 	CacheBytes int64
+	// CacheDir, when non-empty, roots the persistent result cache tier:
+	// computed artifacts are written through to disk and survive
+	// restarts of the server on the same directory.
+	CacheDir string
+	// DiskCacheBytes is the disk tier's byte budget; <= 0 means
+	// unbounded. Ignored when CacheDir is empty.
+	DiskCacheBytes int64
+	// MaxQueue bounds the number of jobs admitted but not yet finished.
+	// A submission that would start a job past the bound is shed with
+	// 429 + Retry-After; joining an already-running job is always
+	// admitted (it adds no load). <= 0 means unbounded.
+	MaxQueue int
+	// MaxCompleted bounds the finished-job registry: once more than
+	// this many completed jobs are retained, the oldest are pruned
+	// (their artifacts stay in the result cache; re-submitting is a
+	// cache hit). 0 means defaultMaxCompleted; < 0 means unbounded.
+	MaxCompleted int
 	// JobTimeout is the default per-job pipeline deadline; <= 0 means
 	// no default (a request may still set timeout_ms).
 	JobTimeout time.Duration
@@ -75,37 +108,61 @@ type jobStatus struct {
 // (/metrics, /trace, /debug/pprof/) share one mux on one port.
 type Server struct {
 	svc  *Service
+	disk *diskstore.Store // nil when serving memory-only
 	http *trace.DebugServer
 
-	rootCtx    context.Context
-	cancelJobs context.CancelFunc
-	jobTimeout time.Duration
-	manifestW  io.Writer
+	rootCtx      context.Context
+	cancelJobs   context.CancelFunc
+	jobTimeout   time.Duration
+	manifestW    io.Writer
+	maxQueue     int
+	maxCompleted int
 
-	mu       sync.Mutex
-	jobs     map[string]*job
-	draining bool
-	wg       sync.WaitGroup
+	mu        sync.Mutex
+	jobs      map[string]*job
+	completed []*job // finished jobs, oldest first, pruned past maxCompleted
+	inflight  int    // jobs admitted but not yet finished
+	draining  bool
+	wg        sync.WaitGroup
 }
 
 // Start builds the service, mounts the job routes on the shared debug
-// mux, and binds the listener synchronously.
+// mux, and binds the listener synchronously. When Options.CacheDir is
+// set the result cache is tiered over a disk store opened (or resumed)
+// there.
 func Start(opts Options) (*Server, error) {
 	prof := opts.Profile
 	if prof.Name == "" {
 		prof = printer.DimensionElite()
 	}
+	maxCompleted := opts.MaxCompleted
+	if maxCompleted == 0 {
+		maxCompleted = defaultMaxCompleted
+	}
 	rootCtx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		svc:        NewService(opts.CacheBytes, prof),
-		rootCtx:    rootCtx,
-		cancelJobs: cancel,
-		jobTimeout: opts.JobTimeout,
-		manifestW:  opts.ManifestOut,
-		jobs:       map[string]*job{},
+		rootCtx:      rootCtx,
+		cancelJobs:   cancel,
+		jobTimeout:   opts.JobTimeout,
+		manifestW:    opts.ManifestOut,
+		maxQueue:     opts.MaxQueue,
+		maxCompleted: maxCompleted,
+		jobs:         map[string]*job{},
+	}
+	if opts.CacheDir != "" {
+		store, err := diskstore.Open(opts.CacheDir, opts.DiskCacheBytes)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		s.disk = store
+		s.svc = NewTieredService(opts.CacheBytes, prof, store)
+	} else {
+		s.svc = NewService(opts.CacheBytes, prof)
 	}
 	mux := trace.NewDebugMux(obs.Default(), trace.Default())
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("POST /jobs/batch", s.handleBatch)
 	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /jobs/{id}/stl", s.handleSTL)
 	mux.HandleFunc("GET /jobs/{id}/manifest", s.handleManifest)
@@ -113,6 +170,9 @@ func Start(opts Options) (*Server, error) {
 	ds, err := trace.StartServer(opts.Addr, mux)
 	if err != nil {
 		cancel()
+		if s.disk != nil {
+			s.disk.Close()
+		}
 		return nil, err
 	}
 	s.http = ds
@@ -128,11 +188,26 @@ func (s *Server) URL() string { return s.http.URL() }
 // Service exposes the underlying job service (tests and benchmarks).
 func (s *Server) Service() *Service { return s.svc }
 
+// DiskStats snapshots the disk cache tier; ok is false when the server
+// runs memory-only.
+func (s *Server) DiskStats() (diskstore.Stats, bool) {
+	if s.disk == nil {
+		return diskstore.Stats{}, false
+	}
+	return s.disk.Stats(), true
+}
+
 // Close drops everything immediately: in-flight jobs are cancelled and
 // connections closed. Use Shutdown for a graceful drain.
 func (s *Server) Close() error {
 	s.cancelJobs()
-	return s.http.Close()
+	err := s.http.Close()
+	if s.disk != nil {
+		if derr := s.disk.Close(); err == nil {
+			err = derr
+		}
+	}
+	return err
 }
 
 // Shutdown drains the server: new submissions are refused, in-flight
@@ -163,9 +238,18 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		flushErr = s.flushManifests()
 	}
 	if err := s.http.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		if s.disk != nil {
+			s.disk.Close()
+		}
 		return err
 	}
 	s.cancelJobs()
+	if s.disk != nil {
+		// Compacts the atime journal so the next boot restores recency.
+		if err := s.disk.Close(); err != nil && flushErr == nil {
+			flushErr = err
+		}
+	}
 	return flushErr
 }
 
@@ -196,32 +280,74 @@ func (s *Server) flushManifests() error {
 // submit registers (or joins) the job for a normalized request. The
 // bool reports whether this call started a new run.
 func (s *Server) submit(norm Request) (*job, bool, error) {
-	id := string(norm.CacheKey())
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	jobs, started, err := s.submitLocked([]Request{norm})
+	if err != nil {
+		return nil, false, err
+	}
+	return jobs[0], started, nil
+}
+
+// submitLocked atomically admits a set of normalized requests: each
+// either joins an in-flight run (always admitted — it adds no load) or
+// starts a new one, counted against the admission bound. Admission is
+// all-or-nothing: if starting the new runs would push the in-flight
+// queue past maxQueue, nothing is started and the whole set is shed.
+// The bool reports whether any new run started.
+func (s *Server) submitLocked(norms []Request) ([]*job, bool, error) {
 	if s.draining {
 		return nil, false, errDraining
 	}
-	if j, ok := s.jobs[id]; ok {
-		select {
-		case <-j.done:
-			// Finished: fall through and re-run. The cache makes the
-			// re-run a hit, so this only refreshes the job entry.
-		default:
-			return j, false, nil // join the in-flight run
+	jobs := make([]*job, len(norms))
+	var fresh []*job
+	batch := map[string]*job{} // dedupe identical requests within one call
+	for i, norm := range norms {
+		id := string(norm.CacheKey())
+		if j, ok := batch[id]; ok {
+			jobs[i] = j
+			continue
 		}
+		if j, ok := s.jobs[id]; ok {
+			select {
+			case <-j.done:
+				// Finished: fall through and re-run. The cache makes the
+				// re-run a hit, so this only refreshes the job entry.
+			default:
+				jobs[i] = j // join the in-flight run
+				batch[id] = j
+				continue
+			}
+		}
+		j := &job{id: id, req: norm, done: make(chan struct{}), created: time.Now()}
+		jobs[i] = j
+		batch[id] = j
+		fresh = append(fresh, j)
 	}
-	j := &job{id: id, req: norm, done: make(chan struct{}), created: time.Now()}
-	s.jobs[id] = j
-	s.wg.Add(1)
-	go s.runJob(j)
-	return j, true, nil
+	if len(fresh) == 0 {
+		return jobs, false, nil
+	}
+	if s.maxQueue > 0 && s.inflight+len(fresh) > s.maxQueue {
+		mShed.Inc()
+		return nil, false, errOverloaded
+	}
+	for _, j := range fresh {
+		s.jobs[j.id] = j
+		s.inflight++
+		s.wg.Add(1)
+		go s.runJob(j)
+	}
+	return jobs, true, nil
 }
 
-var errDraining = errors.New("serve: draining, not accepting jobs")
+var (
+	errDraining   = errors.New("serve: draining, not accepting jobs")
+	errOverloaded = errors.New("serve: admission queue full, retry later")
+)
 
 // runJob executes one job under the root context and the per-job
-// deadline, then publishes the result.
+// deadline, then publishes the result and retires the job into the
+// bounded completed registry.
 func (s *Server) runJob(j *job) {
 	defer s.wg.Done()
 	ctx := s.rootCtx
@@ -233,8 +359,37 @@ func (s *Server) runJob(j *job) {
 	res, err := s.svc.Do(ctx, j.req)
 	s.mu.Lock()
 	j.result, j.err = res, err
+	s.inflight--
+	s.completed = append(s.completed, j)
+	s.pruneCompletedLocked()
 	s.mu.Unlock()
 	close(j.done)
+}
+
+// pruneCompletedLocked bounds the finished-job registry: the oldest
+// completed jobs past maxCompleted leave the id map, so a long-running
+// server's memory stays proportional to the retention cap instead of
+// the total number of distinct requests it has ever served. A pruned
+// id simply 404s; re-submitting it is a result-cache hit.
+func (s *Server) pruneCompletedLocked() {
+	if s.maxCompleted <= 0 {
+		return
+	}
+	for len(s.completed) > s.maxCompleted {
+		old := s.completed[0]
+		s.completed[0] = nil // release the *job promptly
+		s.completed = s.completed[1:]
+		// A re-submission may have replaced the map entry with a newer
+		// run of the same id; only evict the entry this job owns.
+		if cur, ok := s.jobs[old.id]; ok && cur == old {
+			delete(s.jobs, old.id)
+		}
+	}
+	// Re-slicing walks the backing array forward; copy back once the
+	// dead prefix dominates so the array does not grow without bound.
+	if cap(s.completed) > 2*len(s.completed) && cap(s.completed) > 64 {
+		s.completed = append([]*job(nil), s.completed...)
+	}
 }
 
 // effectiveTimeout resolves a job's deadline: the request's timeout_ms
@@ -294,10 +449,45 @@ func writeError(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, map[string]string{"error": err.Error()})
 }
 
+// parseWait interprets the ?wait query parameter with strconv.ParseBool
+// semantics: absent means async, "1"/"true"/... block, "0"/"false"/...
+// are explicitly async, anything else is a client error. (A previous
+// version treated any non-empty value as true, so ?wait=0 blocked.)
+func parseWait(r *http.Request) (bool, error) {
+	raw := r.URL.Query().Get("wait")
+	if raw == "" {
+		return false, nil
+	}
+	wait, err := strconv.ParseBool(raw)
+	if err != nil {
+		return false, fmt.Errorf("serve: wait parameter %q is not a boolean", raw)
+	}
+	return wait, nil
+}
+
+// writeSubmitError maps a submission failure onto its status code:
+// draining → 503, queue full → 429 with a Retry-After hint.
+func writeSubmitError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, errDraining):
+		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, errOverloaded):
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+		writeError(w, http.StatusTooManyRequests, err)
+	default:
+		writeError(w, http.StatusInternalServerError, err)
+	}
+}
+
 // handleSubmit accepts a job request. By default it returns 202 with
-// the job's id immediately; ?wait=1 blocks until the job finishes and
-// returns the final status.
+// the job's id immediately; ?wait=1 (or any ParseBool truth) blocks
+// until the job finishes and returns the final status.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	wait, err := parseWait(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
 	dec.DisallowUnknownFields()
 	var req Request
@@ -311,15 +501,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	j, _, err := s.submit(norm)
-	if errors.Is(err, errDraining) {
-		writeError(w, http.StatusServiceUnavailable, err)
-		return
-	}
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		writeSubmitError(w, err)
 		return
 	}
-	if r.URL.Query().Get("wait") == "" {
+	if !wait {
 		writeJSON(w, http.StatusAccepted, s.status(j))
 		return
 	}
@@ -335,6 +521,73 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, st)
+}
+
+// batchRequest is the body of POST /jobs/batch: a set of job requests
+// admitted atomically — a whole quality-matrix sweep in one round trip.
+type batchRequest struct {
+	Jobs []Request `json:"jobs"`
+}
+
+// batchResponse answers a batch with one status per submitted job, in
+// submission order.
+type batchResponse struct {
+	Results []jobStatus `json:"results"`
+}
+
+// handleBatch accepts a set of jobs in one request, fans them out on
+// the worker pool (identical entries coalesce onto one run), waits for
+// all of them, and returns per-item statuses in submission order.
+// Admission is atomic: either every new run fits under the queue bound
+// or the whole batch is shed with 429 + Retry-After, leaving in-flight
+// jobs untouched.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	var batch batchRequest
+	if err := dec.Decode(&batch); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: decoding batch: %w", err))
+		return
+	}
+	if len(batch.Jobs) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("serve: empty batch"))
+		return
+	}
+	if len(batch.Jobs) > maxBatchJobs {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("serve: batch of %d jobs exceeds the limit of %d", len(batch.Jobs), maxBatchJobs))
+		return
+	}
+	norms := make([]Request, len(batch.Jobs))
+	for i, req := range batch.Jobs {
+		norm, err := req.Normalize()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("serve: batch job %d: %w", i, err))
+			return
+		}
+		norms[i] = norm
+	}
+	mBatches.Inc()
+	mBatchJobs.Add(int64(len(norms)))
+
+	s.mu.Lock()
+	jobs, _, err := s.submitLocked(norms)
+	s.mu.Unlock()
+	if err != nil {
+		writeSubmitError(w, err)
+		return
+	}
+	resp := batchResponse{Results: make([]jobStatus, len(jobs))}
+	for i, j := range jobs {
+		select {
+		case <-j.done:
+		case <-r.Context().Done():
+			writeError(w, http.StatusRequestTimeout, r.Context().Err())
+			return
+		}
+		resp.Results[i] = s.status(j)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -391,21 +644,25 @@ func (s *Server) handleManifest(w http.ResponseWriter, r *http.Request) {
 	w.Write([]byte("\n"))
 }
 
+// handleHealth reports liveness for load balancers. A draining server
+// answers 503 so traffic is routed away while in-flight jobs finish —
+// a 200 here once kept balancers pointed at shutting-down instances.
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	draining := s.draining
-	inflight := 0
-	for _, j := range s.jobs {
-		select {
-		case <-j.done:
-		default:
-			inflight++
-		}
-	}
+	inflight := s.inflight
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"status":   map[bool]string{false: "ok", true: "draining"}[draining],
 		"inflight": inflight,
 		"cache":    s.svc.CacheStats(),
-	})
+	}
+	if st, ok := s.DiskStats(); ok {
+		body["disk"] = st
+	}
+	code := http.StatusOK
+	if draining {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, body)
 }

@@ -177,7 +177,10 @@ func TestServerRejectsBadRequests(t *testing.T) {
 // poison the worker pool or the cache.
 func TestServerJobDeadline(t *testing.T) {
 	s := startTestServer(t, Options{})
-	st, resp := post(t, s.URL()+"/jobs?wait=1", `{"seed": 4, "timeout_ms": 1}`)
+	// A fine-resolution simulated job so the 1ms deadline reliably
+	// expires before the pipeline can finish (a coarse job on a warm
+	// machine can beat the timer and flake).
+	st, resp := post(t, s.URL()+"/jobs?wait=1", `{"seed": 4, "timeout_ms": 1, "resolution": "fine", "simulate": true}`)
 	if resp.StatusCode != http.StatusInternalServerError || st.State != "failed" {
 		t.Fatalf("timed-out job: status %d %+v", resp.StatusCode, st)
 	}
@@ -186,7 +189,7 @@ func TestServerJobDeadline(t *testing.T) {
 	}
 	// Errors are not cached: the same request with a sane deadline runs
 	// fresh and succeeds.
-	ok, resp := post(t, s.URL()+"/jobs?wait=1", `{"seed": 4}`)
+	ok, resp := post(t, s.URL()+"/jobs?wait=1", `{"seed": 4, "resolution": "fine", "simulate": true}`)
 	if resp.StatusCode != http.StatusOK || ok.State != "done" || ok.Outcome != "miss" {
 		t.Fatalf("post-timeout job: status %d %+v", resp.StatusCode, ok)
 	}
@@ -287,5 +290,354 @@ func TestServerCoalescesIdenticalSubmissions(t *testing.T) {
 	st := s.Service().CacheStats()
 	if st.Misses != 1 {
 		t.Fatalf("pipeline ran %d times for one unique request (stats %+v)", st.Misses, st)
+	}
+}
+
+// ?wait follows strconv.ParseBool: absent and false values are async
+// (202), truthy values block (200), garbage is a client error. A
+// previous version treated any non-empty value as true, so ?wait=0
+// blocked.
+func TestWaitParameterSemantics(t *testing.T) {
+	s := startTestServer(t, Options{})
+	cases := []struct {
+		query string
+		code  int
+	}{
+		{"", http.StatusAccepted},
+		{"?wait=0", http.StatusAccepted},
+		{"?wait=false", http.StatusAccepted},
+		{"?wait=1", http.StatusOK},
+		{"?wait=true", http.StatusOK},
+		{"?wait=banana", http.StatusBadRequest},
+		{"?wait=yes", http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		st, resp := post(t, s.URL()+"/jobs"+tc.query, `{"seed": 21}`)
+		if resp.StatusCode != tc.code {
+			t.Fatalf("wait query %q: status %d, want %d (%+v)", tc.query, resp.StatusCode, tc.code, st)
+		}
+		if tc.code == http.StatusOK && st.State != "done" {
+			t.Fatalf("wait query %q: blocking submit returned state %s", tc.query, st.State)
+		}
+	}
+}
+
+// The finished-job registry is bounded: churning unique requests
+// through a server prunes the oldest completed entries, the memory
+// stays proportional to the cap, and a pruned id is just a 404 whose
+// re-submission is a cache hit.
+func TestJobRegistryBoundedUnderChurn(t *testing.T) {
+	const cap = 4
+	s := startTestServer(t, Options{MaxCompleted: cap})
+	var firstID string
+	for seed := 100; seed < 112; seed++ {
+		st, resp := post(t, s.URL()+"/jobs?wait=1", fmt.Sprintf(`{"seed": %d}`, seed))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("seed %d: status %d %+v", seed, resp.StatusCode, st)
+		}
+		if firstID == "" {
+			firstID = st.ID
+		}
+	}
+	s.mu.Lock()
+	n := len(s.jobs)
+	s.mu.Unlock()
+	if n > cap {
+		t.Fatalf("registry holds %d jobs after churn, cap is %d", n, cap)
+	}
+	// The oldest job was pruned: unknown id now, but its artifact
+	// survives in the result cache so re-submission is an instant hit.
+	if _, resp := fetch(t, s.URL()+"/jobs/"+firstID); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pruned job id: status %d, want 404", resp.StatusCode)
+	}
+	st, resp := post(t, s.URL()+"/jobs?wait=1", `{"seed": 100}`)
+	if resp.StatusCode != http.StatusOK || st.Outcome != "hit" {
+		t.Fatalf("re-submission of pruned job: status %d %+v", resp.StatusCode, st)
+	}
+}
+
+// A draining server reports 503 from /healthz so load balancers stop
+// routing to it. (It used to say 200 "draining", which balancers read
+// as healthy.)
+func TestHealthzDrainingReturns503(t *testing.T) {
+	s := startTestServer(t, Options{})
+	body, resp := fetch(t, s.URL()+"/healthz")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"status":"ok"`) {
+		t.Fatalf("healthy server: status %d body %s", resp.StatusCode, body)
+	}
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	body, resp = fetch(t, s.URL()+"/healthz")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining server healthz: status %d, want 503", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), `"status":"draining"`) {
+		t.Fatalf("draining healthz body: %s", body)
+	}
+}
+
+// Past the admission bound, new submissions are shed with 429 and a
+// Retry-After hint while in-flight jobs are untouched; joining an
+// in-flight run is always admitted.
+func TestAdmissionQueueSheds(t *testing.T) {
+	s := startTestServer(t, Options{MaxQueue: 2})
+
+	// Fill the queue artificially: two registered in-flight jobs.
+	hold := make([]*job, 2)
+	s.mu.Lock()
+	for i := range hold {
+		norm, err := Request{Seed: int64(900 + i)}.Normalize()
+		if err != nil {
+			s.mu.Unlock()
+			t.Fatal(err)
+		}
+		j := &job{id: string(norm.CacheKey()), req: norm, done: make(chan struct{}), created: time.Now()}
+		s.jobs[j.id] = j
+		s.inflight++
+		hold[i] = j
+	}
+	s.mu.Unlock()
+
+	// A fresh submission is shed.
+	st, resp := post(t, s.URL()+"/jobs", `{"seed": 950}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overloaded submit: status %d %+v", resp.StatusCode, st)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("shed response missing Retry-After")
+	}
+	// Joining one of the in-flight jobs is still admitted (202, running).
+	join, resp := post(t, s.URL()+"/jobs", `{"seed": 900}`)
+	if resp.StatusCode != http.StatusAccepted || join.State != "running" {
+		t.Fatalf("join while full: status %d %+v", resp.StatusCode, join)
+	}
+	// The in-flight jobs are unaffected by the shed: still registered,
+	// still running.
+	s.mu.Lock()
+	inflight := s.inflight
+	s.mu.Unlock()
+	if inflight != 2 {
+		t.Fatalf("inflight = %d after shed, want 2", inflight)
+	}
+
+	// Release the slots; admission recovers.
+	s.mu.Lock()
+	for _, j := range hold {
+		j.result, j.err = nil, errors.New("test: abandoned")
+		s.inflight--
+		close(j.done)
+	}
+	s.mu.Unlock()
+	ok, resp := post(t, s.URL()+"/jobs?wait=1", `{"seed": 951}`)
+	if resp.StatusCode != http.StatusOK || ok.State != "done" {
+		t.Fatalf("post-recovery submit: status %d %+v", resp.StatusCode, ok)
+	}
+}
+
+// postJSON posts a body and returns the raw response.
+func postJSON(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// One batch request coalesces a quality-matrix sweep: per-item statuses
+// come back in submission order, identical items share a job, and the
+// pipeline runs once per unique request.
+func TestBatchQualityMatrixSweep(t *testing.T) {
+	s := startTestServer(t, Options{})
+	body := `{"jobs": [
+		{"seed": 31, "resolution": "coarse", "orientation": "x-y"},
+		{"seed": 31, "resolution": "coarse", "orientation": "x-z"},
+		{"seed": 31, "resolution": "fine", "orientation": "x-y"},
+		{"seed": 31, "resolution": "fine", "orientation": "x-z"},
+		{"seed": 31, "resolution": "coarse", "orientation": "x-y"}
+	]}`
+	resp, data := postJSON(t, s.URL()+"/jobs/batch", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: status %d body %s", resp.StatusCode, data)
+	}
+	var br batchResponse
+	if err := json.Unmarshal(data, &br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Results) != 5 {
+		t.Fatalf("batch results = %d, want 5", len(br.Results))
+	}
+	ids := map[string]bool{}
+	for i, st := range br.Results {
+		if st.State != "done" {
+			t.Fatalf("batch item %d: %+v", i, st)
+		}
+		if st.STLSHA256 == "" {
+			t.Fatalf("batch item %d missing digest", i)
+		}
+		ids[st.ID] = true
+	}
+	// Item 4 duplicates item 0: four unique jobs, four pipeline runs.
+	if len(ids) != 4 {
+		t.Fatalf("batch produced %d unique jobs, want 4", len(ids))
+	}
+	if br.Results[0].ID != br.Results[4].ID {
+		t.Fatal("identical batch items did not coalesce")
+	}
+	if st := s.Service().CacheStats(); st.Misses != 4 {
+		t.Fatalf("pipeline ran %d times for 4 unique requests", st.Misses)
+	}
+}
+
+func TestBatchValidation(t *testing.T) {
+	s := startTestServer(t, Options{})
+	for _, tc := range []struct {
+		body string
+		code int
+	}{
+		{`{"jobs": []}`, http.StatusBadRequest},
+		{`{}`, http.StatusBadRequest},
+		{`{"jobs": [{"part": "teapot"}]}`, http.StatusBadRequest},
+		{`not json`, http.StatusBadRequest},
+	} {
+		resp, data := postJSON(t, s.URL()+"/jobs/batch", tc.body)
+		if resp.StatusCode != tc.code {
+			t.Fatalf("batch body %q: status %d, want %d (%s)", tc.body, resp.StatusCode, tc.code, data)
+		}
+	}
+	// An oversize batch is refused outright.
+	var sb strings.Builder
+	sb.WriteString(`{"jobs": [`)
+	for i := 0; i <= maxBatchJobs; i++ {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		fmt.Fprintf(&sb, `{"seed": %d}`, i)
+	}
+	sb.WriteString(`]}`)
+	resp, _ := postJSON(t, s.URL()+"/jobs/batch", sb.String())
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversize batch: status %d, want 400", resp.StatusCode)
+	}
+	// A draining server refuses batches like it refuses singles.
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	resp, _ = postJSON(t, s.URL()+"/jobs/batch", `{"jobs": [{"seed": 1}]}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining batch: status %d, want 503", resp.StatusCode)
+	}
+}
+
+// Batch admission is atomic: a batch whose new runs cannot fit under
+// the queue bound is shed whole, leaving nothing half-started.
+func TestBatchShedsAtomically(t *testing.T) {
+	s := startTestServer(t, Options{MaxQueue: 1})
+	s.mu.Lock()
+	s.inflight = 1 // one slot, already taken
+	s.mu.Unlock()
+	resp, _ := postJSON(t, s.URL()+"/jobs/batch", `{"jobs": [{"seed": 61}, {"seed": 62}]}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overloaded batch: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("shed batch missing Retry-After")
+	}
+	s.mu.Lock()
+	registered := len(s.jobs)
+	s.inflight = 0
+	s.mu.Unlock()
+	if registered != 0 {
+		t.Fatalf("shed batch left %d jobs registered", registered)
+	}
+}
+
+// The restart-warm contract end to end: a server populated on a cache
+// directory is stopped; a new server on the same directory serves the
+// identical request from disk — no pipeline run, byte-identical STL.
+func TestServerRestartWarmFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	req := `{"seed": 77, "resolution": "coarse"}`
+
+	s1 := startTestServer(t, Options{CacheDir: dir})
+	first, resp := post(t, s1.URL()+"/jobs?wait=1", req)
+	if resp.StatusCode != http.StatusOK || first.Outcome != "miss" {
+		t.Fatalf("cold job: status %d %+v", resp.StatusCode, first)
+	}
+	stl1, resp := fetch(t, s1.URL()+first.STLURL)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("STL fetch: %d", resp.StatusCode)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s1.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	s2 := startTestServer(t, Options{CacheDir: dir})
+	warm, resp := post(t, s2.URL()+"/jobs?wait=1", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm job: status %d %+v", resp.StatusCode, warm)
+	}
+	if warm.Outcome != "disk_hit" {
+		t.Fatalf("post-restart outcome = %s, want disk_hit", warm.Outcome)
+	}
+	if warm.STLSHA256 != first.STLSHA256 {
+		t.Fatalf("digests differ across restart: %s vs %s", warm.STLSHA256, first.STLSHA256)
+	}
+	stl2, resp := fetch(t, s2.URL()+warm.STLURL)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm STL fetch: %d", resp.StatusCode)
+	}
+	if !bytes.Equal(stl1, stl2) {
+		t.Fatal("restart-warm STL bytes differ from the original run")
+	}
+	// The pipeline did not run: the warm service saw one disk hit and
+	// zero misses.
+	if st := s2.Service().CacheStats(); st.DiskHits != 1 || st.Misses != 0 {
+		t.Fatalf("warm cache stats = %+v", st)
+	}
+	if st, ok := s2.DiskStats(); !ok || st.Hits != 1 {
+		t.Fatalf("disk stats = %+v ok=%v", st, ok)
+	}
+	// A second identical request is now a plain memory hit.
+	again, _ := post(t, s2.URL()+"/jobs?wait=1", req)
+	if again.Outcome != "hit" {
+		t.Fatalf("second warm request outcome = %s, want hit", again.Outcome)
+	}
+}
+
+// The resultCodec round-trips a cached result bit-exactly through the
+// disk-frame encoding, and rejects malformed frames.
+func TestResultCodecRoundTrip(t *testing.T) {
+	in := &cachedResult{
+		stl:      []byte{0x00, 0x01, 0xff, 0xfe},
+		manifest: []byte(`{"k":"v"}`),
+		stlSHA:   "abc123",
+		grade:    "degraded",
+	}
+	data, err := resultCodec{}.Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := resultCodec{}.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := v.(*cachedResult)
+	if !bytes.Equal(out.stl, in.stl) || !bytes.Equal(out.manifest, in.manifest) ||
+		out.stlSHA != in.stlSHA || out.grade != in.grade {
+		t.Fatalf("round trip mangled the result: %+v", out)
+	}
+	for _, bad := range [][]byte{nil, {1}, data[:len(data)-1], append(append([]byte(nil), data...), 0)} {
+		if _, err := (resultCodec{}).Decode(bad); err == nil {
+			t.Fatalf("malformed frame of %d bytes decoded", len(bad))
+		}
 	}
 }

@@ -1,12 +1,20 @@
 #!/usr/bin/env bash
 # Smoke test for the obfuscation job service: boot `obfuscade serve` on
-# a random port, submit two identical and one distinct job, and assert
+# a random port with a persistent cache directory, exercise it, restart
+# it on the same directory, and assert
 #
 #   - the identical pair reports one miss then one hit, with the same
 #     job id and STL digest, and the served STL bytes hash to that digest
 #   - /metrics exposes exactly one cache hit and two misses
+#   - one POST /jobs/batch coalesces a quality-matrix sweep: four
+#     distinct jobs, all done, in submission order
 #   - SIGTERM drains gracefully (exit 0) and flushes one provenance
-#     manifest line per completed job
+#     manifest line per completed job (2 singles + 4 batch = 6)
+#   - a fresh process on the same -cache-dir serves the original request
+#     from disk: outcome disk_hit, identical digest, exactly one
+#     obfuscade_cache_disk_hits_total and zero pipeline completions
+#   - past -max-queue the server sheds with 429 + Retry-After while
+#     still serving admitted work
 #
 # CI runs this in a fresh process, so the exact /metrics counter values
 # are assertable (in-process tests share the global registry and cannot
@@ -17,7 +25,12 @@ cd "$(dirname "$0")/.."
 workdir="$(mktemp -d)"
 server_pid=""
 cleanup() {
-    [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+    if [ -n "$server_pid" ]; then
+        kill "$server_pid" 2>/dev/null || true
+        # Let the drain finish before deleting its cache directory out
+        # from under it, or rm races the journal compaction.
+        wait "$server_pid" 2>/dev/null || true
+    fi
     rm -rf "$workdir"
 }
 trap cleanup EXIT
@@ -26,21 +39,36 @@ fail() { echo "smoke_serve: FAIL: $*" >&2; exit 1; }
 
 go build -o "$workdir/obfuscade" ./cmd/obfuscade
 
-"$workdir/obfuscade" serve \
-    -addr 127.0.0.1:0 \
-    -addr-file "$workdir/addr" \
-    -manifest-out "$workdir/manifests.ndjson" &
-server_pid=$!
+start_server() { # start_server <addr-file> <extra flags...>
+    local addr_file="$1"; shift
+    "$workdir/obfuscade" serve \
+        -addr 127.0.0.1:0 \
+        -addr-file "$addr_file" \
+        -cache-dir "$workdir/cache" \
+        "$@" &
+    server_pid=$!
+    for _ in $(seq 1 100); do
+        [ -s "$addr_file" ] && break
+        kill -0 "$server_pid" 2>/dev/null || fail "server died during startup"
+        sleep 0.1
+    done
+    [ -s "$addr_file" ] || fail "server never wrote its address"
+    base="http://$(tr -d '[:space:]' < "$addr_file")"
+}
 
-for _ in $(seq 1 100); do
-    [ -s "$workdir/addr" ] && break
-    kill -0 "$server_pid" 2>/dev/null || fail "server died during startup"
-    sleep 0.1
-done
-[ -s "$workdir/addr" ] || fail "server never wrote its address"
-base="http://$(cat "$workdir/addr" | tr -d '[:space:]')"
+stop_server() {
+    kill -TERM "$server_pid"
+    if ! wait "$server_pid"; then
+        fail "server did not exit cleanly on SIGTERM"
+    fi
+    server_pid=""
+}
 
 submit() { curl -sf -X POST -H 'Content-Type: application/json' -d "$1" "$base/jobs?wait=1"; }
+
+# ---- run 1: populate the cache, batch sweep, graceful drain ----------
+
+start_server "$workdir/addr1" -manifest-out "$workdir/manifests.ndjson"
 
 r1="$(submit '{"seed": 1}')"
 r2="$(submit '{"seed": 1}')"
@@ -73,17 +101,81 @@ echo "$metrics" | grep -qx 'obfuscade_cache_hits_total 1' \
 echo "$metrics" | grep -qx 'obfuscade_cache_misses_total 2' \
     || fail "expected two cache misses:$(echo; echo "$metrics" | grep ^obfuscade_cache)"
 
-# Graceful drain: SIGTERM exits 0 and flushes both completed manifests.
-kill -TERM "$server_pid"
-if ! wait "$server_pid"; then
-    fail "server did not exit cleanly on SIGTERM"
-fi
-server_pid=""
+# One batch request sweeps a quality matrix: four distinct jobs come
+# back done, in submission order, each with an artifact digest.
+batch="$(curl -sf -X POST -H 'Content-Type: application/json' -d '{"jobs": [
+    {"seed": 3, "resolution": "coarse", "orientation": "x-y"},
+    {"seed": 3, "resolution": "coarse", "orientation": "x-z"},
+    {"seed": 3, "resolution": "fine", "orientation": "x-y"},
+    {"seed": 3, "resolution": "fine", "orientation": "x-z"}
+]}' "$base/jobs/batch")"
+[ "$(echo "$batch" | jq '.results | length')" -eq 4 ] || fail "batch results: $batch"
+[ "$(echo "$batch" | jq '[.results[] | select(.state == "done")] | length')" -eq 4 ] \
+    || fail "batch jobs not all done: $batch"
+[ "$(echo "$batch" | jq '[.results[].id] | unique | length')" -eq 4 ] \
+    || fail "batch sweep must produce four distinct jobs: $batch"
+
+# Graceful drain: SIGTERM exits 0 and flushes every completed manifest
+# (2 single-submission runs + 4 batch runs).
+stop_server
 
 lines="$(wc -l < "$workdir/manifests.ndjson")"
-[ "$lines" -eq 2 ] || fail "manifest lines = $lines, want 2"
+[ "$lines" -eq 6 ] || fail "manifest lines = $lines, want 6"
 while IFS= read -r line; do
     echo "$line" | jq -e .stl_sha256 >/dev/null || fail "bad manifest line: $line"
 done < "$workdir/manifests.ndjson"
 
-echo "smoke_serve: OK (1 hit, 2 misses, digest $sha1, 2 manifests flushed)"
+# ---- run 2: restart-warm from disk, then shed past -max-queue --------
+
+start_server "$workdir/addr2" -max-queue 1
+
+w1="$(submit '{"seed": 1}')"
+[ "$(echo "$w1" | jq -r .outcome)" = disk_hit ] \
+    || fail "post-restart job must come from disk: $w1"
+[ "$(echo "$w1" | jq -r .stl_sha256)" = "$sha1" ] \
+    || fail "restart-warm digest drifted: $w1"
+
+# Fresh process again: exactly one disk hit, and the pipeline never ran
+# (zero-valued counters are omitted from the export, so a completions
+# counter merely being present would mean a pipeline run).
+metrics="$(curl -sf "$base/metrics")"
+echo "$metrics" | grep -qx 'obfuscade_cache_disk_hits_total 1' \
+    || fail "expected one disk hit:$(echo; echo "$metrics" | grep -E '^obfuscade_(cache|serve)')"
+if echo "$metrics" | grep -q '^obfuscade_serve_jobs_completed_total'; then
+    fail "restart-warm must not run the pipeline:$(echo; echo "$metrics" | grep ^obfuscade_serve)"
+fi
+
+# Past -max-queue 1, a concurrent burst of distinct jobs sheds: at
+# least one 429 carrying Retry-After, while at least one job is served.
+burst_pids=()
+for i in $(seq 1 8); do
+    curl -s -o "$workdir/shed_body_$i" -D "$workdir/shed_hdr_$i" \
+        -w '%{http_code}' -X POST -H 'Content-Type: application/json' \
+        -d "{\"seed\": $((100 + i))}" "$base/jobs?wait=1" > "$workdir/shed_code_$i" &
+    burst_pids+=($!)
+done
+wait "${burst_pids[@]}"
+shed=0 served=0
+for i in $(seq 1 8); do
+    code="$(cat "$workdir/shed_code_$i")"
+    case "$code" in
+    429)
+        grep -qi '^Retry-After:' "$workdir/shed_hdr_$i" \
+            || fail "429 without Retry-After: $(cat "$workdir/shed_hdr_$i")"
+        shed=$((shed + 1))
+        ;;
+    200) served=$((served + 1)) ;;
+    *) fail "burst job $i: unexpected status $code: $(cat "$workdir/shed_body_$i")" ;;
+    esac
+done
+[ "$shed" -ge 1 ] || fail "burst of 8 against -max-queue 1 shed nothing"
+[ "$served" -ge 1 ] || fail "shedding served nothing at all"
+
+# The shed counter surfaced on /metrics and agrees with the 429s.
+shed_metric="$(curl -sf "$base/metrics" | awk '/^obfuscade_serve_shed_total/ {print $2}')"
+[ "${shed_metric:-0}" -eq "$shed" ] \
+    || fail "serve.shed counter = ${shed_metric:-absent}, observed $shed 429s"
+
+stop_server
+
+echo "smoke_serve: OK (1 hit, 2 misses, 6 manifests, restart-warm disk_hit, $shed shed / $served served)"
