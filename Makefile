@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify race bench benchdiff cover build test smoke
+.PHONY: verify race bench benchdiff cover build test smoke smoke-cluster
 
 # Tier-1 verify: must stay green on every commit.
 verify: build test
@@ -40,12 +40,20 @@ benchdiff:
 smoke:
 	./scripts/smoke_serve.sh
 
-# Coverage floor over the observability, tracing and worker-pool
-# packages — the subsystems every parallel stage depends on.
+# Cluster smoke: a `-route-to` router over two shards in fresh
+# processes — key-stable placement via per-shard /metrics, failover
+# after SIGKILLing a shard, and 429 + Retry-After shed pass-through
+# (scripts/smoke_cluster.sh).
+smoke-cluster:
+	./scripts/smoke_cluster.sh
+
+# Coverage floor over the observability, tracing, worker-pool and
+# sharding packages — the subsystems every parallel stage and the
+# routing tier depend on.
 COVER_FLOOR ?= 85
 cover:
-	$(GO) test -covermode=atomic -coverprofile=coverage.out ./internal/obs ./internal/parallel ./internal/trace
+	$(GO) test -covermode=atomic -coverprofile=coverage.out ./internal/obs ./internal/parallel ./internal/trace ./internal/shard
 	@pct=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ { gsub(/%/, "", $$3); print $$3 }'); \
 	awk -v pct="$$pct" -v floor="$(COVER_FLOOR)" 'BEGIN { \
-		if (pct + 0 < floor + 0) { printf("cover: FAIL: %.1f%% below floor %s%% (internal/obs + internal/parallel + internal/trace)\n", pct, floor); exit 1 } \
-		printf("cover: OK: %.1f%% >= floor %s%% (internal/obs + internal/parallel + internal/trace)\n", pct, floor) }'
+		if (pct + 0 < floor + 0) { printf("cover: FAIL: %.1f%% below floor %s%% (internal/obs + internal/parallel + internal/trace + internal/shard)\n", pct, floor); exit 1 } \
+		printf("cover: OK: %.1f%% >= floor %s%% (internal/obs + internal/parallel + internal/trace + internal/shard)\n", pct, floor) }'

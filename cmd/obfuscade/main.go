@@ -15,6 +15,8 @@
 //	obfuscade stats [-with-sphere] [-format text|json] [-workers N]
 //	obfuscade serve [-addr host:port] [-cache-bytes N] [-job-timeout D]
 //	                [-drain-timeout D] [-manifest-out file] [-workers N]
+//	obfuscade serve -route-to shard1:port,shard2:port,... [-addr host:port]
+//	                [-vnodes N] [-hedge-after D] [-probe-interval D]
 //
 // serve runs the long-lived obfuscation job service: POST /jobs accepts
 // a JSON request (part, resolution, orientation, restore_sphere, seed,
@@ -23,6 +25,14 @@
 // the debug surface (/metrics, /trace, /debug/pprof) shares the same
 // port. SIGINT/SIGTERM drains in-flight jobs before exiting and flushes
 // provenance manifests to -manifest-out.
+//
+// With -route-to, serve runs no pipeline of its own: it becomes a
+// consistent-hash router over the listed shard instances. Jobs are
+// placed by their content-address key, batches are split per shard and
+// reassembled in submission order, slow reads are hedged against the
+// next ring replica after -hedge-after, and shards failing /healthz
+// probes (every -probe-interval) are ejected from routing until they
+// recover. 429 shed responses pass through with their Retry-After.
 //
 // The manufacture, matrix and keyspace subcommands accept -stats to print
 // the per-stage pipeline metrics (package obs) after their output, plus

@@ -6,10 +6,12 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"obfuscade/internal/serve"
+	"obfuscade/internal/shard"
 )
 
 // serveStop receives the shutdown signal. A package variable so the
@@ -28,11 +30,19 @@ func cmdServe(args []string) error {
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
 	manifestOut := fs.String("manifest-out", "", "write provenance manifests (NDJSON) to this file on shutdown")
 	addrFile := fs.String("addr-file", "", "write the bound listen address to this file once serving")
+	routeTo := fs.String("route-to", "", "run as a router over these comma-separated shard addresses instead of serving jobs locally")
+	vnodes := fs.Int("vnodes", 0, "router: virtual nodes per shard on the consistent-hash ring (0 = default)")
+	hedgeAfter := fs.Duration("hedge-after", 0, "router: hedge slow reads against the next ring replica after this budget (0 = default, negative = disabled)")
+	probeInterval := fs.Duration("probe-interval", 0, "router: shard /healthz polling period (0 = default)")
 	setWorkers := workersFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	setWorkers()
+
+	if *routeTo != "" {
+		return runRouter(*routeTo, *addr, *addrFile, *vnodes, *hedgeAfter, *probeInterval, *drainTimeout)
+	}
 
 	opts := serve.Options{
 		Addr:           *addr,
@@ -80,5 +90,48 @@ func cmdServe(args []string) error {
 		return err
 	}
 	fmt.Fprintln(os.Stderr, "obfuscade: serve drained cleanly")
+	return nil
+}
+
+// runRouter is `obfuscade serve -route-to=...`: a thin consistent-hash
+// router over N shard instances. It runs no pipeline and owns no cache;
+// it places every job key on its owning shard, splits batches per
+// shard, hedges slow reads, and ejects unhealthy shards off the ring.
+func runRouter(routeTo, addr, addrFile string, vnodes int, hedgeAfter, probeInterval, drainTimeout time.Duration) error {
+	var shards []string
+	for _, s := range strings.Split(routeTo, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			shards = append(shards, s)
+		}
+	}
+	rt, err := shard.StartRouter(shard.RouterOptions{
+		Addr:          addr,
+		Shards:        shards,
+		VirtualNodes:  vnodes,
+		HedgeAfter:    hedgeAfter,
+		ProbeInterval: probeInterval,
+	})
+	if err != nil {
+		return err
+	}
+	if addrFile != "" {
+		if err := os.WriteFile(addrFile, []byte(rt.Addr()+"\n"), 0o644); err != nil {
+			rt.Close()
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "obfuscade: routing %s across %d shards\n", rt.URL(), len(shards))
+
+	signal.Notify(serveStop, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(serveStop)
+	sig := <-serveStop
+	fmt.Fprintf(os.Stderr, "obfuscade: %v received, stopping router\n", sig)
+
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := rt.Shutdown(ctx); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "obfuscade: router stopped cleanly")
 	return nil
 }

@@ -8,6 +8,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"obfuscade/internal/serve"
 )
 
 // cmdServe boots, writes its bound address, answers a job round trip,
@@ -143,6 +145,54 @@ func submitJob(t *testing.T, addr, body string) (outcome, sha string) {
 		t.Fatalf("job round trip: status %d %+v", resp.StatusCode, st)
 	}
 	return st.Outcome, st.STLSHA256
+}
+
+// TestCmdServeRouterMode drives `serve -route-to`: the CLI becomes a
+// consistent-hash router over two in-process shards, a job round trip
+// works through it, a resubmission hits the owning shard's cache, and
+// the injected stop signal shuts the router down cleanly. The shards
+// run via the serve API directly because the CLI's stop channel is
+// process-wide — only one cmdServe instance may listen on it at a time.
+func TestCmdServeRouterMode(t *testing.T) {
+	s1, err := serve.Start(serve.Options{Addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s1.Close()
+	s2, err := serve.Start(serve.Options{Addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+
+	addr, stop := bootServe(t, []string{
+		"-route-to", s1.Addr() + "," + s2.Addr(),
+		"-probe-interval", "50ms",
+	})
+	outcome, sha := submitJob(t, addr, `{"seed": 21}`)
+	if outcome != "miss" || sha == "" {
+		t.Fatalf("routed job: outcome %q sha %q, want a computed miss", outcome, sha)
+	}
+	outcome2, sha2 := submitJob(t, addr, `{"seed": 21}`)
+	if outcome2 != "hit" || sha2 != sha {
+		t.Fatalf("routed rerun: outcome %q sha %q, want hit of %s", outcome2, sha2, sha)
+	}
+
+	var health struct {
+		Healthy int `json:"healthy"`
+	}
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || health.Healthy != 2 {
+		t.Fatalf("router health: status %d healthy %d, want 200 with 2 shards", resp.StatusCode, health.Healthy)
+	}
+	stop()
 }
 
 // A -cache-dir server restarted on the same directory serves the same

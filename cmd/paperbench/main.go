@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	paperbench [-exp all|table1..3|fig1..fig10|polyjet|sidechannel|keyspace|matrix|ablation|bench]
+//	paperbench [-exp all|table1..3|fig1..fig10|polyjet|sidechannel|keyspace|matrix|ablation|bench|saturate]
 //	           [-n replicates] [-seed n] [-csv] [-workers n] [-stats]
 //	           [-debug-addr addr] [-trace-out file] [-manifest-out file]
 //	           [-benchout file]
@@ -33,9 +33,16 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"os/exec"
+	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"obfuscade/internal/core"
@@ -45,6 +52,8 @@ import (
 	"obfuscade/internal/parallel"
 	"obfuscade/internal/printer"
 	"obfuscade/internal/report"
+	"obfuscade/internal/serve"
+	"obfuscade/internal/shard"
 	"obfuscade/internal/trace"
 )
 
@@ -67,8 +76,24 @@ type runOpts struct {
 	manifestOut string
 }
 
+// shardChildEnv is the saturation benchmark's re-exec protocol: when
+// set, this process is a shard child and must run one serve instance
+// until stdin closes, writing its bound address to the named file. An
+// env var rather than a flag so the same interception works in the
+// test binary (whose flag set belongs to the testing package) via
+// TestMain.
+const shardChildEnv = "OBFUSCADE_SHARD_ADDR_FILE"
+
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, table1..3, fig1..fig10, polyjet, sidechannel, keyspace, matrix, stltheft, ndt, servicelife, ablation, bench)")
+	if addrFile := os.Getenv(shardChildEnv); addrFile != "" {
+		if err := runShardChild(addrFile); err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	exp := flag.String("exp", "all", "experiment to run (all, table1..3, fig1..fig10, polyjet, sidechannel, keyspace, matrix, stltheft, ndt, servicelife, ablation, bench, saturate)")
 	n := flag.Int("n", 5, "tensile replicates per group")
 	seed := flag.Int64("seed", 1, "process noise seed")
 	csv := flag.Bool("csv", false, "emit tables as CSV")
@@ -97,6 +122,8 @@ func main() {
 	var err error
 	if strings.EqualFold(*exp, "bench") {
 		err = runBench(*benchOut, 64, *seed)
+	} else if strings.EqualFold(*exp, "saturate") {
+		err = runSaturateCmd()
 	} else {
 		err = run(runOpts{exp: *exp, n: *n, seed: *seed, csv: *csv, manifestOut: *manifestOut})
 	}
@@ -422,6 +449,275 @@ type benchReport struct {
 		Replicates          int64   `json:"replicates"`
 		ReplicatesPerSecond float64 `json:"replicates_per_second"`
 	} `json:"mech"`
+	// NumCPU records the host's logical CPU count so benchdiff can tell
+	// whether the shard-scale gate is meaningful: on a 1-CPU host two
+	// shard processes cannot beat one no matter how good the router is.
+	NumCPU int `json:"num_cpu"`
+	Serve  struct {
+		Saturation satReport `json:"saturation"`
+	} `json:"serve"`
+}
+
+// Saturation benchmark shape: satKeys distinct jobs are computed cold,
+// then satRequests warm (cache-hit) round trips are driven through the
+// router at satConcurrency in-flight requests. Small keys + a large warm
+// phase isolates the serving tier — the pipeline cost is paid once.
+const (
+	satKeys        = 6
+	satRequests    = 400
+	satConcurrency = 16
+)
+
+// satTopology is one router-over-N-shards measurement.
+type satTopology struct {
+	Shards       int     `json:"shards"`
+	ColdSeconds  float64 `json:"cold_seconds"`
+	SustainedRPS float64 `json:"sustained_rps"`
+	P50Millis    float64 `json:"p50_ms"`
+	P99Millis    float64 `json:"p99_ms"`
+	HedgeFired   int64   `json:"hedge_fired"`
+}
+
+// satReport is the serve.saturation section of the bench artifact:
+// identical load against one shard and against two, both behind the
+// consistent-hash router, with every shard pinned to GOMAXPROCS=1 so
+// the two-shard column reflects genuine horizontal scaling.
+type satReport struct {
+	Keys        int         `json:"keys"`
+	Requests    int         `json:"requests"`
+	Concurrency int         `json:"concurrency"`
+	OneShard    satTopology `json:"one_shard"`
+	TwoShard    satTopology `json:"two_shard"`
+}
+
+// runShardChild is the shardChildEnv mode: one serve instance that
+// lives exactly as long as its stdin pipe. The parent saturation run
+// re-execs this binary per shard with GOMAXPROCS=1 and closes the pipe
+// to stop it — no signals, no PID files, no orphan risk.
+func runShardChild(addrFile string) error {
+	s, err := serve.Start(serve.Options{Addr: "127.0.0.1:0"})
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(addrFile, []byte(s.Addr()+"\n"), 0o644); err != nil {
+		s.Close()
+		return err
+	}
+	io.Copy(io.Discard, os.Stdin)
+	return s.Close()
+}
+
+// shardProc is a re-exec'd single-proc shard child.
+type shardProc struct {
+	cmd   *exec.Cmd
+	stdin io.WriteCloser
+	addr  string
+}
+
+// spawnShards re-execs this binary n times in `-exp shard` mode. Each
+// child is pinned to GOMAXPROCS=1 so shard count — not the scheduler —
+// decides how much CPU the topology gets.
+func spawnShards(n int, dir string) ([]*shardProc, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	baseEnv := make([]string, 0, len(os.Environ())+2)
+	for _, kv := range os.Environ() {
+		if !strings.HasPrefix(kv, "GOMAXPROCS=") && !strings.HasPrefix(kv, shardChildEnv+"=") {
+			baseEnv = append(baseEnv, kv)
+		}
+	}
+	baseEnv = append(baseEnv, "GOMAXPROCS=1")
+
+	shards := make([]*shardProc, 0, n)
+	fail := func(err error) ([]*shardProc, error) {
+		stopShards(shards)
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		addrFile := filepath.Join(dir, fmt.Sprintf("shard-%d.addr", i))
+		cmd := exec.Command(exe)
+		cmd.Env = append(append([]string(nil), baseEnv...), shardChildEnv+"="+addrFile)
+		cmd.Stderr = os.Stderr
+		stdin, err := cmd.StdinPipe()
+		if err != nil {
+			return fail(err)
+		}
+		if err := cmd.Start(); err != nil {
+			return fail(err)
+		}
+		sp := &shardProc{cmd: cmd, stdin: stdin}
+		shards = append(shards, sp)
+
+		deadline := time.Now().Add(15 * time.Second)
+		for sp.addr == "" {
+			if data, err := os.ReadFile(addrFile); err == nil {
+				sp.addr = strings.TrimSpace(string(data))
+				break
+			}
+			if time.Now().After(deadline) {
+				return fail(fmt.Errorf("shard %d never wrote its address file", i))
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	return shards, nil
+}
+
+// stopShards closes each child's stdin (its stop signal) and reaps it.
+func stopShards(shards []*shardProc) {
+	for _, sp := range shards {
+		if sp == nil || sp.cmd == nil {
+			continue
+		}
+		sp.stdin.Close()
+		sp.cmd.Wait()
+	}
+}
+
+func counterNow(name string) int64 {
+	v, _ := obs.Default().Snapshot().Counter(name)
+	return v
+}
+
+func satPost(client *http.Client, baseURL, body string) error {
+	resp, err := client.Post(baseURL+"/jobs?wait=1", "application/json", strings.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("POST /jobs status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// saturateTopology boots nShards single-proc shard children behind an
+// in-process router, pays the cold pipeline cost once per key, then
+// measures sustained warm throughput and tail latency.
+func saturateTopology(nShards int, dir string, seedBase int64) (satTopology, error) {
+	top := satTopology{Shards: nShards}
+	shards, err := spawnShards(nShards, dir)
+	if err != nil {
+		return top, err
+	}
+	defer stopShards(shards)
+
+	addrs := make([]string, len(shards))
+	for i, sp := range shards {
+		addrs[i] = sp.addr
+	}
+	rt, err := shard.StartRouter(shard.RouterOptions{
+		Addr:          "127.0.0.1:0",
+		Shards:        addrs,
+		ProbeInterval: -1, // no background probes in the measurement window
+	})
+	if err != nil {
+		return top, err
+	}
+	defer rt.Close()
+
+	client := &http.Client{Timeout: 60 * time.Second}
+	bodies := make([]string, satKeys)
+	for i := range bodies {
+		bodies[i] = fmt.Sprintf(`{"seed": %d, "resolution": "coarse"}`, seedBase+int64(i))
+	}
+	hedge0 := counterNow("router.hedge.fired")
+
+	t0 := time.Now()
+	for _, b := range bodies {
+		if err := satPost(client, rt.URL(), b); err != nil {
+			return top, fmt.Errorf("cold pass: %w", err)
+		}
+	}
+	top.ColdSeconds = time.Since(t0).Seconds()
+
+	lat := make([]float64, satRequests)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	errCh := make(chan error, satConcurrency)
+	w0 := time.Now()
+	for w := 0; w < satConcurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= satRequests {
+					return
+				}
+				r0 := time.Now()
+				if err := satPost(client, rt.URL(), bodies[i%satKeys]); err != nil {
+					select {
+					case errCh <- err:
+					default:
+					}
+					return
+				}
+				lat[i] = time.Since(r0).Seconds() * 1000
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(w0).Seconds()
+	select {
+	case err := <-errCh:
+		return top, fmt.Errorf("warm pass: %w", err)
+	default:
+	}
+	if wall > 0 {
+		top.SustainedRPS = float64(satRequests) / wall
+	}
+	sort.Float64s(lat)
+	top.P50Millis = lat[satRequests/2]
+	top.P99Millis = lat[(satRequests*99+99)/100-1]
+	top.HedgeFired = counterNow("router.hedge.fired") - hedge0
+	return top, nil
+}
+
+// runSaturate runs the full saturation comparison: the same load against
+// a one-shard and a two-shard topology.
+func runSaturate(seed int64) (satReport, error) {
+	rep := satReport{Keys: satKeys, Requests: satRequests, Concurrency: satConcurrency}
+	dir, err := os.MkdirTemp("", "obfuscade-saturate-")
+	if err != nil {
+		return rep, err
+	}
+	defer os.RemoveAll(dir)
+	one, err := saturateTopology(1, filepath.Join(dir, "one"), seed)
+	if err != nil {
+		return rep, fmt.Errorf("one-shard topology: %w", err)
+	}
+	two, err := saturateTopology(2, filepath.Join(dir, "two"), seed)
+	if err != nil {
+		return rep, fmt.Errorf("two-shard topology: %w", err)
+	}
+	rep.OneShard, rep.TwoShard = one, two
+	return rep, nil
+}
+
+// runSaturateCmd is `-exp saturate`: the saturation benchmark alone,
+// printed for humans instead of embedded in the bench JSON.
+func runSaturateCmd() error {
+	rep, err := runSaturate(1)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("saturation: %d keys, %d warm requests at concurrency %d (host CPUs: %d)\n",
+		rep.Keys, rep.Requests, rep.Concurrency, runtime.NumCPU())
+	for _, top := range []satTopology{rep.OneShard, rep.TwoShard} {
+		fmt.Printf("  %d shard(s): cold %.2fs, sustained %.0f req/s, p50 %.2fms, p99 %.2fms, hedges %d\n",
+			top.Shards, top.ColdSeconds, top.SustainedRPS, top.P50Millis, top.P99Millis, top.HedgeFired)
+	}
+	if rep.TwoShard.SustainedRPS > 0 && rep.OneShard.SustainedRPS > 0 {
+		fmt.Printf("  shard scale: %.2fx\n", rep.TwoShard.SustainedRPS/rep.OneShard.SustainedRPS)
+	}
+	return nil
 }
 
 // runBench measures the serial-vs-pool quality matrix wall time and the
@@ -494,6 +790,14 @@ func runBench(out string, replicates int, seed int64) error {
 		rep.Mech.ReplicatesPerSecond = float64(reps) / mechSecs
 	}
 
+	// Serving-tier saturation: router over re-exec'd single-proc shards.
+	rep.NumCPU = runtime.NumCPU()
+	sat, err := runSaturate(seed)
+	if err != nil {
+		return fmt.Errorf("saturation bench: %w", err)
+	}
+	rep.Serve.Saturation = sat
+
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -502,7 +806,8 @@ func runBench(out string, replicates int, seed int64) error {
 	if err := os.WriteFile(out, data, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("bench report written to %s (matrix %d keys: serial %.2fs, parallel %.2fs, speedup %.2fx)\n",
-		out, rep.Matrix.Keys, serial, par, rep.Matrix.Speedup)
+	fmt.Printf("bench report written to %s (matrix %d keys: serial %.2fs, parallel %.2fs, speedup %.2fx; saturate 1->2 shards: %.0f -> %.0f req/s)\n",
+		out, rep.Matrix.Keys, serial, par, rep.Matrix.Speedup,
+		sat.OneShard.SustainedRPS, sat.TwoShard.SustainedRPS)
 	return nil
 }

@@ -3,10 +3,26 @@ package main
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
 )
+
+// TestMain intercepts the saturation benchmark's re-exec protocol: when
+// runBench spawns shard children via os.Executable(), that executable is
+// the *test binary*, so the child mode must be handled here before the
+// testing framework takes over.
+func TestMain(m *testing.M) {
+	if addrFile := os.Getenv(shardChildEnv); addrFile != "" {
+		if err := runShardChild(addrFile); err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	os.Exit(m.Run())
+}
 
 func TestRunSingleExperiments(t *testing.T) {
 	// The fast experiments, one by one; the slow ones (table2, polyjet)
@@ -80,5 +96,25 @@ func TestRunBenchJSON(t *testing.T) {
 	}
 	if rep.Mech.ReplicatesPerSecond <= 0 {
 		t.Errorf("replicates/s = %g", rep.Mech.ReplicatesPerSecond)
+	}
+	if rep.NumCPU < 1 {
+		t.Errorf("num_cpu = %d, want >= 1", rep.NumCPU)
+	}
+	sat := rep.Serve.Saturation
+	if sat.Keys != satKeys || sat.Requests != satRequests || sat.Concurrency != satConcurrency {
+		t.Errorf("saturation shape = %d/%d/%d, want %d/%d/%d",
+			sat.Keys, sat.Requests, sat.Concurrency, satKeys, satRequests, satConcurrency)
+	}
+	for _, top := range []satTopology{sat.OneShard, sat.TwoShard} {
+		if top.SustainedRPS <= 0 || top.ColdSeconds <= 0 {
+			t.Errorf("%d-shard topology not measured: %+v", top.Shards, top)
+		}
+		if top.P99Millis < top.P50Millis || top.P50Millis <= 0 {
+			t.Errorf("%d-shard latency quantiles inconsistent: p50 %g, p99 %g",
+				top.Shards, top.P50Millis, top.P99Millis)
+		}
+	}
+	if sat.OneShard.Shards != 1 || sat.TwoShard.Shards != 2 {
+		t.Errorf("topology shard counts = %d/%d, want 1/2", sat.OneShard.Shards, sat.TwoShard.Shards)
 	}
 }

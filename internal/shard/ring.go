@@ -1,0 +1,154 @@
+// Package shard is the scale-out layer of the obfuscation job service:
+// a consistent-hash ring that gives every content-addressed job key a
+// deterministic owner among N serve instances, and a router that fronts
+// those instances — proxying submissions to the owning shard, splitting
+// batch sweeps per shard, hedging slow reads against the next ring
+// replica, and ejecting unhealthy shards off the ring until they
+// recover.
+//
+// Placement is derived from the job keys the serve tier already uses
+// (hex SHA-256 of the canonical request plus the pipeline version), so
+// the router never needs shard-side coordination: any router instance
+// with the same member list computes the same owner for every key, and
+// a key's cache entry, job registry row and disk object all live on
+// exactly one shard.
+package shard
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// DefaultVirtualNodes is the per-member vnode count used when a Ring is
+// built with vnodes <= 0. 128 points per member keeps the expected load
+// imbalance across a handful of shards under a few percent while the
+// whole ring still fits in a couple of KB.
+const DefaultVirtualNodes = 128
+
+// point is one virtual node: a position on the 64-bit hash circle owned
+// by a member.
+type point struct {
+	hash   uint64
+	member int32 // index into Ring.members
+}
+
+// Ring is an immutable consistent-hash ring over a fixed member set.
+// Health is deliberately not the ring's concern: Owners returns every
+// member in deterministic preference order and the caller (the router)
+// skips the ones it currently considers dead, so ejection and rejoin
+// never move keys between healthy members.
+type Ring struct {
+	members []string
+	points  []point // sorted by hash
+	vnodes  int
+}
+
+// NewRing builds a ring over members (duplicates are dropped) with the
+// given number of virtual nodes per member (<= 0 means
+// DefaultVirtualNodes). The member order given does not matter: the
+// ring canonicalizes by sorting, so two routers configured with the
+// same set in any order place every key identically.
+func NewRing(members []string, vnodes int) (*Ring, error) {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	seen := map[string]bool{}
+	uniq := make([]string, 0, len(members))
+	for _, m := range members {
+		if m == "" {
+			return nil, fmt.Errorf("shard: empty ring member")
+		}
+		if !seen[m] {
+			seen[m] = true
+			uniq = append(uniq, m)
+		}
+	}
+	if len(uniq) == 0 {
+		return nil, fmt.Errorf("shard: ring needs at least one member")
+	}
+	sort.Strings(uniq)
+	r := &Ring{members: uniq, vnodes: vnodes}
+	r.points = make([]point, 0, len(uniq)*vnodes)
+	for mi, m := range uniq {
+		for v := 0; v < vnodes; v++ {
+			sum := sha256.Sum256([]byte(m + "#" + strconv.Itoa(v)))
+			r.points = append(r.points, point{
+				hash:   binary.BigEndian.Uint64(sum[:8]),
+				member: int32(mi),
+			})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// Tie-break on member so the sort (and thus placement) is total
+		// even in the astronomically unlikely event of a hash collision.
+		return r.points[a].member < r.points[b].member
+	})
+	return r, nil
+}
+
+// Members returns the ring's member set in canonical (sorted) order.
+func (r *Ring) Members() []string {
+	return append([]string(nil), r.members...)
+}
+
+// keyPoint maps a job key onto the hash circle. Job keys are the hex
+// SHA-256 content addresses the serve tier mints, so when the key
+// decodes as hex the placement comes literally from the first eight
+// bytes of that digest; anything else (a malformed id from a client)
+// is re-hashed so it still lands somewhere deterministic.
+func keyPoint(key string) uint64 {
+	if len(key) >= 16 {
+		if raw, err := hex.DecodeString(key[:16]); err == nil {
+			return binary.BigEndian.Uint64(raw)
+		}
+	}
+	sum := sha256.Sum256([]byte(key))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Owner returns the member that owns key: the member of the first
+// virtual node at or clockwise after the key's point on the circle.
+func (r *Ring) Owner(key string) string {
+	return r.members[r.ownerIndexes(key, 1)[0]]
+}
+
+// Owners returns up to n distinct members in preference order for key:
+// the owner first, then each subsequent distinct member found walking
+// the circle clockwise. The router uses position 0 as the primary and
+// position 1 as the hedge/failover replica; the order is deterministic
+// for a given member set, so retries and hedges are stable too.
+func (r *Ring) Owners(key string, n int) []string {
+	idx := r.ownerIndexes(key, n)
+	out := make([]string, len(idx))
+	for i, mi := range idx {
+		out[i] = r.members[mi]
+	}
+	return out
+}
+
+// ownerIndexes walks the circle clockwise from the key's point and
+// collects the first n distinct member indexes.
+func (r *Ring) ownerIndexes(key string, n int) []int32 {
+	if n <= 0 || n > len(r.members) {
+		n = len(r.members)
+	}
+	h := keyPoint(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]int32, 0, n)
+	seen := make(map[int32]bool, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.member] {
+			seen[p.member] = true
+			out = append(out, p.member)
+		}
+	}
+	return out
+}

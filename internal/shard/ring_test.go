@@ -1,0 +1,164 @@
+package shard
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"testing"
+)
+
+// testKeys returns n synthetic job keys shaped like the serve tier's
+// real ones: hex SHA-256 content addresses.
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		sum := sha256.Sum256([]byte(fmt.Sprintf("job-%d", i)))
+		keys[i] = hex.EncodeToString(sum[:])
+	}
+	return keys
+}
+
+func TestRingRejectsBadMembers(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("NewRing(nil) must fail")
+	}
+	if _, err := NewRing([]string{"a", ""}, 0); err == nil {
+		t.Fatal("NewRing with an empty member must fail")
+	}
+}
+
+func TestRingDeduplicatesMembers(t *testing.T) {
+	r, err := NewRing([]string{"b", "a", "b", "a"}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := r.Members()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Members() = %v, want [a b]", got)
+	}
+}
+
+// TestRingDeterministicAcrossOrder asserts the placement contract the
+// router relies on: two routers configured with the same shard set in
+// any order compute the same owner for every key.
+func TestRingDeterministicAcrossOrder(t *testing.T) {
+	members := []string{"10.0.0.1:8080", "10.0.0.2:8080", "10.0.0.3:8080", "10.0.0.4:8080"}
+	shuffled := []string{"10.0.0.3:8080", "10.0.0.1:8080", "10.0.0.4:8080", "10.0.0.2:8080"}
+	a, err := NewRing(members, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing(shuffled, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range testKeys(2000) {
+		if ao, bo := a.Owner(key), b.Owner(key); ao != bo {
+			t.Fatalf("key %s: owner %q vs %q across member orderings", key, ao, bo)
+		}
+	}
+}
+
+// TestRingOwnersDistinctAndStable asserts the preference list starts at
+// the owner, never repeats a member, and is capped at the member count.
+func TestRingOwnersDistinctAndStable(t *testing.T) {
+	r, err := NewRing([]string{"a", "b", "c"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range testKeys(500) {
+		owners := r.Owners(key, 0)
+		if len(owners) != 3 {
+			t.Fatalf("Owners(%s, 0) = %v, want all 3 members", key, owners)
+		}
+		if owners[0] != r.Owner(key) {
+			t.Fatalf("Owners[0] %q != Owner %q", owners[0], r.Owner(key))
+		}
+		seen := map[string]bool{}
+		for _, m := range owners {
+			if seen[m] {
+				t.Fatalf("Owners(%s) repeats %q: %v", key, m, owners)
+			}
+			seen[m] = true
+		}
+		if two := r.Owners(key, 2); len(two) != 2 || two[0] != owners[0] || two[1] != owners[1] {
+			t.Fatalf("Owners(%s, 2) = %v, want prefix of %v", key, two, owners)
+		}
+	}
+}
+
+// TestRingBalance asserts no shard owns a grossly unfair share of the
+// key space: with 128 vnodes per member every shard should land within
+// a factor of two of fair share over a large key sample.
+func TestRingBalance(t *testing.T) {
+	members := []string{"s1", "s2", "s3", "s4"}
+	r, err := NewRing(members, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	keys := testKeys(20000)
+	for _, key := range keys {
+		counts[r.Owner(key)]++
+	}
+	fair := float64(len(keys)) / float64(len(members))
+	for _, m := range members {
+		share := float64(counts[m])
+		if share < fair/2 || share > fair*2 {
+			t.Errorf("member %s owns %d keys, fair share %.0f (counts %v)", m, counts[m], fair, counts)
+		}
+	}
+}
+
+// TestRingRebalanceBound is the consistent-hashing property: growing
+// the ring from N to N+1 members reassigns roughly 1/(N+1) of the keys
+// and never moves a key between two pre-existing members.
+func TestRingRebalanceBound(t *testing.T) {
+	old := []string{"s1", "s2", "s3", "s4"}
+	grown := append(append([]string(nil), old...), "s5")
+	before, err := NewRing(old, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := NewRing(grown, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := testKeys(20000)
+	moved := 0
+	for _, key := range keys {
+		a, b := before.Owner(key), after.Owner(key)
+		if a == b {
+			continue
+		}
+		if b != "s5" {
+			t.Fatalf("key %s moved between pre-existing members %s -> %s", key, a, b)
+		}
+		moved++
+	}
+	frac := float64(moved) / float64(len(keys))
+	ideal := 1.0 / float64(len(grown))
+	if frac > ideal*1.5 {
+		t.Errorf("adding one member moved %.1f%% of keys, want <= ~%.1f%% (1/N with slack)",
+			100*frac, 100*ideal*1.5)
+	}
+	if moved == 0 {
+		t.Error("adding a member moved no keys at all")
+	}
+}
+
+// TestKeyPointHexAndFallback asserts both placement paths are
+// deterministic: a well-formed hex job key maps straight from its
+// digest bytes, and a malformed id still lands somewhere stable.
+func TestKeyPointHexAndFallback(t *testing.T) {
+	hexKey := "00ff00ff00ff00ff" + "aa"
+	if got, want := keyPoint(hexKey), uint64(0x00ff00ff00ff00ff); got != want {
+		t.Fatalf("keyPoint(hex) = %#x, want %#x", got, want)
+	}
+	if keyPoint("not-a-hex-id") != keyPoint("not-a-hex-id") {
+		t.Fatal("fallback placement must be deterministic")
+	}
+	if keyPoint("not-a-hex-id") == keyPoint("another-id") {
+		t.Fatal("distinct ids should land on distinct points")
+	}
+}

@@ -1,0 +1,578 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"obfuscade/internal/obs"
+	"obfuscade/internal/serve"
+)
+
+// fakeShard is a scripted stand-in for one serve instance: delays,
+// statuses and health are adjustable per test, and every submission is
+// recorded so split/merge placement can be asserted.
+type fakeShard struct {
+	addr string
+	srv  *httptest.Server
+
+	mu          sync.Mutex
+	readDelay   time.Duration
+	readStatus  int
+	readBody    string
+	postStatus  int
+	retryAfter  string
+	healthCode  int
+	batchStatus int
+	seeds       []int64 // seeds received via /jobs/batch, in arrival order
+}
+
+func newFakeShard(t *testing.T) *fakeShard {
+	t.Helper()
+	f := &fakeShard{readStatus: http.StatusOK, postStatus: http.StatusAccepted,
+		healthCode: http.StatusOK, batchStatus: http.StatusOK}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		f.mu.Lock()
+		code := f.healthCode
+		f.mu.Unlock()
+		w.WriteHeader(code)
+		io.WriteString(w, `{"status":"ok"}`)
+	})
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		delay, code, body := f.readDelay, f.readStatus, f.readBody
+		f.mu.Unlock()
+		if delay > 0 {
+			select {
+			case <-time.After(delay):
+			case <-r.Context().Done():
+				return // hedged loser: the router cancelled this attempt
+			}
+		}
+		w.WriteHeader(code)
+		io.WriteString(w, body)
+	})
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		code, ra := f.postStatus, f.retryAfter
+		f.mu.Unlock()
+		if ra != "" {
+			w.Header().Set("Retry-After", ra)
+		}
+		w.WriteHeader(code)
+		fmt.Fprintf(w, `{"shard":%q}`, f.addr)
+	})
+	mux.HandleFunc("POST /jobs/batch", func(w http.ResponseWriter, r *http.Request) {
+		var batch struct {
+			Jobs []serve.Request `json:"jobs"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&batch); err != nil {
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		f.mu.Lock()
+		code, ra := f.batchStatus, f.retryAfter
+		for _, j := range batch.Jobs {
+			f.seeds = append(f.seeds, j.Seed)
+		}
+		f.mu.Unlock()
+		if code != http.StatusOK {
+			if ra != "" {
+				w.Header().Set("Retry-After", ra)
+			}
+			w.WriteHeader(code)
+			return
+		}
+		results := make([]map[string]any, len(batch.Jobs))
+		for i, j := range batch.Jobs {
+			results[i] = map[string]any{"seed": j.Seed, "shard": f.addr}
+		}
+		json.NewEncoder(w).Encode(map[string]any{"results": results})
+	})
+	f.srv = httptest.NewServer(mux)
+	f.addr = trimScheme(f.srv.URL)
+	t.Cleanup(f.srv.Close)
+	return f
+}
+
+func (f *fakeShard) set(fn func(f *fakeShard)) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	fn(f)
+}
+
+// startTestRouter boots a router over the given fakes with probing
+// disabled unless a positive interval is passed.
+func startTestRouter(t *testing.T, probe time.Duration, hedge time.Duration, shards ...*fakeShard) *Router {
+	t.Helper()
+	addrs := make([]string, len(shards))
+	for i, f := range shards {
+		addrs[i] = f.addr
+	}
+	rt, err := StartRouter(RouterOptions{
+		Addr:          "127.0.0.1:0",
+		Shards:        addrs,
+		HedgeAfter:    hedge,
+		ProbeInterval: probe,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rt.Close() })
+	return rt
+}
+
+// byAddr resolves ring member addresses back to their fakes.
+func byAddr(t *testing.T, shards []*fakeShard, addr string) *fakeShard {
+	t.Helper()
+	for _, f := range shards {
+		if f.addr == addr {
+			return f
+		}
+	}
+	t.Fatalf("no fake shard at %s", addr)
+	return nil
+}
+
+func counterDelta(name string, fn func()) int64 {
+	c := obs.Default().Counter(name)
+	before := c.Value()
+	fn()
+	return c.Value() - before
+}
+
+// TestRouterHedgesSlowRead pins the hedging contract: once the owning
+// shard blows the latency budget, the duplicate read fired at the next
+// ring replica wins and the slow attempt is cancelled.
+func TestRouterHedgesSlowRead(t *testing.T) {
+	a, b := newFakeShard(t), newFakeShard(t)
+	shards := []*fakeShard{a, b}
+	rt := startTestRouter(t, -1, 25*time.Millisecond, a, b)
+
+	key := testKeys(1)[0]
+	owners := rt.Ring().Owners(key, 2)
+	primary, replica := byAddr(t, shards, owners[0]), byAddr(t, shards, owners[1])
+	primary.set(func(f *fakeShard) { f.readDelay = 2 * time.Second; f.readBody = "primary" })
+	replica.set(func(f *fakeShard) { f.readBody = "replica" })
+
+	var body string
+	var status int
+	elapsed := time.Now()
+	won := counterDelta("router.hedge.won", func() {
+		fired := counterDelta("router.hedge.fired", func() {
+			resp, err := http.Get(rt.URL() + "/jobs/" + key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			data, _ := io.ReadAll(resp.Body)
+			body, status = string(data), resp.StatusCode
+		})
+		if fired != 1 {
+			t.Fatalf("router.hedge.fired delta = %d, want 1", fired)
+		}
+	})
+	if status != http.StatusOK || body != "replica" {
+		t.Fatalf("hedged read: status %d body %q, want 200 from replica", status, body)
+	}
+	if won != 1 {
+		t.Fatalf("router.hedge.won delta = %d, want 1", won)
+	}
+	if d := time.Since(elapsed); d > time.Second {
+		t.Fatalf("hedged read took %v; the slow primary was not cut off", d)
+	}
+}
+
+// TestRouterHedgeDoesNotOverrideOwner asserts a fast non-2xx replica
+// answer (the replica has never seen the job) loses to the owner's
+// eventual success.
+func TestRouterHedgeDoesNotOverrideOwner(t *testing.T) {
+	a, b := newFakeShard(t), newFakeShard(t)
+	shards := []*fakeShard{a, b}
+	rt := startTestRouter(t, -1, 20*time.Millisecond, a, b)
+
+	key := testKeys(2)[1]
+	owners := rt.Ring().Owners(key, 2)
+	primary, replica := byAddr(t, shards, owners[0]), byAddr(t, shards, owners[1])
+	primary.set(func(f *fakeShard) { f.readDelay = 200 * time.Millisecond; f.readBody = "primary" })
+	replica.set(func(f *fakeShard) { f.readStatus = http.StatusNotFound; f.readBody = "nope" })
+
+	won := counterDelta("router.hedge.won", func() {
+		resp, err := http.Get(rt.URL() + "/jobs/" + key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK || string(data) != "primary" {
+			t.Fatalf("read: status %d body %q, want the owner's 200", resp.StatusCode, string(data))
+		}
+	})
+	if won != 0 {
+		t.Fatalf("router.hedge.won delta = %d, want 0 (owner answered)", won)
+	}
+}
+
+// TestRouterRetryAfterPassThrough asserts a shed shard's 429 and its
+// Retry-After hint surface unchanged at the router.
+func TestRouterRetryAfterPassThrough(t *testing.T) {
+	a := newFakeShard(t)
+	a.set(func(f *fakeShard) { f.postStatus = http.StatusTooManyRequests; f.retryAfter = "7" })
+	rt := startTestRouter(t, -1, -1, a)
+
+	resp, err := http.Post(rt.URL()+"/jobs?wait=1", "application/json", strings.NewReader(`{"seed": 5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "7" {
+		t.Fatalf("Retry-After = %q, want 7 passed through", got)
+	}
+}
+
+// seedOwnedBy hunts for a job seed whose cache key the ring places on
+// the given member.
+func seedOwnedBy(t *testing.T, rt *Router, member string) int64 {
+	t.Helper()
+	for seed := int64(0); seed < 4096; seed++ {
+		norm, err := serve.Request{Seed: seed}.Normalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rt.Ring().Owner(string(norm.CacheKey())) == member {
+			return seed
+		}
+	}
+	t.Fatal("no seed found for member ", member)
+	return 0
+}
+
+// TestRouterFailsOverDeadShard asserts a submission keyed to an
+// unreachable shard fails over to the next ring replica and the dead
+// shard is ejected.
+func TestRouterFailsOverDeadShard(t *testing.T) {
+	live := newFakeShard(t)
+	dead := "127.0.0.1:1" // nothing listens on port 1
+	rt, err := StartRouter(RouterOptions{
+		Addr:          "127.0.0.1:0",
+		Shards:        []string{live.addr, dead},
+		ProbeInterval: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	seed := seedOwnedBy(t, rt, dead)
+	ejected := counterDelta("router.shard.ejected", func() {
+		body := fmt.Sprintf(`{"seed": %d}`, seed)
+		resp, err := http.Post(rt.URL()+"/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("failover submit: status %d body %s", resp.StatusCode, data)
+		}
+		if !bytes.Contains(data, []byte(live.addr)) {
+			t.Fatalf("failover submit served by %s, want %s", data, live.addr)
+		}
+	})
+	if ejected != 1 {
+		t.Fatalf("router.shard.ejected delta = %d, want 1", ejected)
+	}
+}
+
+// TestRouterBatchSplitMerge asserts a batch is split per owning shard
+// and the per-item answers come back in submission order.
+func TestRouterBatchSplitMerge(t *testing.T) {
+	a, b := newFakeShard(t), newFakeShard(t)
+	shards := []*fakeShard{a, b}
+	rt := startTestRouter(t, -1, -1, a, b)
+
+	const n = 8
+	var jobs []string
+	owners := make([]string, n)
+	for seed := 0; seed < n; seed++ {
+		norm, err := serve.Request{Seed: int64(seed)}.Normalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		owners[seed] = rt.Ring().Owner(string(norm.CacheKey()))
+		jobs = append(jobs, fmt.Sprintf(`{"seed": %d}`, seed))
+	}
+	body := `{"jobs": [` + strings.Join(jobs, ",") + `]}`
+	resp, err := http.Post(rt.URL()+"/jobs/batch", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body)
+		t.Fatalf("batch: status %d body %s", resp.StatusCode, data)
+	}
+	var merged struct {
+		Results []struct {
+			Seed  int64  `json:"seed"`
+			Shard string `json:"shard"`
+		} `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&merged); err != nil {
+		t.Fatal(err)
+	}
+	if len(merged.Results) != n {
+		t.Fatalf("merged %d results, want %d", len(merged.Results), n)
+	}
+	split := false
+	for i, res := range merged.Results {
+		if res.Seed != int64(i) {
+			t.Fatalf("result %d carries seed %d; merge broke submission order", i, res.Seed)
+		}
+		if res.Shard != owners[i] {
+			t.Fatalf("result %d served by %s, ring owner is %s", i, res.Shard, owners[i])
+		}
+		if res.Shard != merged.Results[0].Shard {
+			split = true
+		}
+	}
+	if !split {
+		t.Skip("all 8 seeds landed on one shard; split not exercised (placement-dependent)")
+	}
+	// Each fake only ever saw seeds it owns.
+	for _, f := range shards {
+		f.mu.Lock()
+		got := append([]int64(nil), f.seeds...)
+		f.mu.Unlock()
+		for _, seed := range got {
+			if owners[seed] != f.addr {
+				t.Fatalf("shard %s received seed %d owned by %s", f.addr, seed, owners[seed])
+			}
+		}
+	}
+}
+
+// TestRouterBatchShed asserts one overloaded shard sheds the whole
+// batch with 429 and the largest Retry-After hint.
+func TestRouterBatchShed(t *testing.T) {
+	a, b := newFakeShard(t), newFakeShard(t)
+	rt := startTestRouter(t, -1, -1, a, b)
+
+	// Find one seed per shard so the batch genuinely splits.
+	seedA := seedOwnedBy(t, rt, a.addr)
+	seedB := seedOwnedBy(t, rt, b.addr)
+	byAddr(t, []*fakeShard{a, b}, b.addr).set(func(f *fakeShard) {
+		f.batchStatus = http.StatusTooManyRequests
+		f.retryAfter = "5"
+	})
+	body := fmt.Sprintf(`{"jobs": [{"seed": %d}, {"seed": %d}]}`, seedA, seedB)
+	resp, err := http.Post(rt.URL()+"/jobs/batch", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("sharded batch with one shed sub-batch: status %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "5" {
+		t.Fatalf("Retry-After = %q, want 5 passed through", got)
+	}
+}
+
+// TestRouterEjectsAndRejoins drives the active prober: a shard
+// answering 503 "draining" leaves the routing table and its keys fail
+// over; once it answers 200 again it rejoins.
+func TestRouterEjectsAndRejoins(t *testing.T) {
+	a, b := newFakeShard(t), newFakeShard(t)
+	shards := []*fakeShard{a, b}
+	rt := startTestRouter(t, 10*time.Millisecond, -1, a, b)
+
+	routerHealth := func() (int, map[string]string) {
+		resp, err := http.Get(rt.URL() + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body struct {
+			Healthy int               `json:"healthy"`
+			Shards  map[string]string `json:"shards"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		return body.Healthy, body.Shards
+	}
+	waitHealthy := func(want int) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			if got, _ := routerHealth(); got == want {
+				return
+			}
+			if time.Now().After(deadline) {
+				got, sh := routerHealth()
+				t.Fatalf("router never reached %d healthy shards (at %d: %v)", want, got, sh)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	waitHealthy(2)
+	victim := byAddr(t, shards, b.addr)
+	victim.set(func(f *fakeShard) { f.healthCode = http.StatusServiceUnavailable })
+	waitHealthy(1)
+
+	// A key owned by the drained shard now routes to the survivor.
+	seed := seedOwnedBy(t, rt, b.addr)
+	body := fmt.Sprintf(`{"seed": %d}`, seed)
+	resp, err := http.Post(rt.URL()+"/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || !bytes.Contains(data, []byte(a.addr)) {
+		t.Fatalf("drained-shard submit: status %d body %s, want 202 from %s", resp.StatusCode, data, a.addr)
+	}
+
+	victim.set(func(f *fakeShard) { f.healthCode = http.StatusOK })
+	waitHealthy(2)
+}
+
+// TestRouterTwoRealShards is the end-to-end check over real serve
+// instances: distinct jobs land on their ring owners exactly once, a
+// resubmission is a cache hit on the same shard, artifacts read back
+// through the router byte-identically, and a batch of already-computed
+// keys merges in order.
+func TestRouterTwoRealShards(t *testing.T) {
+	s1, err := serve.Start(serve.Options{Addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s1.Close()
+	s2, err := serve.Start(serve.Options{Addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	rt, err := StartRouter(RouterOptions{
+		Addr:          "127.0.0.1:0",
+		Shards:        []string{s1.Addr(), s2.Addr()},
+		ProbeInterval: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	servers := map[string]*serve.Server{s1.Addr(): s1, s2.Addr(): s2}
+	baseline := map[string]int64{}
+	for addr, s := range servers {
+		st := s.Service().CacheStats()
+		baseline[addr] = st.Misses
+	}
+
+	type status struct {
+		ID      string `json:"id"`
+		State   string `json:"state"`
+		Outcome string `json:"outcome"`
+		SHA     string `json:"stl_sha256"`
+	}
+	submit := func(seed int64) status {
+		t.Helper()
+		body := fmt.Sprintf(`{"seed": %d}`, seed)
+		resp, err := http.Post(rt.URL()+"/jobs?wait=1", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("submit seed %d: status %d body %s", seed, resp.StatusCode, data)
+		}
+		var st status
+		if err := json.Unmarshal(data, &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.State != "done" {
+			t.Fatalf("submit seed %d: state %q body %s", seed, st.State, data)
+		}
+		return st
+	}
+
+	seeds := []int64{1, 2, 3}
+	expectMisses := map[string]int64{}
+	first := map[int64]status{}
+	for _, seed := range seeds {
+		st := submit(seed)
+		if st.Outcome != "miss" {
+			t.Fatalf("first run of seed %d: outcome %q, want miss", seed, st.Outcome)
+		}
+		first[seed] = st
+		expectMisses[rt.Ring().Owner(st.ID)]++
+	}
+	// Key-stable placement: each shard computed exactly the keys it owns.
+	for addr, s := range servers {
+		got := s.Service().CacheStats().Misses - baseline[addr]
+		if got != expectMisses[addr] {
+			t.Fatalf("shard %s ran %d pipelines, ring assigns it %d", addr, got, expectMisses[addr])
+		}
+	}
+	// Resubmission: same id, served from the owner's cache.
+	for _, seed := range seeds {
+		st := submit(seed)
+		if st.Outcome != "hit" || st.ID != first[seed].ID || st.SHA != first[seed].SHA {
+			t.Fatalf("rerun of seed %d: outcome %q id %s, want hit of %s", seed, st.Outcome, st.ID, first[seed].ID)
+		}
+	}
+	// Artifact read through the router: bytes must hash to the digest.
+	id := first[seeds[0]].ID
+	resp, err := http.Get(rt.URL() + "/jobs/" + id + "/stl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stl, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(stl) == 0 {
+		t.Fatalf("STL read: status %d, %d bytes", resp.StatusCode, len(stl))
+	}
+	if got := resp.Header.Get("X-Stl-Sha256"); got != first[seeds[0]].SHA {
+		t.Fatalf("STL digest header %q, want %q", got, first[seeds[0]].SHA)
+	}
+	// Batch over warm keys: merged in submission order, all hits.
+	var jobs []string
+	for _, seed := range seeds {
+		jobs = append(jobs, fmt.Sprintf(`{"seed": %d}`, seed))
+	}
+	bresp, err := http.Post(rt.URL()+"/jobs/batch", "application/json",
+		strings.NewReader(`{"jobs": [`+strings.Join(jobs, ",")+`]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bresp.Body.Close()
+	var merged struct {
+		Results []status `json:"results"`
+	}
+	if err := json.NewDecoder(bresp.Body).Decode(&merged); err != nil {
+		t.Fatal(err)
+	}
+	if bresp.StatusCode != http.StatusOK || len(merged.Results) != len(seeds) {
+		t.Fatalf("batch: status %d, %d results", bresp.StatusCode, len(merged.Results))
+	}
+	for i, seed := range seeds {
+		if merged.Results[i].ID != first[seed].ID {
+			t.Fatalf("batch result %d is job %s, want %s (submission order)", i, merged.Results[i].ID, first[seed].ID)
+		}
+	}
+}

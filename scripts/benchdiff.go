@@ -7,9 +7,10 @@
 //
 //	go run ./scripts -baseline BENCH_baseline.json \
 //	    -current BENCH_obfuscade.json [-tolerance 0.30] [-max-serial-ratio 1.25] \
-//	    [-slicer-tolerance 0.30] [-throughput-tolerance 0.40] [-enforce-throughput]
+//	    [-slicer-tolerance 0.30] [-throughput-tolerance 0.40] [-enforce-throughput] \
+//	    [-require-multiproc] [-min-shard-scale 1.0] [-saturate-p99-tolerance 1.0]
 //
-// Four gates run:
+// Six gates run:
 //
 //  1. Regression: current parallel matrix wall time must not exceed
 //     baseline * (1 + tolerance). Absolute wall times differ across
@@ -21,7 +22,10 @@
 //     -max-serial-ratio. Skipped with a warning when either report was
 //     produced single-proc (GOMAXPROCS=1 or a 1-worker pool): a
 //     "parallel" run on one processor is just a serial run, so its
-//     speedup carries no signal.
+//     speedup carries no signal. Under -require-multiproc (the default
+//     when the CI env var is set) a single-proc report is itself a
+//     failure — the CI bench environment promises multi-proc runs, so a
+//     skip there means the environment regressed.
 //  3. Slicer throughput (enforced): layers/s must not drop more than
 //     -slicer-tolerance below the baseline. The indexed slicing kernels
 //     make this the one throughput number CI guards strictly.
@@ -29,6 +33,14 @@
 //     -throughput-tolerance below the baseline. Warn-only by default
 //     (throughput is noisier than wall time on shared CI runners);
 //     -enforce-throughput promotes the warnings to failures.
+//  5. Shard scale (machine-independent): the two-shard saturation
+//     topology must sustain more than -min-shard-scale times the
+//     one-shard req/s within the same report. Each shard is pinned to
+//     GOMAXPROCS=1 by paperbench, so this holds on any >=2-CPU host;
+//     skipped with a warning when the current host has one CPU.
+//  6. Saturation tail latency: the two-shard warm p99 must not exceed
+//     baseline * (1 + -saturate-p99-tolerance). Generous by default —
+//     sub-10ms tails are noisy across machines.
 //
 // Exit code 0 when the enforced gates pass, 1 on a regression or
 // unreadable input.
@@ -61,6 +73,26 @@ type benchReport struct {
 		Replicates          int64   `json:"replicates"`
 		ReplicatesPerSecond float64 `json:"replicates_per_second"`
 	} `json:"mech"`
+	NumCPU int `json:"num_cpu"`
+	Serve  struct {
+		Saturation struct {
+			Keys        int         `json:"keys"`
+			Requests    int         `json:"requests"`
+			Concurrency int         `json:"concurrency"`
+			OneShard    satTopology `json:"one_shard"`
+			TwoShard    satTopology `json:"two_shard"`
+		} `json:"saturation"`
+	} `json:"serve"`
+}
+
+// satTopology mirrors paperbench's per-topology saturation measurement.
+type satTopology struct {
+	Shards       int     `json:"shards"`
+	ColdSeconds  float64 `json:"cold_seconds"`
+	SustainedRPS float64 `json:"sustained_rps"`
+	P50Millis    float64 `json:"p50_ms"`
+	P99Millis    float64 `json:"p99_ms"`
+	HedgeFired   int64   `json:"hedge_fired"`
 }
 
 // gateOpts are the thresholds the gates evaluate against.
@@ -78,6 +110,16 @@ type gateOpts struct {
 	ThroughputTolerance float64
 	// EnforceThroughput promotes throughput warnings to failures.
 	EnforceThroughput bool
+	// RequireMultiProc turns a single-proc speedup-gate skip into a
+	// failure: the CI bench environment pins GOMAXPROCS>1, so a
+	// single-proc report there means the environment regressed.
+	RequireMultiProc bool
+	// MinShardScale is the factor by which the two-shard saturation
+	// topology must beat the one-shard one on sustained req/s.
+	MinShardScale float64
+	// SaturateP99Tolerance is the allowed fractional regression of the
+	// two-shard warm p99 versus the baseline.
+	SaturateP99Tolerance float64
 }
 
 // gateResult is the outcome of one evaluate pass: failures gate the exit
@@ -110,9 +152,15 @@ func evaluate(base, cur benchReport, opts gateOpts) gateResult {
 	}
 	switch {
 	case singleProc(base) || singleProc(cur):
-		res.Warnings = append(res.Warnings, fmt.Sprintf(
+		msg := fmt.Sprintf(
 			"pool-sanity (speedup) gate skipped: single-proc report (baseline gomaxprocs=%d workers=%d, current gomaxprocs=%d workers=%d)",
-			base.GOMAXPROCS, base.Matrix.Workers, cur.GOMAXPROCS, cur.Matrix.Workers))
+			base.GOMAXPROCS, base.Matrix.Workers, cur.GOMAXPROCS, cur.Matrix.Workers)
+		if opts.RequireMultiProc {
+			res.Failures = append(res.Failures,
+				"multi-proc required but "+msg+"; fix the bench environment (set GOMAXPROCS>1) rather than skipping")
+		} else {
+			res.Warnings = append(res.Warnings, msg)
+		}
 	case cur.Matrix.ParallelSeconds > cur.Matrix.SerialSeconds*opts.MaxSerialRatio:
 		res.Failures = append(res.Failures, fmt.Sprintf(
 			"parallel matrix (%.3fs) slower than %.2fx the serial run (%.3fs) on %d CPUs",
@@ -147,6 +195,42 @@ func evaluate(base, cur benchReport, opts gateOpts) gateResult {
 		}
 	}
 	throughput("mech replicates", base.Mech.ReplicatesPerSecond, cur.Mech.ReplicatesPerSecond)
+
+	// Shard-scale gate: compares the two topologies inside the *current*
+	// report, so it is machine-independent — both columns ran on the same
+	// host minutes apart. Each shard is GOMAXPROCS=1-pinned, so the only
+	// way two shards fail to beat one on a multi-CPU host is a routing or
+	// serving regression.
+	sat := cur.Serve.Saturation
+	switch {
+	case sat.TwoShard.SustainedRPS <= 0 || sat.OneShard.SustainedRPS <= 0:
+		if opts.RequireMultiProc {
+			res.Failures = append(res.Failures,
+				"shard-scale gate: current report carries no saturation data; the CI bench must run paperbench -exp bench with the serve.saturation section")
+		} else {
+			res.Warnings = append(res.Warnings,
+				"shard-scale gate skipped: no saturation data in the current report")
+		}
+	case cur.NumCPU < 2:
+		res.Warnings = append(res.Warnings, fmt.Sprintf(
+			"shard-scale gate skipped: host has %d CPU; two single-proc shards cannot outrun one", cur.NumCPU))
+	case sat.TwoShard.SustainedRPS <= sat.OneShard.SustainedRPS*opts.MinShardScale:
+		res.Failures = append(res.Failures, fmt.Sprintf(
+			"two-shard saturation %.0f req/s does not beat one shard %.0f req/s x %.2f (scale %.2fx)",
+			sat.TwoShard.SustainedRPS, sat.OneShard.SustainedRPS, opts.MinShardScale,
+			sat.TwoShard.SustainedRPS/sat.OneShard.SustainedRPS))
+	}
+
+	// Saturation tail-latency gate: cross-machine like the wall-time
+	// gates, hence the generous default tolerance.
+	if basep99 := base.Serve.Saturation.TwoShard.P99Millis; basep99 > 0 && sat.TwoShard.P99Millis > 0 {
+		limit := basep99 * (1 + opts.SaturateP99Tolerance)
+		if sat.TwoShard.P99Millis > limit {
+			res.Failures = append(res.Failures, fmt.Sprintf(
+				"two-shard warm p99 %.2fms exceeds baseline %.2fms + %.0f%% tolerance (limit %.2fms)",
+				sat.TwoShard.P99Millis, basep99, 100*opts.SaturateP99Tolerance, limit))
+		}
+	}
 	return res
 }
 
@@ -180,6 +264,12 @@ func main() {
 	slicerTol := flag.Float64("slicer-tolerance", 0.30, "allowed fractional drop in slicer layers/s (always enforced)")
 	throughputTol := flag.Float64("throughput-tolerance", 0.40, "allowed fractional drop in mech replicates/s")
 	enforceThroughput := flag.Bool("enforce-throughput", false, "fail (instead of warn) when a throughput gate trips")
+	requireMultiProc := flag.Bool("require-multiproc", os.Getenv("CI") != "",
+		"fail (instead of warn) when a report is single-proc or lacks saturation data (default: on when $CI is set)")
+	minShardScale := flag.Float64("min-shard-scale", 1.0,
+		"two-shard saturation req/s must beat one-shard by this factor (>=2-CPU hosts only)")
+	satP99Tol := flag.Float64("saturate-p99-tolerance", 1.0,
+		"allowed fractional regression of the two-shard warm p99 vs baseline")
 	flag.Parse()
 
 	base, err := load(*baseline)
@@ -202,13 +292,19 @@ func main() {
 	row("slicer layers/s", base.Slicer.LayersPerSecond, cur.Slicer.LayersPerSecond, " ")
 	row("slicer index build", base.Slicer.IndexBuildSeconds, cur.Slicer.IndexBuildSeconds, "s")
 	row("mech replicates/s", base.Mech.ReplicatesPerSecond, cur.Mech.ReplicatesPerSecond, " ")
+	row("saturate 1-shard req/s", base.Serve.Saturation.OneShard.SustainedRPS, cur.Serve.Saturation.OneShard.SustainedRPS, " ")
+	row("saturate 2-shard req/s", base.Serve.Saturation.TwoShard.SustainedRPS, cur.Serve.Saturation.TwoShard.SustainedRPS, " ")
+	row("saturate 2-shard p99", base.Serve.Saturation.TwoShard.P99Millis, cur.Serve.Saturation.TwoShard.P99Millis, "ms")
 
 	res := evaluate(base, cur, gateOpts{
-		Tolerance:           *tolerance,
-		MaxSerialRatio:      *maxSerialRatio,
-		SlicerTolerance:     *slicerTol,
-		ThroughputTolerance: *throughputTol,
-		EnforceThroughput:   *enforceThroughput,
+		Tolerance:            *tolerance,
+		MaxSerialRatio:       *maxSerialRatio,
+		SlicerTolerance:      *slicerTol,
+		ThroughputTolerance:  *throughputTol,
+		EnforceThroughput:    *enforceThroughput,
+		RequireMultiProc:     *requireMultiProc,
+		MinShardScale:        *minShardScale,
+		SaturateP99Tolerance: *satP99Tol,
 	})
 	for _, w := range res.Warnings {
 		fmt.Fprintln(os.Stderr, "benchdiff: WARN:", w)

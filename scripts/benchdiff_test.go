@@ -16,10 +16,19 @@ func report(parallel, serial float64, procs int, layersPS, repsPS float64) bench
 	r.Matrix.Workers = 8
 	r.Slicer.LayersPerSecond = layersPS
 	r.Mech.ReplicatesPerSecond = repsPS
+	// Healthy saturation defaults: two shards beat one on a multi-CPU
+	// host with a sane tail. Individual tests mutate these to trip the
+	// shard gates.
+	r.NumCPU = 8
+	r.Serve.Saturation.OneShard = satTopology{Shards: 1, SustainedRPS: 1000, P99Millis: 4.0}
+	r.Serve.Saturation.TwoShard = satTopology{Shards: 2, SustainedRPS: 1900, P99Millis: 5.0}
 	return r
 }
 
-var defaultOpts = gateOpts{Tolerance: 0.30, MaxSerialRatio: 1.25, SlicerTolerance: 0.30, ThroughputTolerance: 0.40}
+var defaultOpts = gateOpts{
+	Tolerance: 0.30, MaxSerialRatio: 1.25, SlicerTolerance: 0.30, ThroughputTolerance: 0.40,
+	MinShardScale: 1.0, SaturateP99Tolerance: 1.0,
+}
 
 func TestEvaluatePasses(t *testing.T) {
 	base := report(1.0, 4.0, 8, 1000, 500)
@@ -157,6 +166,91 @@ func TestEvaluateThroughputZeroBaselineSkipped(t *testing.T) {
 	if !res.ok() || len(res.Warnings) != 0 {
 		t.Fatalf("zero baselines must be skipped: failures=%v warnings=%v",
 			res.Failures, res.Warnings)
+	}
+}
+
+// Under -require-multiproc the single-proc skip becomes a failure: the
+// CI bench environment promises GOMAXPROCS>1, so a single-proc report
+// there means the environment itself regressed.
+func TestEvaluateRequireMultiProcFailsSingleProc(t *testing.T) {
+	base := report(1.0, 4.0, 8, 1000, 500)
+	cur := report(1.0, 4.0, 8, 1000, 500)
+	cur.GOMAXPROCS = 1
+	opts := defaultOpts
+	opts.RequireMultiProc = true
+	res := evaluate(base, cur, opts)
+	if res.ok() {
+		t.Fatal("require-multiproc must fail a single-proc report")
+	}
+	found := false
+	for _, f := range res.Failures {
+		if strings.Contains(f, "multi-proc required") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("want a multi-proc-required failure, got %v", res.Failures)
+	}
+}
+
+// The shard-scale gate compares the two saturation topologies inside the
+// current report: two GOMAXPROCS=1 shards must beat one on a multi-CPU
+// host, and the gate must skip (not fail) on a 1-CPU host where the
+// comparison is physically meaningless.
+func TestEvaluateShardScaleGate(t *testing.T) {
+	base := report(1.0, 4.0, 8, 1000, 500)
+	cur := report(1.0, 4.0, 8, 1000, 500)
+	cur.Serve.Saturation.TwoShard.SustainedRPS = 950 // below one-shard's 1000
+	res := evaluate(base, cur, defaultOpts)
+	if res.ok() || !strings.Contains(res.Failures[0], "does not beat one shard") {
+		t.Fatalf("want shard-scale failure, got failures=%v", res.Failures)
+	}
+
+	cur.NumCPU = 1
+	res = evaluate(base, cur, defaultOpts)
+	if !res.ok() {
+		t.Fatalf("1-CPU host must skip the shard-scale gate: %v", res.Failures)
+	}
+	if len(res.Warnings) != 1 || !strings.Contains(res.Warnings[0], "shard-scale gate skipped") {
+		t.Fatalf("want one skip warning, got %v", res.Warnings)
+	}
+}
+
+// A current report with no saturation section warns by default but fails
+// under -require-multiproc: CI must not silently lose the benchmark.
+func TestEvaluateMissingSaturation(t *testing.T) {
+	base := report(1.0, 4.0, 8, 1000, 500)
+	cur := report(1.0, 4.0, 8, 1000, 500)
+	cur.Serve.Saturation.OneShard = satTopology{}
+	cur.Serve.Saturation.TwoShard = satTopology{}
+	res := evaluate(base, cur, defaultOpts)
+	if !res.ok() || len(res.Warnings) != 1 || !strings.Contains(res.Warnings[0], "no saturation data") {
+		t.Fatalf("want one no-data warning, got failures=%v warnings=%v", res.Failures, res.Warnings)
+	}
+	opts := defaultOpts
+	opts.RequireMultiProc = true
+	res = evaluate(base, cur, opts)
+	if res.ok() || !strings.Contains(res.Failures[0], "no saturation data") {
+		t.Fatalf("require-multiproc must fail on missing saturation: %v", res.Failures)
+	}
+}
+
+// The saturation tail-latency gate fails when the two-shard warm p99
+// blows past baseline * (1 + tolerance), and skips when the baseline
+// predates the saturation benchmark.
+func TestEvaluateSaturateP99Gate(t *testing.T) {
+	base := report(1.0, 4.0, 8, 1000, 500)
+	cur := report(1.0, 4.0, 8, 1000, 500)
+	cur.Serve.Saturation.TwoShard.P99Millis = base.Serve.Saturation.TwoShard.P99Millis*2 + 1
+	res := evaluate(base, cur, defaultOpts)
+	if res.ok() || !strings.Contains(res.Failures[0], "warm p99") {
+		t.Fatalf("want p99 failure, got failures=%v", res.Failures)
+	}
+
+	base.Serve.Saturation.TwoShard.P99Millis = 0 // pre-saturation baseline
+	res = evaluate(base, cur, defaultOpts)
+	if !res.ok() {
+		t.Fatalf("zero-p99 baseline must skip the gate: %v", res.Failures)
 	}
 }
 

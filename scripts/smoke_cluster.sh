@@ -1,0 +1,159 @@
+#!/usr/bin/env bash
+# Cluster smoke test for the sharded serve tier: boot two `obfuscade
+# serve` shards and one `-route-to` router in fresh processes, and
+# assert
+#
+#   - 12 distinct jobs submitted through the router all complete, and
+#     the per-shard obfuscade_serve_jobs_completed_total counters sum to
+#     exactly 12 with both shards doing work
+#   - placement is key-stable: resubmitting all 12 jobs yields 12 cache
+#     hits and zero new pipeline completions on either shard — every key
+#     was routed back to the shard that computed it
+#   - after SIGKILLing one shard the router ejects it (healthz drops to
+#     one healthy shard, router.shard.ejected fires) and every key is
+#     still servable through failover to the survivor
+#   - a burst past the survivor's -max-queue sheds 429s whose
+#     Retry-After header passes through the router untouched
+#
+# Fresh processes mean each shard has its own metrics registry, so the
+# per-shard counter values are exact (in-process tests share the global
+# registry and cannot assert this).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+workdir="$(mktemp -d)"
+# A single trap owns every process this script starts: shards, the
+# router, and any still-running burst curls. Mid-script assertion
+# failures (set -e) must never leak a background server.
+cleanup() {
+    local running
+    running="$(jobs -pr)"
+    if [ -n "$running" ]; then
+        # shellcheck disable=SC2086
+        kill $running 2>/dev/null || true
+    fi
+    wait 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+fail() { echo "smoke_cluster: FAIL: $*" >&2; exit 1; }
+
+go build -o "$workdir/obfuscade" ./cmd/obfuscade
+
+start_node() { # start_node <addr-file> <extra flags...>; sets last_pid
+    local addr_file="$1"; shift
+    "$workdir/obfuscade" serve -addr 127.0.0.1:0 -addr-file "$addr_file" "$@" &
+    last_pid=$!
+    for _ in $(seq 1 100); do
+        [ -s "$addr_file" ] && break
+        kill -0 "$last_pid" 2>/dev/null || fail "node died during startup ($addr_file)"
+        sleep 0.1
+    done
+    [ -s "$addr_file" ] || fail "node never wrote its address ($addr_file)"
+}
+
+metric() { # metric <host:port> <counter name> — 0 when absent
+    local v
+    v="$(curl -sf "http://$1/metrics" | awk -v n="$2" '$1 == n {print $2}')"
+    echo "${v:-0}"
+}
+
+start_node "$workdir/s1.addr" -max-queue 1
+s1_pid=$last_pid
+s1="$(tr -d '[:space:]' < "$workdir/s1.addr")"
+start_node "$workdir/s2.addr" -max-queue 1
+s2="$(tr -d '[:space:]' < "$workdir/s2.addr")"
+start_node "$workdir/router.addr" -route-to "$s1,$s2" -probe-interval 100ms
+router="http://$(tr -d '[:space:]' < "$workdir/router.addr")"
+
+submit() { # submit <seed> — prints the response body, fails on curl error
+    curl -sf -X POST -H 'Content-Type: application/json' \
+        -d "{\"seed\": $1}" "$router/jobs?wait=1"
+}
+
+# ---- placement: every key computes on exactly one shard --------------
+
+seeds="$(seq 201 212)"
+first_id=""
+for seed in $seeds; do
+    r="$(submit "$seed")"
+    [ "$(echo "$r" | jq -r .state)" = done ] || fail "seed $seed: $r"
+    [ "$(echo "$r" | jq -r .outcome)" = miss ] || fail "seed $seed must be a cold miss: $r"
+    [ -n "$first_id" ] || first_id="$(echo "$r" | jq -r .id)"
+done
+
+c1="$(metric "$s1" obfuscade_serve_jobs_completed_total)"
+c2="$(metric "$s2" obfuscade_serve_jobs_completed_total)"
+[ $((c1 + c2)) -eq 12 ] || fail "completions across shards = $c1 + $c2, want 12"
+[ "$c1" -ge 1 ] && [ "$c2" -ge 1 ] \
+    || fail "placement sent all 12 keys to one shard ($c1 / $c2); the ring is not spreading"
+
+# Key-stable placement: resubmitting every key must hit the cache of
+# the shard that computed it. Any placement drift shows up as a fresh
+# pipeline completion.
+for seed in $seeds; do
+    r="$(submit "$seed")"
+    [ "$(echo "$r" | jq -r .outcome)" = hit ] || fail "seed $seed resubmission must hit: $r"
+done
+c1_after="$(metric "$s1" obfuscade_serve_jobs_completed_total)"
+c2_after="$(metric "$s2" obfuscade_serve_jobs_completed_total)"
+[ "$c1_after" -eq "$c1" ] && [ "$c2_after" -eq "$c2" ] \
+    || fail "resubmission recomputed: completions $c1/$c2 -> $c1_after/$c2_after"
+h1="$(metric "$s1" obfuscade_cache_hits_total)"
+h2="$(metric "$s2" obfuscade_cache_hits_total)"
+[ $((h1 + h2)) -eq 12 ] || fail "cache hits across shards = $h1 + $h2, want 12"
+
+# ---- failover: kill a shard, the cluster keeps serving ---------------
+
+kill -9 "$s1_pid"
+
+# The router's health prober (100ms period) ejects the dead shard.
+healthy=""
+for _ in $(seq 1 50); do
+    healthy="$(curl -s "$router/healthz" | jq -r '.healthy // 0')"
+    [ "$healthy" = 1 ] && break
+    sleep 0.1
+done
+[ "$healthy" = 1 ] || fail "router never ejected the killed shard (healthy=$healthy)"
+ejected="$(metric "${router#http://}" obfuscade_router_shard_ejected_total)"
+[ "$ejected" -ge 1 ] || fail "router.shard.ejected never fired"
+
+# Every key is still servable: keys owned by the dead shard fail over
+# to the survivor (recomputed there), the rest stay cache hits.
+for seed in $seeds; do
+    r="$(submit "$seed")"
+    [ "$(echo "$r" | jq -r .state)" = done ] || fail "seed $seed after failover: $r"
+done
+# Reads fail over too: the first job's STL is reachable whichever shard
+# originally owned it.
+curl -sf "$router/jobs/$first_id/stl" -o /dev/null \
+    || fail "STL read for $first_id failed after shard death"
+
+# ---- shed pass-through: 429 + Retry-After survive the router ---------
+
+burst_pids=()
+for i in $(seq 1 8); do
+    curl -s -o "$workdir/shed_body_$i" -D "$workdir/shed_hdr_$i" \
+        -w '%{http_code}' -X POST -H 'Content-Type: application/json' \
+        -d "{\"seed\": $((300 + i))}" "$router/jobs?wait=1" > "$workdir/shed_code_$i" &
+    burst_pids+=($!)
+done
+wait "${burst_pids[@]}"
+shed=0 served=0
+for i in $(seq 1 8); do
+    code="$(cat "$workdir/shed_code_$i")"
+    case "$code" in
+    429)
+        grep -qi '^Retry-After:' "$workdir/shed_hdr_$i" \
+            || fail "429 through the router lost Retry-After: $(cat "$workdir/shed_hdr_$i")"
+        shed=$((shed + 1))
+        ;;
+    200) served=$((served + 1)) ;;
+    *) fail "burst job $i: unexpected status $code: $(cat "$workdir/shed_body_$i")" ;;
+    esac
+done
+[ "$shed" -ge 1 ] || fail "burst of 8 against -max-queue 1 shed nothing through the router"
+[ "$served" -ge 1 ] || fail "shedding served nothing at all"
+
+echo "smoke_cluster: OK (placement $c1/$c2, 12 stable hits, failover after kill, $shed shed / $served served)"

@@ -24,13 +24,19 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 workdir="$(mktemp -d)"
 server_pid=""
+# A single trap owns every background process — the server plus any
+# still-running burst curls — so a mid-script assertion failure
+# (set -e) never leaks one. Waiting lets the server's drain finish
+# before the cache directory is deleted out from under it, or rm races
+# the journal compaction.
 cleanup() {
-    if [ -n "$server_pid" ]; then
-        kill "$server_pid" 2>/dev/null || true
-        # Let the drain finish before deleting its cache directory out
-        # from under it, or rm races the journal compaction.
-        wait "$server_pid" 2>/dev/null || true
+    local running
+    running="$(jobs -pr)"
+    if [ -n "$running" ]; then
+        # shellcheck disable=SC2086
+        kill $running 2>/dev/null || true
     fi
+    wait 2>/dev/null || true
     rm -rf "$workdir"
 }
 trap cleanup EXIT
