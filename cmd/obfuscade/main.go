@@ -13,10 +13,12 @@
 //	obfuscade mark -in part.stl -out marked.stl -key partner-a
 //	obfuscade trace -original part.stl -suspect leaked.stl -keys partner-a,partner-b
 //	obfuscade stats [-with-sphere] [-format text|json] [-workers N]
+//	obfuscade stats -cluster http://router:port [-format text|json]
 //	obfuscade serve [-addr host:port] [-cache-bytes N] [-job-timeout D]
-//	                [-drain-timeout D] [-manifest-out file] [-workers N]
+//	                [-drain-timeout D] [-manifest-out file] [-access-log file] [-workers N]
 //	obfuscade serve -route-to shard1:port,shard2:port,... [-addr host:port]
-//	                [-vnodes N] [-hedge-after D] [-probe-interval D]
+//	                [-vnodes N] [-hedge-after D] [-probe-interval D] [-access-log file]
+//	obfuscade trace-merge -out merged.json [name=]journal.ndjson ...
 //
 // serve runs the long-lived obfuscation job service: POST /jobs accepts
 // a JSON request (part, resolution, orientation, restore_sphere, seed,
@@ -33,6 +35,16 @@
 // next ring replica after -hedge-after, and shards failing /healthz
 // probes (every -probe-interval) are ejected from routing until they
 // recover. 429 shed responses pass through with their Retry-After.
+//
+// Cluster observability: every routed request carries X-Obfuscade-Trace
+// and X-Request-ID across the router→shard boundary, so per-process
+// trace journals (/trace.ndjson on each node) stitch into one Chrome
+// trace with trace-merge, and -access-log NDJSON lines correlate across
+// tiers by request ID. The router federates its shards' metrics at
+// /cluster/metrics.json and /cluster/metrics (Prometheus text, shard
+// label per series, cluster sums under obfuscade_cluster_) and reports
+// ring membership at /cluster/ring; `obfuscade stats -cluster <url>`
+// renders the federated view from the command line.
 //
 // The manufacture, matrix and keyspace subcommands accept -stats to print
 // the per-stage pipeline metrics (package obs) after their output, plus
@@ -51,7 +63,10 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -150,6 +165,8 @@ func main() {
 		err = cmdStats(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "trace-merge":
+		err = cmdTraceMerge(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 		return
@@ -164,7 +181,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: obfuscade <protect|manufacture|matrix|keyspace|advise|mark|trace|stats|serve> [flags]
+	fmt.Fprintln(os.Stderr, `usage: obfuscade <protect|manufacture|matrix|keyspace|advise|mark|trace|stats|serve|trace-merge> [flags]
 run "obfuscade <subcommand> -h" for flags`)
 }
 
@@ -424,12 +441,15 @@ func printKeySpace(rep core.KeySpaceReport) {
 // cmdStats runs a full quality-matrix pass on the reference protected bar
 // and emits the pipeline metrics snapshot — JSON by default (the
 // machine-readable form consumed by dashboards and the determinism tests),
-// or the human tables of -stats with -format text.
+// or the human tables of -stats with -format text. With -cluster it runs
+// nothing locally: it asks a router's /cluster/metrics.json for the
+// federated view and renders per-shard plus cluster-wide metrics.
 func cmdStats(args []string) error {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
 	withSphere := fs.Bool("with-sphere", false, "embed the sphere feature too (doubles the key space)")
 	format := fs.String("format", "json", "output format: text (human tables) or json (machine-readable snapshot)")
 	table := fs.Bool("table", false, "deprecated alias for -format text")
+	cluster := fs.String("cluster", "", "render the federated metrics of the router at this base URL instead of running locally")
 	setWorkers := workersFlag(fs)
 	startDebug, finishDebug := debugFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -441,6 +461,9 @@ func cmdStats(args []string) error {
 	}
 	if *format != "text" && *format != "json" {
 		return fmt.Errorf("stats: unknown -format %q (want text or json)", *format)
+	}
+	if *cluster != "" {
+		return clusterStats(*cluster, *format)
 	}
 	if err := startDebug(); err != nil {
 		return err
@@ -465,6 +488,58 @@ func cmdStats(args []string) error {
 	}
 	os.Stdout.Write(data)
 	fmt.Println()
+	return nil
+}
+
+// clusterStats fetches a router's federated metrics and renders them.
+// JSON passes the router's body through verbatim; text renders each
+// shard's counter table followed by the cluster-wide view, flagging a
+// stale (partial) scrape loudly.
+func clusterStats(baseURL, format string) error {
+	url := strings.TrimRight(baseURL, "/") + "/cluster/metrics.json"
+	resp, err := http.Get(url)
+	if err != nil {
+		return fmt.Errorf("stats: scraping %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("stats: %s answered %d: %s", url, resp.StatusCode, body)
+	}
+	if format == "json" {
+		os.Stdout.Write(body)
+		fmt.Println()
+		return nil
+	}
+	var view struct {
+		Cluster obs.Snapshot            `json:"cluster"`
+		Shards  map[string]obs.Snapshot `json:"shards"`
+		Errors  map[string]string       `json:"errors"`
+		Stale   bool                    `json:"stale"`
+	}
+	if err := json.Unmarshal(body, &view); err != nil {
+		return fmt.Errorf("stats: decoding federated view: %w", err)
+	}
+	addrs := make([]string, 0, len(view.Shards))
+	for addr := range view.Shards {
+		addrs = append(addrs, addr)
+	}
+	sort.Strings(addrs)
+	for _, addr := range addrs {
+		fmt.Printf("== shard %s ==\n", addr)
+		view.Shards[addr].WriteText(os.Stdout)
+	}
+	fmt.Printf("== cluster (%d shards) ==\n", len(view.Shards))
+	view.Cluster.WriteText(os.Stdout)
+	if view.Stale {
+		fmt.Printf("WARNING: partial scrape, sums undercount the cluster:\n")
+		for addr, msg := range view.Errors {
+			fmt.Printf("  %s: %s\n", addr, msg)
+		}
+	}
 	return nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strings"
@@ -29,6 +30,7 @@ func cmdServe(args []string) error {
 	jobTimeout := fs.Duration("job-timeout", 2*time.Minute, "default per-job pipeline deadline (0 = none)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
 	manifestOut := fs.String("manifest-out", "", "write provenance manifests (NDJSON) to this file on shutdown")
+	accessLog := fs.String("access-log", "", "write one NDJSON access-log line per request to this file ('-' = stderr)")
 	addrFile := fs.String("addr-file", "", "write the bound listen address to this file once serving")
 	routeTo := fs.String("route-to", "", "run as a router over these comma-separated shard addresses instead of serving jobs locally")
 	vnodes := fs.Int("vnodes", 0, "router: virtual nodes per shard on the consistent-hash ring (0 = default)")
@@ -40,8 +42,16 @@ func cmdServe(args []string) error {
 	}
 	setWorkers()
 
+	accessW, accessFile, err := openAccessLog(*accessLog)
+	if err != nil {
+		return err
+	}
+	if accessFile != nil {
+		defer accessFile.Close()
+	}
+
 	if *routeTo != "" {
-		return runRouter(*routeTo, *addr, *addrFile, *vnodes, *hedgeAfter, *probeInterval, *drainTimeout)
+		return runRouter(*routeTo, *addr, *addrFile, *vnodes, *hedgeAfter, *probeInterval, *drainTimeout, accessW)
 	}
 
 	opts := serve.Options{
@@ -51,6 +61,7 @@ func cmdServe(args []string) error {
 		DiskCacheBytes: *cacheDiskBytes,
 		MaxQueue:       *maxQueue,
 		JobTimeout:     *jobTimeout,
+		AccessLog:      accessW,
 	}
 	var manifestFile *os.File
 	if *manifestOut != "" {
@@ -93,11 +104,29 @@ func cmdServe(args []string) error {
 	return nil
 }
 
+// openAccessLog resolves the -access-log flag: "" disables logging,
+// "-" targets stderr, anything else creates (or truncates) the file.
+// The *os.File is non-nil only when the caller must close it.
+func openAccessLog(path string) (io.Writer, *os.File, error) {
+	switch path {
+	case "":
+		return nil, nil, nil
+	case "-":
+		return os.Stderr, nil, nil
+	default:
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		return f, f, nil
+	}
+}
+
 // runRouter is `obfuscade serve -route-to=...`: a thin consistent-hash
 // router over N shard instances. It runs no pipeline and owns no cache;
 // it places every job key on its owning shard, splits batches per
 // shard, hedges slow reads, and ejects unhealthy shards off the ring.
-func runRouter(routeTo, addr, addrFile string, vnodes int, hedgeAfter, probeInterval, drainTimeout time.Duration) error {
+func runRouter(routeTo, addr, addrFile string, vnodes int, hedgeAfter, probeInterval, drainTimeout time.Duration, accessLog io.Writer) error {
 	var shards []string
 	for _, s := range strings.Split(routeTo, ",") {
 		if s = strings.TrimSpace(s); s != "" {
@@ -110,6 +139,7 @@ func runRouter(routeTo, addr, addrFile string, vnodes int, hedgeAfter, probeInte
 		VirtualNodes:  vnodes,
 		HedgeAfter:    hedgeAfter,
 		ProbeInterval: probeInterval,
+		AccessLog:     accessLog,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"obfuscade/internal/trace"
+)
+
+// cmdTraceMerge is `obfuscade trace-merge`: stitch the NDJSON trace
+// journals of N cluster processes (router and shards, each downloaded
+// from its /trace.ndjson endpoint) into one Chrome trace with one
+// process lane per journal, viewable in Perfetto or chrome://tracing.
+//
+//	obfuscade trace-merge -out cluster.json \
+//	    router=router.ndjson shard-0=s0.ndjson shard-1=s1.ndjson
+//
+// Each positional argument is a journal path, optionally prefixed with
+// "name=" to override the lane name; without an override the journal's
+// own meta line names the lane. Timestamps are re-anchored onto one
+// timeline using each journal's recorded epoch.
+func cmdTraceMerge(args []string) error {
+	fs := flag.NewFlagSet("trace-merge", flag.ExitOnError)
+	out := fs.String("out", "cluster_trace.json", "output Chrome trace file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("trace-merge: no journals given (usage: obfuscade trace-merge -out merged.json [name=]file.ndjson ...)")
+	}
+	inputs := make([]trace.MergeInput, 0, fs.NArg())
+	files := make([]*os.File, 0, fs.NArg())
+	defer func() {
+		for _, f := range files {
+			f.Close()
+		}
+	}()
+	for _, arg := range fs.Args() {
+		name, path := "", arg
+		if i := strings.IndexByte(arg, '='); i > 0 && !strings.Contains(arg[:i], "/") {
+			name, path = arg[:i], arg[i+1:]
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return fmt.Errorf("trace-merge: %w", err)
+		}
+		files = append(files, f)
+		inputs = append(inputs, trace.MergeInput{Process: name, R: f})
+	}
+	w, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteMergedChromeTrace(w, inputs); err != nil {
+		w.Close()
+		return err
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("merged %d journals into %s\n", len(inputs), *out)
+	return nil
+}

@@ -1,0 +1,147 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"obfuscade/internal/obs"
+	"obfuscade/internal/trace"
+)
+
+// writeJournal records a trivial span on a fresh recorder and writes
+// its NDJSON journal to dir.
+func writeJournal(t *testing.T, dir, name string) string {
+	t.Helper()
+	rec := trace.New(8)
+	rec.SetProcess(name)
+	_, sp := rec.StartSpan(context.Background(), "run", "work-"+name)
+	sp.End()
+	var buf bytes.Buffer
+	if err := rec.WriteNDJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name+".ndjson")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// cmdTraceMerge stitches two journals into one Chrome trace with one
+// lane per journal, honoring name= overrides.
+func TestCmdTraceMerge(t *testing.T) {
+	dir := t.TempDir()
+	routerJ := writeJournal(t, dir, "router")
+	shardJ := writeJournal(t, dir, "shard-0")
+	out := filepath.Join(dir, "merged.json")
+
+	err := cmdTraceMerge([]string{"-out", out, routerJ, "lane-b=" + shardJ})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var merged struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			PID  int               `json:"pid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &merged); err != nil {
+		t.Fatalf("merged output is not valid JSON: %v", err)
+	}
+	lanes := map[string]bool{}
+	for _, e := range merged.TraceEvents {
+		if e.Name == "process_name" && e.Ph == "M" {
+			lanes[e.Args["name"]] = true
+		}
+	}
+	// First lane named by its meta line, second by the override.
+	if !lanes["router"] || !lanes["lane-b"] {
+		t.Fatalf("lanes = %v, want router and lane-b", lanes)
+	}
+
+	if err := cmdTraceMerge([]string{"-out", out}); err == nil {
+		t.Fatal("trace-merge with no journals succeeded")
+	}
+	if err := cmdTraceMerge([]string{"-out", out, filepath.Join(dir, "missing.ndjson")}); err == nil {
+		t.Fatal("trace-merge with a missing journal succeeded")
+	}
+}
+
+// stats -cluster renders a router's federated view without running any
+// local pipeline work.
+func TestStatsClusterMode(t *testing.T) {
+	var snap obs.Snapshot
+	snap.Counters = []obs.MetricValue{{Name: "cache.hits", Value: 7}}
+	view := map[string]any{
+		"cluster": snap,
+		"shards":  map[string]obs.Snapshot{"127.0.0.1:7001": snap},
+		"stale":   false,
+	}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/cluster/metrics.json" {
+			w.WriteHeader(http.StatusNotFound)
+			return
+		}
+		json.NewEncoder(w).Encode(view)
+	}))
+	defer srv.Close()
+
+	out := captureStdout(t, func() {
+		if err := cmdStats([]string{"-cluster", srv.URL, "-format", "text"}); err != nil {
+			t.Error(err)
+		}
+	})
+	for _, want := range []string{"shard 127.0.0.1:7001", "cluster (1 shards)", "cache.hits"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats -cluster text output missing %q:\n%s", want, out)
+		}
+	}
+
+	out = captureStdout(t, func() {
+		if err := cmdStats([]string{"-cluster", srv.URL, "-format", "json"}); err != nil {
+			t.Error(err)
+		}
+	})
+	var decoded map[string]any
+	if err := json.Unmarshal([]byte(out), &decoded); err != nil {
+		t.Fatalf("stats -cluster json output is not JSON: %v", err)
+	}
+	if _, ok := decoded["cluster"]; !ok {
+		t.Fatalf("json output lacks cluster key: %s", out)
+	}
+}
+
+// captureStdout redirects os.Stdout around fn.
+func captureStdout(t *testing.T, fn func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	done := make(chan string, 1)
+	go func() {
+		data, _ := io.ReadAll(r)
+		done <- string(data)
+	}()
+	fn()
+	w.Close()
+	os.Stdout = old
+	return <-done
+}

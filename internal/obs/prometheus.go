@@ -30,20 +30,58 @@ func promName(name string) string {
 // output order is fixed (name-sorted, inherited from Snapshot), so
 // identical metric states scrape byte-identically.
 func (s Snapshot) WritePrometheus(w io.Writer) error {
+	return s.WritePrometheusLabeled(w, "obfuscade_", nil)
+}
+
+// promLabels renders a label set as the {k="v",...} selector suffix.
+// Keys are emitted in the order given; values are escaped per the text
+// exposition format. An empty set renders as "".
+func promLabels(labels [][2]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, kv := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[0])
+		b.WriteString("=\"")
+		v := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`).Replace(kv[1])
+		b.WriteString(v)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WritePrometheusLabeled renders the snapshot with a custom namespace
+// prefix and a constant label set on every series — the form the
+// router's /cluster/metrics federation endpoint uses to emit each
+// shard's metrics under a shard="host:port" label, and the cluster-wide
+// sums under a separate namespace so federated scrapes never double
+// count. Histogram bucket lines merge the constant labels with their le
+// label.
+func (s Snapshot) WritePrometheusLabeled(w io.Writer, namespace string, labels [][2]string) error {
+	sel := promLabels(labels)
+	ns := func(metric string) string {
+		return namespace + strings.TrimPrefix(promName(metric), "obfuscade_")
+	}
 	for _, m := range s.Counters {
-		name := promName(m.Name) + "_total"
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, m.Value); err != nil {
+		name := ns(m.Name) + "_total"
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s%s %d\n", name, name, sel, m.Value); err != nil {
 			return err
 		}
 	}
 	for _, m := range s.Gauges {
-		name := promName(m.Name)
-		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, m.Value); err != nil {
+		name := ns(m.Name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s%s %d\n", name, name, sel, m.Value); err != nil {
 			return err
 		}
 	}
 	for _, h := range s.Stages {
-		name := promName(h.Name)
+		name := ns(h.Name)
 		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
 			return err
 		}
@@ -51,15 +89,17 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 		for i, bound := range h.Bounds {
 			cum += h.Counts[i]
 			le := strconv.FormatFloat(bound, 'g', -1, 64)
-			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum); err != nil {
+			bsel := promLabels(append(append([][2]string(nil), labels...), [2]string{"le", le}))
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, bsel, cum); err != nil {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count); err != nil {
+		isel := promLabels(append(append([][2]string(nil), labels...), [2]string{"le", "+Inf"}))
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, isel, h.Count); err != nil {
 			return err
 		}
 		sum := strconv.FormatFloat(h.SumSeconds, 'g', -1, 64)
-		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", name, sum, name, h.Count); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n%s_count%s %d\n", name, sel, sum, name, sel, h.Count); err != nil {
 			return err
 		}
 	}

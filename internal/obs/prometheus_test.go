@@ -64,3 +64,98 @@ func TestWritePrometheusEmptySnapshot(t *testing.T) {
 		t.Fatalf("empty snapshot produced output: %q", b.String())
 	}
 }
+
+func TestWritePrometheusLabeled(t *testing.T) {
+	snap := Snapshot{
+		Counters: []MetricValue{{Name: "cache.hits", Value: 7}},
+		Gauges:   []MetricValue{{Name: "serve.jobs.inflight", Value: 2}},
+		Stages: []HistogramSnapshot{{
+			Name:       "serve.job",
+			Count:      3,
+			SumSeconds: 1.5,
+			Bounds:     []float64{0.5},
+			Counts:     []int64{3},
+		}},
+	}
+	var b strings.Builder
+	if err := snap.WritePrometheusLabeled(&b, "obfuscade_", [][2]string{{"shard", "127.0.0.1:9"}}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	want := []string{
+		`obfuscade_cache_hits_total{shard="127.0.0.1:9"} 7`,
+		`obfuscade_serve_jobs_inflight{shard="127.0.0.1:9"} 2`,
+		`obfuscade_serve_job_bucket{shard="127.0.0.1:9",le="0.5"} 3`,
+		`obfuscade_serve_job_bucket{shard="127.0.0.1:9",le="+Inf"} 3`,
+		`obfuscade_serve_job_sum{shard="127.0.0.1:9"} 1.5`,
+		`obfuscade_serve_job_count{shard="127.0.0.1:9"} 3`,
+	}
+	for _, line := range want {
+		if !strings.Contains(out, line+"\n") {
+			t.Errorf("labeled exposition missing %q\nfull output:\n%s", line, out)
+		}
+	}
+
+	// A custom namespace re-prefixes every series (cluster sums).
+	b.Reset()
+	if err := snap.WritePrometheusLabeled(&b, "obfuscade_cluster_", nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "obfuscade_cluster_cache_hits_total 7\n") {
+		t.Errorf("namespaced exposition wrong:\n%s", b.String())
+	}
+}
+
+func TestPromLabelsEscaping(t *testing.T) {
+	got := promLabels([][2]string{{"shard", `a"b\c`}})
+	if got != `{shard="a\"b\\c"}` {
+		t.Fatalf("promLabels = %s", got)
+	}
+}
+
+func TestMergeSnapshots(t *testing.T) {
+	a := Snapshot{
+		Counters: []MetricValue{{Name: "cache.hits", Value: 5}, {Name: "serve.requests", Value: 2}},
+		Gauges:   []MetricValue{{Name: "serve.jobs.inflight", Value: 1}},
+		Stages: []HistogramSnapshot{{
+			Name: "serve.job", Count: 2, SumSeconds: 1,
+			Bounds: []float64{0.5, 1}, Counts: []int64{1, 1, 0},
+		}},
+	}
+	b := Snapshot{
+		Counters: []MetricValue{{Name: "cache.hits", Value: 7}},
+		Stages: []HistogramSnapshot{{
+			Name: "serve.job", Count: 3, SumSeconds: 2,
+			Bounds: []float64{0.5, 1}, Counts: []int64{0, 2, 1},
+		}},
+	}
+	m := MergeSnapshots(a, b)
+	if v, _ := m.Counter("cache.hits"); v != 12 {
+		t.Fatalf("merged cache.hits = %d, want 12", v)
+	}
+	if v, _ := m.Counter("serve.requests"); v != 2 {
+		t.Fatalf("merged serve.requests = %d, want 2", v)
+	}
+	if v, _ := m.Gauge("serve.jobs.inflight"); v != 1 {
+		t.Fatalf("merged inflight = %d, want 1", v)
+	}
+	h, ok := m.Stage("serve.job")
+	if !ok || h.Count != 5 || h.SumSeconds != 3 {
+		t.Fatalf("merged histogram: %+v", h)
+	}
+	for i, want := range []int64{1, 3, 1} {
+		if h.Counts[i] != want {
+			t.Fatalf("merged bucket %d = %d, want %d", i, h.Counts[i], want)
+		}
+	}
+	// Mismatched bounds: count/sum still add, buckets keep the first shape.
+	c := Snapshot{Stages: []HistogramSnapshot{{
+		Name: "serve.job", Count: 1, SumSeconds: 4,
+		Bounds: []float64{9}, Counts: []int64{1, 0},
+	}}}
+	m2 := MergeSnapshots(a, c)
+	h2, _ := m2.Stage("serve.job")
+	if h2.Count != 3 || h2.SumSeconds != 5 || len(h2.Bounds) != 2 {
+		t.Fatalf("mismatched-bounds merge: %+v", h2)
+	}
+}

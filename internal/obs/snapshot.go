@@ -111,6 +111,72 @@ func (r *Registry) Snapshot() Snapshot {
 	return s
 }
 
+// MergeSnapshots sums a set of snapshots into one cluster-wide view:
+// counters and gauges add by name, and histograms with identical bucket
+// bounds merge bucket-wise (count, sum and per-bucket counts add). A
+// histogram whose bounds disagree across inputs — which only happens
+// across incompatible builds — keeps the first input's buckets and adds
+// only count and sum, so totals stay honest even when shapes drift.
+// The result is name-sorted like any Snapshot.
+func MergeSnapshots(snaps ...Snapshot) Snapshot {
+	counters := map[string]int64{}
+	gauges := map[string]int64{}
+	hists := map[string]*HistogramSnapshot{}
+	var histOrder []string
+	for _, s := range snaps {
+		for _, m := range s.Counters {
+			counters[m.Name] += m.Value
+		}
+		for _, m := range s.Gauges {
+			gauges[m.Name] += m.Value
+		}
+		for _, h := range s.Stages {
+			acc, ok := hists[h.Name]
+			if !ok {
+				cp := h
+				cp.Bounds = append([]float64(nil), h.Bounds...)
+				cp.Counts = append([]int64(nil), h.Counts...)
+				hists[h.Name] = &cp
+				histOrder = append(histOrder, h.Name)
+				continue
+			}
+			acc.Count += h.Count
+			acc.SumSeconds += h.SumSeconds
+			if boundsEqual(acc.Bounds, h.Bounds) && len(acc.Counts) == len(h.Counts) {
+				for i, c := range h.Counts {
+					acc.Counts[i] += c
+				}
+			}
+		}
+	}
+	var out Snapshot
+	for name, v := range counters {
+		out.Counters = append(out.Counters, MetricValue{Name: name, Value: v})
+	}
+	for name, v := range gauges {
+		out.Gauges = append(out.Gauges, MetricValue{Name: name, Value: v})
+	}
+	for _, name := range histOrder {
+		out.Stages = append(out.Stages, *hists[name])
+	}
+	sort.Slice(out.Counters, func(i, j int) bool { return out.Counters[i].Name < out.Counters[j].Name })
+	sort.Slice(out.Gauges, func(i, j int) bool { return out.Gauges[i].Name < out.Gauges[j].Name })
+	sort.Slice(out.Stages, func(i, j int) bool { return out.Stages[i].Name < out.Stages[j].Name })
+	return out
+}
+
+func boundsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // Counter returns the snapshotted value of a counter, if present.
 func (s Snapshot) Counter(name string) (int64, bool) {
 	for _, m := range s.Counters {

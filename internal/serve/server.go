@@ -69,6 +69,10 @@ type Options struct {
 	// ManifestOut, when non-nil, receives one NDJSON provenance line
 	// per completed job at shutdown.
 	ManifestOut io.Writer
+	// AccessLog, when non-nil, receives one NDJSON access-log line per
+	// HTTP request (see AccessEntry). Entries flush as they are written
+	// and once more on graceful drain.
+	AccessLog io.Writer
 }
 
 // jobState is the lifecycle of a submitted job.
@@ -89,6 +93,15 @@ type job struct {
 	result  *Result
 	err     error
 	created time.Time
+
+	// Trace identity captured from the submitting request: jobs outlive
+	// their HTTP request (they run under the server's root context), so
+	// the propagated context is frozen here at admission and re-adopted
+	// in runJob. A joined run keeps the identity of the submission that
+	// started it.
+	traceID    string
+	parentSpan uint64
+	reqID      string
 }
 
 // jobStatus is the JSON the status endpoints return.
@@ -107,9 +120,10 @@ type jobStatus struct {
 // Server is the HTTP job service. Job routes and the debug surface
 // (/metrics, /trace, /debug/pprof/) share one mux on one port.
 type Server struct {
-	svc  *Service
-	disk *diskstore.Store // nil when serving memory-only
-	http *trace.DebugServer
+	svc       *Service
+	disk      *diskstore.Store // nil when serving memory-only
+	http      *trace.DebugServer
+	accessLog *AccessLogger // nil when access logging is off
 
 	rootCtx      context.Context
 	cancelJobs   context.CancelFunc
@@ -160,6 +174,9 @@ func Start(opts Options) (*Server, error) {
 	} else {
 		s.svc = NewService(opts.CacheBytes, prof)
 	}
+	if opts.AccessLog != nil {
+		s.accessLog = NewAccessLogger(opts.AccessLog)
+	}
 	mux := trace.NewDebugMux(obs.Default(), trace.Default())
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
 	mux.HandleFunc("POST /jobs/batch", s.handleBatch)
@@ -167,7 +184,7 @@ func Start(opts Options) (*Server, error) {
 	mux.HandleFunc("GET /jobs/{id}/stl", s.handleSTL)
 	mux.HandleFunc("GET /jobs/{id}/manifest", s.handleManifest)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
-	ds, err := trace.StartServer(opts.Addr, mux)
+	ds, err := trace.StartServer(opts.Addr, WithObservability(mux, "serve", s.accessLog))
 	if err != nil {
 		cancel()
 		if s.disk != nil {
@@ -244,6 +261,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		return err
 	}
 	s.cancelJobs()
+	if err := s.accessLog.Close(); err != nil && flushErr == nil {
+		flushErr = err
+	}
 	if s.disk != nil {
 		// Compacts the atime journal so the next boot restores recency.
 		if err := s.disk.Close(); err != nil && flushErr == nil {
@@ -278,11 +298,12 @@ func (s *Server) flushManifests() error {
 }
 
 // submit registers (or joins) the job for a normalized request. The
-// bool reports whether this call started a new run.
-func (s *Server) submit(norm Request) (*job, bool, error) {
+// bool reports whether this call started a new run. ctx supplies the
+// trace identity a fresh run inherits.
+func (s *Server) submit(ctx context.Context, norm Request) (*job, bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	jobs, started, err := s.submitLocked([]Request{norm})
+	jobs, started, err := s.submitLocked(ctx, []Request{norm})
 	if err != nil {
 		return nil, false, err
 	}
@@ -295,7 +316,7 @@ func (s *Server) submit(norm Request) (*job, bool, error) {
 // all-or-nothing: if starting the new runs would push the in-flight
 // queue past maxQueue, nothing is started and the whole set is shed.
 // The bool reports whether any new run started.
-func (s *Server) submitLocked(norms []Request) ([]*job, bool, error) {
+func (s *Server) submitLocked(ctx context.Context, norms []Request) ([]*job, bool, error) {
 	if s.draining {
 		return nil, false, errDraining
 	}
@@ -319,7 +340,12 @@ func (s *Server) submitLocked(norms []Request) ([]*job, bool, error) {
 				continue
 			}
 		}
-		j := &job{id: id, req: norm, done: make(chan struct{}), created: time.Now()}
+		j := &job{
+			id: id, req: norm, done: make(chan struct{}), created: time.Now(),
+			traceID:    trace.TraceIDFrom(ctx),
+			parentSpan: trace.ContextSpanID(ctx),
+			reqID:      trace.RequestIDFrom(ctx),
+		}
 		jobs[i] = j
 		batch[id] = j
 		fresh = append(fresh, j)
@@ -347,16 +373,33 @@ var (
 
 // runJob executes one job under the root context and the per-job
 // deadline, then publishes the result and retires the job into the
-// bounded completed registry.
+// bounded completed registry. The submitting request's trace identity
+// is re-adopted here — the job outlives its HTTP request, so the
+// pipeline's run/key/stage spans still descend from the caller's span
+// (the router's proxy span in a cluster) in a merged trace.
 func (s *Server) runJob(j *job) {
 	defer s.wg.Done()
 	ctx := s.rootCtx
+	if j.traceID != "" {
+		ctx = trace.WithRemoteParent(ctx, trace.TraceContext{TraceID: j.traceID, Parent: j.parentSpan})
+	}
+	if j.reqID != "" {
+		ctx = trace.WithRequestID(ctx, j.reqID)
+	}
+	ctx, span := trace.StartSpan(ctx, "serve", "job", trace.A("key", j.id))
+	defer span.End()
 	if t := s.effectiveTimeout(j.req); t > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, t)
 		defer cancel()
 	}
 	res, err := s.svc.Do(ctx, j.req)
+	if res != nil {
+		span.SetArg("outcome", res.Outcome.String())
+	}
+	// End before publishing: a waiter unblocked by close(j.done) must
+	// find the job span already recorded.
+	span.End()
 	s.mu.Lock()
 	j.result, j.err = res, err
 	s.inflight--
@@ -439,6 +482,17 @@ func (s *Server) status(j *job) jobStatus {
 	return st
 }
 
+// annotateJobOutcome records a finished job's cache outcome on the
+// request's access-log entry.
+func (s *Server) annotateJobOutcome(ctx context.Context, j *job) {
+	s.mu.Lock()
+	res := j.result
+	s.mu.Unlock()
+	if res != nil {
+		AnnotateOutcome(ctx, res.Outcome.String())
+	}
+}
+
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
@@ -500,7 +554,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	j, _, err := s.submit(norm)
+	j, _, err := s.submit(r.Context(), norm)
 	if err != nil {
 		writeSubmitError(w, err)
 		return
@@ -515,6 +569,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusRequestTimeout, r.Context().Err())
 		return
 	}
+	s.annotateJobOutcome(r.Context(), j)
 	st := s.status(j)
 	if st.State == string(stateFailed) {
 		writeJSON(w, http.StatusInternalServerError, st)
@@ -571,7 +626,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	mBatchJobs.Add(int64(len(norms)))
 
 	s.mu.Lock()
-	jobs, _, err := s.submitLocked(norms)
+	jobs, _, err := s.submitLocked(r.Context(), norms)
 	s.mu.Unlock()
 	if err != nil {
 		writeSubmitError(w, err)
@@ -585,6 +640,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusRequestTimeout, r.Context().Err())
 			return
 		}
+		s.annotateJobOutcome(r.Context(), j)
 		resp.Results[i] = s.status(j)
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -620,6 +676,7 @@ func (s *Server) artifact(w http.ResponseWriter, r *http.Request) (*Result, bool
 		writeError(w, http.StatusInternalServerError, err)
 		return nil, false
 	}
+	AnnotateOutcome(r.Context(), res.Outcome.String())
 	return res, true
 }
 

@@ -13,6 +13,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"obfuscade/internal/trace"
 )
 
 func startTestServer(t *testing.T, opts Options) *Server {
@@ -242,7 +244,7 @@ func TestServerDrainingRefusesSubmissions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := s.submit(norm); !errors.Is(err, errDraining) {
+	if _, _, err := s.submit(context.Background(), norm); !errors.Is(err, errDraining) {
 		t.Fatalf("submit while draining: %v", err)
 	}
 	st, resp := post(t, s.URL()+"/jobs", `{}`)
@@ -639,5 +641,60 @@ func TestResultCodecRoundTrip(t *testing.T) {
 		if _, err := (resultCodec{}).Decode(bad); err == nil {
 			t.Fatalf("malformed frame of %d bytes decoded", len(bad))
 		}
+	}
+}
+
+// TestServerAdoptsTraceAndLogsAccess drives a live server with a
+// propagated trace header plus an access-log writer, and asserts both
+// halves of the cluster-observability contract: the async job's
+// "serve"/"job" span parents under the remote span from the header, and
+// the access log carries the request/trace IDs with the cache outcome.
+func TestServerAdoptsTraceAndLogsAccess(t *testing.T) {
+	var logBuf bytes.Buffer
+	s := startTestServer(t, Options{AccessLog: &logBuf})
+
+	req, err := http.NewRequest("POST", s.URL()+"/jobs?wait=1", strings.NewReader(`{"seed": 404}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Obfuscade-Trace", "feedfacefeedface-31337")
+	req.Header.Set("X-Request-ID", "req-adopt-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Request-Id"); got != "req-adopt-1" {
+		t.Fatalf("echoed request id %q, want req-adopt-1", got)
+	}
+
+	// The job span must carry the header's trace ID and parent under its
+	// span ID even though the job ran detached from the HTTP request.
+	foundJob := false
+	for _, e := range trace.Default().Events() {
+		if e.Cat == "serve" && e.Name == "job" && e.Trace == "feedfacefeedface" {
+			foundJob = true
+			if e.Parent != 31337 {
+				t.Fatalf("job span parent = %d, want remote 31337", e.Parent)
+			}
+		}
+	}
+	if !foundJob {
+		t.Fatal("no serve/job span carrying the propagated trace id")
+	}
+
+	var entry AccessEntry
+	if err := json.Unmarshal(logBuf.Bytes(), &entry); err != nil {
+		t.Fatalf("access log %q: %v", logBuf.String(), err)
+	}
+	if entry.RequestID != "req-adopt-1" || entry.Trace != "feedfacefeedface" {
+		t.Fatalf("access entry ids = %q/%q", entry.RequestID, entry.Trace)
+	}
+	if entry.Role != "serve" || entry.Status != http.StatusOK || entry.Outcome != "miss" {
+		t.Fatalf("access entry = %+v", entry)
 	}
 }

@@ -1,0 +1,194 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"obfuscade/internal/obs"
+)
+
+// Metrics federation: the router scrapes every shard's /metrics.json
+// concurrently under a bounded timeout and serves the cluster-wide
+// view from its own port, so one scrape (human or Prometheus) covers
+// the whole cluster without enumerating shard addresses.
+//
+// Two renderings share one scrape pass:
+//
+//	GET /cluster/metrics.json — per-shard snapshots plus the merged
+//	cluster snapshot as JSON, with a stale flag when any shard could
+//	not answer in time.
+//	GET /cluster/metrics — Prometheus text: every shard's series
+//	labeled shard="host:port", then the cluster sums under the
+//	obfuscade_cluster_ namespace so a federated scrape never double
+//	counts a series.
+
+var (
+	mScrapes      = obs.Default().Counter("router.federate.scrapes")
+	mScrapeErrors = obs.Default().Counter("router.federate.scrape.errors")
+)
+
+// maxMetricsBody bounds one shard's metrics payload.
+const maxMetricsBody = 4 << 20
+
+// clusterMetrics is the body of GET /cluster/metrics.json.
+type clusterMetrics struct {
+	// Cluster is the sum of every scraped shard's snapshot.
+	Cluster obs.Snapshot `json:"cluster"`
+	// Shards holds each answering shard's own snapshot.
+	Shards map[string]obs.Snapshot `json:"shards"`
+	// Errors records the shards that failed to answer, by address.
+	Errors map[string]string `json:"errors,omitempty"`
+	// Stale is true when at least one shard is missing from Cluster —
+	// the sums then undercount the cluster.
+	Stale bool `json:"stale"`
+	// ScrapedAt stamps the scrape.
+	ScrapedAt string `json:"scraped_at"`
+}
+
+// scrapeShards fetches /metrics.json from every ring member
+// concurrently, each attempt bounded by the router's scrape timeout.
+// Ejected shards are still scraped: a shard that is draining (503 on
+// /healthz) still answers its debug surface, and its counters are part
+// of the cluster's history.
+func (rt *Router) scrapeShards(ctx context.Context) (map[string]obs.Snapshot, map[string]string) {
+	mScrapes.Inc()
+	members := rt.ring.Members()
+	snaps := make(map[string]obs.Snapshot, len(members))
+	errs := map[string]string{}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, m := range members {
+		wg.Add(1)
+		go func(shard string) {
+			defer wg.Done()
+			sctx, cancel := context.WithTimeout(ctx, rt.scrapeLimit)
+			defer cancel()
+			snap, err := rt.scrapeOne(sctx, shard)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				mScrapeErrors.Inc()
+				errs[shard] = err.Error()
+				return
+			}
+			snaps[shard] = snap
+		}(m)
+	}
+	wg.Wait()
+	return snaps, errs
+}
+
+func (rt *Router) scrapeOne(ctx context.Context, shard string) (obs.Snapshot, error) {
+	resp, err := rt.send(ctx, http.MethodGet, shard, "/metrics.json", "", nil)
+	if err != nil {
+		return obs.Snapshot{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return obs.Snapshot{}, fmt.Errorf("shard: %s answered %d to a metrics scrape", shard, resp.StatusCode)
+	}
+	var snap obs.Snapshot
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxMetricsBody)).Decode(&snap); err != nil {
+		return obs.Snapshot{}, fmt.Errorf("shard: decoding metrics from %s: %w", shard, err)
+	}
+	return snap, nil
+}
+
+// federate runs one scrape pass and folds it into the JSON view.
+func (rt *Router) federate(ctx context.Context) clusterMetrics {
+	snaps, errs := rt.scrapeShards(ctx)
+	ordered := make([]obs.Snapshot, 0, len(snaps))
+	for _, addr := range sortedKeys(snaps) {
+		ordered = append(ordered, snaps[addr])
+	}
+	out := clusterMetrics{
+		Cluster:   obs.MergeSnapshots(ordered...),
+		Shards:    snaps,
+		Stale:     len(errs) > 0,
+		ScrapedAt: time.Now().UTC().Format(time.RFC3339Nano),
+	}
+	if len(errs) > 0 {
+		out.Errors = errs
+	}
+	return out
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func (rt *Router) handleClusterMetricsJSON(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, rt.federate(r.Context()))
+}
+
+// handleClusterMetricsProm renders the same scrape as Prometheus text:
+// per-shard series first (shard label, shards in address order), then
+// the cluster sums under the obfuscade_cluster_ namespace. A failed
+// shard is reported as the obfuscade_cluster_federate_missing_shards
+// gauge instead of silently shrinking the sums.
+func (rt *Router) handleClusterMetricsProm(w http.ResponseWriter, r *http.Request) {
+	view := rt.federate(r.Context())
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	for _, addr := range sortedKeys(view.Shards) {
+		snap := view.Shards[addr]
+		if err := snap.WritePrometheusLabeled(w, "obfuscade_", [][2]string{{"shard", addr}}); err != nil {
+			return
+		}
+	}
+	if err := view.Cluster.WritePrometheusLabeled(w, "obfuscade_cluster_", nil); err != nil {
+		return
+	}
+	missing := "# TYPE obfuscade_cluster_federate_missing_shards gauge\n" +
+		fmt.Sprintf("obfuscade_cluster_federate_missing_shards %d\n", len(view.Errors))
+	io.WriteString(w, missing)
+}
+
+// ringShard is one member's entry in GET /cluster/ring.
+type ringShard struct {
+	Addr      string `json:"addr"`
+	State     string `json:"state"` // "ok" or "ejected"
+	LastProbe string `json:"last_probe,omitempty"`
+	VNodes    int    `json:"vnodes"`
+}
+
+// handleClusterRing snapshots ring membership: every shard's address,
+// routability, last health-probe time and vnode count — the operator's
+// answer to "what does this router think the cluster looks like".
+func (rt *Router) handleClusterRing(w http.ResponseWriter, _ *http.Request) {
+	members := rt.ring.Members()
+	vnodes := rt.ring.VirtualNodes()
+	rt.mu.Lock()
+	shards := make([]ringShard, 0, len(members))
+	ejected := 0
+	for _, m := range members {
+		entry := ringShard{Addr: m, State: "ok", VNodes: vnodes}
+		if rt.down[m] {
+			entry.State = "ejected"
+			ejected++
+		}
+		if t, ok := rt.lastProbe[m]; ok {
+			entry.LastProbe = t.UTC().Format(time.RFC3339Nano)
+		}
+		shards = append(shards, entry)
+	}
+	rt.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"role":             "router",
+		"shards":           shards,
+		"shards_total":     len(members),
+		"shards_ejected":   ejected,
+		"vnodes_per_shard": vnodes,
+	})
+}

@@ -98,6 +98,9 @@ func (r *Ring) Members() []string {
 	return append([]string(nil), r.members...)
 }
 
+// VirtualNodes returns the per-member virtual node count.
+func (r *Ring) VirtualNodes() int { return r.vnodes }
+
 // keyPoint maps a job key onto the hash circle. Job keys are the hex
 // SHA-256 content addresses the serve tier mints, so when the key
 // decodes as hex the placement comes literally from the first eight

@@ -32,6 +32,9 @@ const (
 	DefaultProbeInterval = 1 * time.Second
 	// DefaultProbeTimeout bounds one health probe round trip.
 	DefaultProbeTimeout = 2 * time.Second
+	// DefaultScrapeTimeout bounds one shard scrape during metrics
+	// federation.
+	DefaultScrapeTimeout = 2 * time.Second
 )
 
 var (
@@ -68,6 +71,14 @@ type RouterOptions struct {
 	// ProbeTimeout bounds one probe round trip (<= 0 means
 	// DefaultProbeTimeout).
 	ProbeTimeout time.Duration
+	// ScrapeTimeout bounds one shard scrape of the /cluster/metrics
+	// federation endpoints (<= 0 means DefaultScrapeTimeout). A shard
+	// that cannot answer within it is reported absent and the federated
+	// snapshot flagged stale rather than blocking the whole scrape.
+	ScrapeTimeout time.Duration
+	// AccessLog, when non-nil, receives one NDJSON access-log line per
+	// routed request (serve.AccessEntry with role "router").
+	AccessLog io.Writer
 	// Client overrides the proxy HTTP client (tests); nil builds one
 	// with connection pooling per shard.
 	Client *http.Client
@@ -80,18 +91,21 @@ type RouterOptions struct {
 // port, so a request is attributable end to end: router span → shard
 // span → pipeline stages.
 type Router struct {
-	ring       *Ring
-	client     *http.Client
-	http       *trace.DebugServer
-	hedgeAfter time.Duration
-	probeEvery time.Duration
-	probeLimit time.Duration
+	ring        *Ring
+	client      *http.Client
+	http        *trace.DebugServer
+	accessLog   *serve.AccessLogger // nil when access logging is off
+	hedgeAfter  time.Duration
+	probeEvery  time.Duration
+	probeLimit  time.Duration
+	scrapeLimit time.Duration
 
 	probeCancel context.CancelFunc
 	probeDone   chan struct{}
 
-	mu   sync.Mutex
-	down map[string]bool // shards currently ejected from routing
+	mu        sync.Mutex
+	down      map[string]bool      // shards currently ejected from routing
+	lastProbe map[string]time.Time // most recent health probe per shard
 }
 
 // StartRouter builds the ring, mounts the proxy routes on the shared
@@ -126,14 +140,23 @@ func StartRouter(opts RouterOptions) (*Router, error) {
 			IdleConnTimeout:     90 * time.Second,
 		}}
 	}
+	scrapeLimit := opts.ScrapeTimeout
+	if scrapeLimit <= 0 {
+		scrapeLimit = DefaultScrapeTimeout
+	}
 	rt := &Router{
-		ring:       ring,
-		client:     client,
-		hedgeAfter: hedge,
-		probeEvery: probeEvery,
-		probeLimit: probeLimit,
-		down:       map[string]bool{},
-		probeDone:  make(chan struct{}),
+		ring:        ring,
+		client:      client,
+		hedgeAfter:  hedge,
+		probeEvery:  probeEvery,
+		probeLimit:  probeLimit,
+		scrapeLimit: scrapeLimit,
+		down:        map[string]bool{},
+		lastProbe:   map[string]time.Time{},
+		probeDone:   make(chan struct{}),
+	}
+	if opts.AccessLog != nil {
+		rt.accessLog = serve.NewAccessLogger(opts.AccessLog)
 	}
 	gHealthy.Set(int64(len(ring.Members())))
 
@@ -144,7 +167,10 @@ func StartRouter(opts RouterOptions) (*Router, error) {
 	mux.HandleFunc("GET /jobs/{id}/stl", rt.handleRead)
 	mux.HandleFunc("GET /jobs/{id}/manifest", rt.handleRead)
 	mux.HandleFunc("GET /healthz", rt.handleHealth)
-	ds, err := trace.StartServer(opts.Addr, mux)
+	mux.HandleFunc("GET /cluster/metrics.json", rt.handleClusterMetricsJSON)
+	mux.HandleFunc("GET /cluster/metrics", rt.handleClusterMetricsProm)
+	mux.HandleFunc("GET /cluster/ring", rt.handleClusterRing)
+	ds, err := trace.StartServer(opts.Addr, serve.WithObservability(mux, "router", rt.accessLog))
 	if err != nil {
 		return nil, err
 	}
@@ -184,15 +210,20 @@ func (rt *Router) Close() error {
 	rt.probeCancel()
 	<-rt.probeDone
 	err := rt.http.Close()
+	rt.accessLog.Close()
 	rt.client.CloseIdleConnections()
 	return err
 }
 
-// Shutdown stops probing and drains the listener gracefully.
+// Shutdown stops probing and drains the listener gracefully, flushing
+// the access log once the last in-flight request has been logged.
 func (rt *Router) Shutdown(ctx context.Context) error {
 	rt.probeCancel()
 	<-rt.probeDone
 	err := rt.http.Shutdown(ctx)
+	if ferr := rt.accessLog.Close(); err == nil {
+		err = ferr
+	}
 	rt.client.CloseIdleConnections()
 	return err
 }
@@ -229,6 +260,9 @@ func (rt *Router) probeOnce(ctx context.Context) {
 		if ctx.Err() != nil {
 			return
 		}
+		rt.mu.Lock()
+		rt.lastProbe[m] = time.Now()
+		rt.mu.Unlock()
 		rt.setHealth(m, healthy)
 	}
 }
@@ -292,8 +326,10 @@ func (rt *Router) aliveOwners(key string, n int) []string {
 
 // ---- proxy plumbing --------------------------------------------------
 
-// send issues one proxied request to a shard. The caller owns the
-// response body.
+// send issues one proxied request to a shard, stamping it with the
+// trace context and request ID carried by ctx so the shard's spans and
+// access-log line join the router's under one trace. The caller owns
+// the response body.
 func (rt *Router) send(ctx context.Context, method, shard, path, query string, body []byte) (*http.Response, error) {
 	u := "http://" + shard + path
 	if query != "" {
@@ -310,15 +346,30 @@ func (rt *Router) send(ctx context.Context, method, shard, path, query string, b
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if h := trace.OutgoingTraceHeader(ctx); h != "" {
+		req.Header.Set(trace.HeaderTrace, h)
+	}
+	if id := trace.RequestIDFrom(ctx); id != "" {
+		req.Header.Set(trace.HeaderRequestID, id)
+	}
 	return rt.client.Do(req)
 }
 
-// copyResponse relays a shard response verbatim: status, headers
-// (including Retry-After on a shed 429 and X-Stl-Sha256 on artifacts)
-// and body.
+// requestIDHeader is trace.HeaderRequestID in the canonical form
+// http.Header stores it under.
+var requestIDHeader = http.CanonicalHeaderKey(trace.HeaderRequestID)
+
+// copyResponse relays a shard response: status, headers (including
+// Retry-After on a shed 429 and X-Stl-Sha256 on artifacts) and body.
+// The shard's X-Request-ID echo is dropped — the router's middleware
+// already set the same ID on the response, and for a hedged read the
+// winner's echo would otherwise duplicate the header.
 func copyResponse(w http.ResponseWriter, resp *http.Response) {
 	defer resp.Body.Close()
 	for k, vs := range resp.Header {
+		if k == requestIDHeader {
+			continue
+		}
 		for _, v := range vs {
 			w.Header().Add(k, v)
 		}
@@ -366,6 +417,7 @@ func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sp.SetArg("shard", shard)
+	serve.AnnotateShard(ctx, shard)
 	copyResponse(w, resp)
 }
 
@@ -621,6 +673,7 @@ func (rt *Router) handleRead(w http.ResponseWriter, r *http.Request) {
 	fireHedge := func() {
 		mHedgeFired.Inc()
 		sp.SetArg("hedged", "1")
+		serve.AnnotateHedge(ctx, true, false)
 		cancelHedge = launch(cands[1], true)
 	}
 
@@ -651,7 +704,7 @@ func (rt *Router) handleRead(w http.ResponseWriter, r *http.Request) {
 				if !a.hedge {
 					primaryDead = true
 					if fallback != nil {
-						rt.serveRead(w, sp, *fallback)
+						rt.serveRead(w, ctx, sp, *fallback)
 						return
 					}
 				}
@@ -671,7 +724,7 @@ func (rt *Router) handleRead(w http.ResponseWriter, r *http.Request) {
 				continue
 			}
 			if a.resp.StatusCode < 300 || !a.hedge || primaryDead {
-				rt.serveRead(w, sp, a)
+				rt.serveRead(w, ctx, sp, a)
 				return
 			}
 			// Non-2xx hedge while the owner is still alive: the replica
@@ -682,7 +735,7 @@ func (rt *Router) handleRead(w http.ResponseWriter, r *http.Request) {
 				a.resp.Body.Close()
 			}
 			if pending == 0 {
-				rt.serveRead(w, sp, *fallback)
+				rt.serveRead(w, ctx, sp, *fallback)
 				return
 			}
 		case <-ctx.Done():
@@ -701,24 +754,30 @@ type readAttempt struct {
 }
 
 // serveRead relays the winning attempt and attributes it.
-func (rt *Router) serveRead(w http.ResponseWriter, sp *trace.Span, a readAttempt) {
+func (rt *Router) serveRead(w http.ResponseWriter, ctx context.Context, sp *trace.Span, a readAttempt) {
 	if a.hedge {
 		mHedgeWon.Inc()
 		sp.SetArg("hedge_won", "1")
+		serve.AnnotateHedge(ctx, true, true)
 	}
 	sp.SetArg("shard", a.shard)
+	serve.AnnotateShard(ctx, a.shard)
 	copyResponse(w, a.resp)
 }
 
 // ---- router health ---------------------------------------------------
 
 // handleHealth reports the router's view of the ring: per-shard
-// routability and the healthy count. With zero routable shards the
-// router itself answers 503 so an outer balancer fails away from it.
+// routability, the healthy count, and total/ejected membership counts
+// for dashboards. The status-code semantics are unchanged from the
+// pre-cluster-observability contract: with zero routable shards the
+// router answers 503 so an outer balancer fails away from it, and 200
+// otherwise.
 func (rt *Router) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	rt.mu.Lock()
 	shards := map[string]string{}
 	healthy := 0
+	total := len(rt.ring.Members())
 	for _, m := range rt.ring.Members() {
 		if rt.down[m] {
 			shards[m] = "down"
@@ -729,10 +788,12 @@ func (rt *Router) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	}
 	rt.mu.Unlock()
 	body := map[string]any{
-		"status":  "ok",
-		"role":    "router",
-		"healthy": healthy,
-		"shards":  shards,
+		"status":         "ok",
+		"role":           "router",
+		"healthy":        healthy,
+		"shards":         shards,
+		"shards_total":   total,
+		"shards_ejected": total - healthy,
 	}
 	code := http.StatusOK
 	if healthy == 0 {

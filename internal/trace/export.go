@@ -58,6 +58,9 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 				"parent": fmt.Sprintf("%d", e.Parent),
 			},
 		}
+		if e.Trace != "" {
+			ce.Args["trace"] = e.Trace
+		}
 		for _, a := range e.Args {
 			ce.Args[a.Key] = a.Value
 		}
@@ -95,11 +98,31 @@ func (r *Recorder) WriteChrome(w io.Writer) error {
 	return WriteChromeTrace(w, r.Events())
 }
 
-// WriteNDJSON writes the retained events as an NDJSON journal, one
-// event object per line in sequence order.
+// ndjsonMeta is the first line of an NDJSON journal: the recorder's
+// epoch (unix nanoseconds) and optional process name. The merge
+// exporter uses epochs to place journals from different processes onto
+// one absolute timeline; a journal without a meta line still merges,
+// anchored at offset zero.
+type ndjsonMeta struct {
+	Kind        string `json:"kind"`
+	Process     string `json:"process,omitempty"`
+	EpochUnixNS int64  `json:"epoch_unix_ns"`
+}
+
+// metaKind marks the journal header line; Counts and the event decoder
+// skip lines of this kind.
+const metaKind = "meta"
+
+// WriteNDJSON writes the retained events as an NDJSON journal: one meta
+// header line (epoch + process name) followed by one event object per
+// line in sequence order.
 func (r *Recorder) WriteNDJSON(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
+	meta := ndjsonMeta{Kind: metaKind, Process: r.ProcessName(), EpochUnixNS: r.Epoch().UnixNano()}
+	if err := enc.Encode(meta); err != nil {
+		return err
+	}
 	for _, e := range r.Events() {
 		if err := enc.Encode(e); err != nil {
 			return err

@@ -88,10 +88,17 @@ func TestWriteNDJSON(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
-	if len(lines) != 2 {
-		t.Fatalf("want 2 NDJSON lines, got %d: %q", len(lines), buf.String())
+	if len(lines) != 3 { // meta header + 2 events
+		t.Fatalf("want 3 NDJSON lines, got %d: %q", len(lines), buf.String())
 	}
-	for i, line := range lines {
+	var meta struct {
+		Kind        string `json:"kind"`
+		EpochUnixNS int64  `json:"epoch_unix_ns"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &meta); err != nil || meta.Kind != "meta" || meta.EpochUnixNS == 0 {
+		t.Fatalf("first line is not a meta header (err %v): %s", err, lines[0])
+	}
+	for i, line := range lines[1:] {
 		var e Event
 		if err := json.Unmarshal([]byte(line), &e); err != nil {
 			t.Fatalf("line %d not valid JSON: %v", i, err)

@@ -1,0 +1,166 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Merge exporter: stitch the NDJSON journals of N processes (router +
+// shards) into one Chrome trace. Each journal becomes one process lane
+// (its own pid with a process_name metadata record), worker lanes stay
+// thread tracks within it, and timestamps are re-anchored onto one
+// absolute timeline using each journal's epoch meta line — so a routed
+// request renders as router proxy span and shard pipeline spans in
+// their true wall-clock relation, linked by the shared trace ID and the
+// propagated parent span ID in the event args.
+
+// MergeInput is one process's journal to stitch.
+type MergeInput struct {
+	// Process labels the lane ("router", "shard-0", ...). When empty the
+	// journal's own meta line (SetProcess) names it; a journal with
+	// neither gets "process-<n>".
+	Process string
+	// R streams the NDJSON journal (WriteNDJSON's format).
+	R io.Reader
+}
+
+// parsedJournal is one decoded NDJSON input.
+type parsedJournal struct {
+	process string
+	epochNS int64
+	events  []Event
+}
+
+// ReadNDJSON decodes one journal: the optional meta header line and the
+// events. Unknown or malformed lines fail loudly — a journal is an
+// audit artifact, not a best-effort log.
+func ReadNDJSON(r io.Reader) (process string, epochUnixNS int64, events []Event, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		// The meta line and events share the "kind" discriminator.
+		var probe struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal(raw, &probe); err != nil {
+			return "", 0, nil, fmt.Errorf("trace: journal line %d: %w", line, err)
+		}
+		if probe.Kind == metaKind {
+			var m ndjsonMeta
+			if err := json.Unmarshal(raw, &m); err != nil {
+				return "", 0, nil, fmt.Errorf("trace: journal meta line %d: %w", line, err)
+			}
+			process, epochUnixNS = m.Process, m.EpochUnixNS
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(raw, &e); err != nil {
+			return "", 0, nil, fmt.Errorf("trace: journal line %d: %w", line, err)
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return "", 0, nil, fmt.Errorf("trace: reading journal: %w", err)
+	}
+	return process, epochUnixNS, events, nil
+}
+
+// WriteMergedChromeTrace stitches the journals into one Chrome trace.
+// Process lanes appear in input order as pid 1..N; within each lane the
+// usual worker-thread mapping applies. Events keep their span/parent/
+// trace args, so a shard span's parent arg names the router span it was
+// propagated from (unambiguous per lane pair via the shared trace ID).
+func WriteMergedChromeTrace(w io.Writer, inputs []MergeInput) error {
+	if len(inputs) == 0 {
+		return fmt.Errorf("trace: merging zero journals")
+	}
+	journals := make([]parsedJournal, len(inputs))
+	minEpoch := int64(0)
+	haveEpoch := false
+	for i, in := range inputs {
+		process, epoch, events, err := ReadNDJSON(in.R)
+		if err != nil {
+			return err
+		}
+		if in.Process != "" {
+			process = in.Process
+		}
+		if process == "" {
+			process = fmt.Sprintf("process-%d", i+1)
+		}
+		journals[i] = parsedJournal{process: process, epochNS: epoch, events: events}
+		if epoch != 0 && (!haveEpoch || epoch < minEpoch) {
+			minEpoch, haveEpoch = epoch, true
+		}
+	}
+
+	out := chromeTrace{DisplayTimeUnit: "ms"}
+	for i, j := range journals {
+		pid := i + 1
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", PID: pid, TID: 0,
+			Args: map[string]string{"name": j.process}})
+		// Journals without an epoch anchor at the merged origin.
+		var baseUS float64
+		if haveEpoch && j.epochNS != 0 {
+			baseUS = float64(j.epochNS-minEpoch) / 1e3
+		}
+		tids := map[int]bool{}
+		for _, e := range j.events {
+			tids[chromeTID(e.Worker)] = true
+			ce := chromeEvent{
+				Name: e.Name,
+				Cat:  e.Cat,
+				TS:   baseUS + float64(e.Start.Nanoseconds())/1e3,
+				PID:  pid,
+				TID:  chromeTID(e.Worker),
+				Args: map[string]string{
+					"seq":    fmt.Sprintf("%d", e.Seq),
+					"span":   fmt.Sprintf("%d", e.ID),
+					"parent": fmt.Sprintf("%d", e.Parent),
+				},
+			}
+			if e.Trace != "" {
+				ce.Args["trace"] = e.Trace
+			}
+			for _, a := range e.Args {
+				ce.Args[a.Key] = a.Value
+			}
+			if e.Kind == KindInstant {
+				ce.Ph = "i"
+				ce.S = "t"
+			} else {
+				ce.Ph = "X"
+				dur := float64(e.Dur.Nanoseconds()) / 1e3
+				ce.Dur = &dur
+			}
+			out.TraceEvents = append(out.TraceEvents, ce)
+		}
+		lanes := make([]int, 0, len(tids))
+		for tid := range tids {
+			lanes = append(lanes, tid)
+		}
+		sort.Ints(lanes)
+		for _, tid := range lanes {
+			name := "main"
+			if tid > 0 {
+				name = fmt.Sprintf("worker %d", tid-1)
+			}
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "thread_name", Ph: "M", PID: pid, TID: tid,
+				Args: map[string]string{"name": name}})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,188 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// mergedTrace decodes the Chrome JSON the merge exporter writes.
+type mergedTrace struct {
+	TraceEvents []struct {
+		Name string            `json:"name"`
+		Cat  string            `json:"cat"`
+		Ph   string            `json:"ph"`
+		TS   float64           `json:"ts"`
+		PID  int               `json:"pid"`
+		TID  int               `json:"tid"`
+		Args map[string]string `json:"args"`
+	} `json:"traceEvents"`
+}
+
+// TestMergeStitchesRouterAndShard drives the full propagation + merge
+// path across two independent recorders standing in for two processes:
+// the router opens a proxy span, propagates its context over the
+// header format, the shard adopts it, and after stitching the two
+// NDJSON journals the shard's spans are descendants of the router's
+// proxy span under one shared trace ID with per-process lanes.
+func TestMergeStitchesRouterAndShard(t *testing.T) {
+	routerRec, shardRec := New(32), New(32)
+	routerRec.SetProcess("router")
+	shardRec.SetProcess("shard-0")
+
+	// Router side: mint a trace, open the proxy span, build the header.
+	rctx, traceID := EnsureTraceID(context.Background())
+	rctx, proxy := routerRec.StartSpan(rctx, "router", "jobs", A("key", "k1"))
+	header := OutgoingTraceHeader(rctx)
+	proxy.End()
+
+	// Shard side: parse the header, adopt the remote parent, run "work".
+	tc, ok := ParseTraceHeader(header)
+	if !ok {
+		t.Fatalf("shard could not parse propagated header %q", header)
+	}
+	sctx := WithRemoteParent(context.Background(), tc)
+	sctx, jobSpan := shardRec.StartSpan(sctx, "serve", "job", A("key", "k1"))
+	_, stage := shardRec.StartSpan(sctx, "stage", "slicer")
+	stage.End()
+	jobSpan.End()
+
+	var routerND, shardND bytes.Buffer
+	if err := routerRec.WriteNDJSON(&routerND); err != nil {
+		t.Fatal(err)
+	}
+	if err := shardRec.WriteNDJSON(&shardND); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	err := WriteMergedChromeTrace(&out, []MergeInput{
+		{R: &routerND}, // no override: meta line's "router" names the lane
+		{Process: "shard-0", R: &shardND},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var merged mergedTrace
+	if err := json.Unmarshal(out.Bytes(), &merged); err != nil {
+		t.Fatalf("merged trace is not valid JSON: %v", err)
+	}
+
+	// Per-process lanes: two process_name metadata records, distinct pids.
+	processes := map[string]int{}
+	for _, e := range merged.TraceEvents {
+		if e.Name == "process_name" && e.Ph == "M" {
+			processes[e.Args["name"]] = e.PID
+		}
+	}
+	if len(processes) != 2 || processes["router"] == 0 || processes["shard-0"] == 0 {
+		t.Fatalf("process lanes = %v, want router and shard-0", processes)
+	}
+	if processes["router"] == processes["shard-0"] {
+		t.Fatal("router and shard share a pid; lanes collapsed")
+	}
+
+	// Parentage: the shard's job span carries the router's span as its
+	// parent arg, and every event of the request shares the trace ID.
+	var routerSpanID string
+	for _, e := range merged.TraceEvents {
+		if e.PID == processes["router"] && e.Name == "jobs" && e.Cat == "router" {
+			routerSpanID = e.Args["span"]
+			if e.Args["trace"] != traceID {
+				t.Fatalf("router span trace = %q, want %q", e.Args["trace"], traceID)
+			}
+		}
+	}
+	if routerSpanID == "" {
+		t.Fatal("router proxy span missing from merged trace")
+	}
+	foundJob, foundStage := false, false
+	for _, e := range merged.TraceEvents {
+		if e.PID != processes["shard-0"] || e.Ph == "M" {
+			continue
+		}
+		if e.Args["trace"] != traceID {
+			t.Fatalf("shard event %s trace = %q, want %q", e.Name, e.Args["trace"], traceID)
+		}
+		switch e.Name {
+		case "job":
+			foundJob = true
+			if e.Args["parent"] != routerSpanID {
+				t.Fatalf("shard job span parent = %s, want router span %s", e.Args["parent"], routerSpanID)
+			}
+		case "slicer":
+			foundStage = true
+		}
+	}
+	if !foundJob || !foundStage {
+		t.Fatalf("shard spans missing from merged trace (job=%v stage=%v)", foundJob, foundStage)
+	}
+}
+
+// TestMergeAlignsEpochs pins timestamp re-anchoring: a journal whose
+// epoch is 1ms later than the other's starts 1000µs further down the
+// merged timeline.
+func TestMergeAlignsEpochs(t *testing.T) {
+	early := `{"kind":"meta","epoch_unix_ns":1000000000}
+{"seq":0,"id":1,"kind":"span","cat":"run","name":"a","worker":-1,"start_ns":0,"dur_ns":1000}
+`
+	late := `{"kind":"meta","epoch_unix_ns":1001000000}
+{"seq":0,"id":1,"kind":"span","cat":"run","name":"b","worker":-1,"start_ns":0,"dur_ns":1000}
+`
+	var out bytes.Buffer
+	err := WriteMergedChromeTrace(&out, []MergeInput{
+		{Process: "p1", R: strings.NewReader(early)},
+		{Process: "p2", R: strings.NewReader(late)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var merged mergedTrace
+	if err := json.Unmarshal(out.Bytes(), &merged); err != nil {
+		t.Fatal(err)
+	}
+	ts := map[string]float64{}
+	for _, e := range merged.TraceEvents {
+		if e.Ph == "X" {
+			ts[e.Name] = e.TS
+		}
+	}
+	if got := ts["b"] - ts["a"]; got != 1000 {
+		t.Fatalf("epoch alignment: b starts %+vµs after a, want 1000", got)
+	}
+}
+
+func TestMergeRejectsEmptyAndMalformed(t *testing.T) {
+	if err := WriteMergedChromeTrace(&bytes.Buffer{}, nil); err == nil {
+		t.Fatal("merging zero journals succeeded")
+	}
+	bad := strings.NewReader("not json\n")
+	err := WriteMergedChromeTrace(&bytes.Buffer{}, []MergeInput{{Process: "x", R: bad}})
+	if err == nil {
+		t.Fatal("malformed journal merged silently")
+	}
+}
+
+func TestReadNDJSONRoundTrip(t *testing.T) {
+	r := New(8)
+	r.SetProcess("unit")
+	ctx, sp := r.StartSpan(context.Background(), "run", "root")
+	r.Instant(ctx, "batch", "mark")
+	sp.End()
+	var buf bytes.Buffer
+	if err := r.WriteNDJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	process, epoch, events, err := ReadNDJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if process != "unit" || epoch != r.Epoch().UnixNano() {
+		t.Fatalf("meta: process=%q epoch=%d, want unit/%d", process, epoch, r.Epoch().UnixNano())
+	}
+	if len(events) != 2 {
+		t.Fatalf("decoded %d events, want 2", len(events))
+	}
+}

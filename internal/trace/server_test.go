@@ -92,8 +92,12 @@ func TestDebugServerTrace(t *testing.T) {
 	}
 
 	nd, _ := get(t, srv.URL()+"/trace.ndjson")
-	if lines := strings.Split(strings.TrimRight(nd, "\n"), "\n"); len(lines) != 2 {
-		t.Fatalf("trace.ndjson: want 2 lines, got %d", len(lines))
+	lines := strings.Split(strings.TrimRight(nd, "\n"), "\n")
+	if len(lines) != 3 { // meta header + 2 events
+		t.Fatalf("trace.ndjson: want 3 lines (meta + 2 events), got %d", len(lines))
+	}
+	if !strings.Contains(lines[0], `"kind":"meta"`) || !strings.Contains(lines[0], "epoch_unix_ns") {
+		t.Fatalf("trace.ndjson first line is not the meta header: %s", lines[0])
 	}
 }
 

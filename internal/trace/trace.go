@@ -73,6 +73,10 @@ type Event struct {
 	// Worker is the worker-pool lane that produced the event (-1 when
 	// recorded outside a pool task).
 	Worker int `json:"worker"`
+	// Trace is the end-to-end trace identifier carried by the recording
+	// context (empty outside a propagated request). Like worker
+	// attribution it is excluded from the deterministic multiset view.
+	Trace string `json:"trace,omitempty"`
 	// Start is the offset from the recorder epoch.
 	Start time.Duration `json:"start_ns"`
 	// Dur is the span duration (0 for instants).
@@ -91,11 +95,12 @@ const DefaultCapacity = 1 << 14
 type Recorder struct {
 	ids atomic.Uint64 // span ID allocator, lock-free
 
-	mu    sync.Mutex
-	epoch time.Time
-	buf   []Event // grows to cap, then wraps at total%cap
-	cap   int
-	total uint64 // events ever recorded; next event's Seq
+	mu      sync.Mutex
+	epoch   time.Time
+	process string  // exported journal lane name (SetProcess)
+	buf     []Event // grows to cap, then wraps at total%cap
+	cap     int
+	total   uint64 // events ever recorded; next event's Seq
 }
 
 // New returns a recorder with the given ring capacity (<= 0 means
@@ -105,6 +110,31 @@ func New(capacity int) *Recorder {
 		capacity = DefaultCapacity
 	}
 	return &Recorder{cap: capacity, epoch: time.Now()}
+}
+
+// Epoch returns the recorder's time origin: event Start offsets are
+// relative to it. The merge exporter uses per-process epochs to align
+// journals from different processes onto one timeline.
+func (r *Recorder) Epoch() time.Time {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.epoch
+}
+
+// SetProcess names the process for exported journals ("router",
+// "shard-0", ...). The name rides the NDJSON meta line so a merged
+// trace labels each lane even when the merger supplies no override.
+func (r *Recorder) SetProcess(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.process = name
+}
+
+// ProcessName returns the name set by SetProcess, or "".
+func (r *Recorder) ProcessName() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.process
 }
 
 var std = New(0)
@@ -208,10 +238,20 @@ type Span struct {
 	cat     string
 	name    string
 	worker  int
+	trace   string
 	start   time.Time
 	args    []Arg
 	ended   bool
 	endOnce sync.Once
+}
+
+// ID returns the span's identifier — what a proxied request's
+// HeaderTrace names as the remote parent. 0 for the nil span.
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
 }
 
 // StartSpan opens a span under the span carried by ctx and returns a
@@ -227,6 +267,7 @@ func (r *Recorder) StartSpan(ctx context.Context, cat, name string, args ...Arg)
 		cat:    cat,
 		name:   name,
 		worker: Worker(ctx),
+		trace:  TraceIDFrom(ctx),
 		start:  time.Now(),
 		args:   append([]Arg(nil), args...),
 	}
@@ -257,6 +298,7 @@ func (s *Span) End() {
 			Cat:    s.cat,
 			Name:   s.name,
 			Worker: s.worker,
+			Trace:  s.trace,
 			Dur:    time.Since(s.start),
 			Args:   s.args,
 		})
@@ -271,6 +313,7 @@ func (r *Recorder) Instant(ctx context.Context, cat, name string, args ...Arg) {
 		Cat:    cat,
 		Name:   name,
 		Worker: Worker(ctx),
+		Trace:  TraceIDFrom(ctx),
 		Args:   append([]Arg(nil), args...),
 	})
 }

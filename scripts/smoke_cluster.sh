@@ -13,11 +13,27 @@
 #     one healthy shard, router.shard.ejected fires) and every key is
 #     still servable through failover to the survivor
 #   - a burst past the survivor's -max-queue sheds 429s whose
-#     Retry-After header passes through the router untouched
+#     Retry-After header passes through the router untouched, and every
+#     shed still carries an X-Request-Id
+#   - the router's /cluster/metrics.json federated view sums the
+#     per-shard counters exactly (shard hit counters add up to the
+#     cluster total)
+#   - a client-supplied X-Request-ID is echoed on the routed response
+#     and appears with one shared trace ID in both the router's and the
+#     owning shard's NDJSON access logs
+#   - the three processes' /trace.ndjson journals merge (obfuscade
+#     trace-merge) into one Chrome trace in which the shard's serve/job
+#     span parents under the router's proxy span via the propagated
+#     trace context
 #
-# Fresh processes mean each shard has its own metrics registry, so the
-# per-shard counter values are exact (in-process tests share the global
-# registry and cannot assert this).
+# Fresh processes mean each shard has its own metrics registry and
+# trace recorder, so the per-shard counter values are exact and the
+# merged trace is a true multi-process stitch (in-process tests share
+# the global registry and cannot assert this).
+#
+# Set CLUSTER_TRACE_OUT to keep the merged Chrome trace (CI uploads it
+# as an artifact); by default it lands in the temp workdir and is
+# deleted with it.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -59,12 +75,13 @@ metric() { # metric <host:port> <counter name> — 0 when absent
     echo "${v:-0}"
 }
 
-start_node "$workdir/s1.addr" -max-queue 1
+start_node "$workdir/s1.addr" -max-queue 1 -access-log "$workdir/s1.access.ndjson"
 s1_pid=$last_pid
 s1="$(tr -d '[:space:]' < "$workdir/s1.addr")"
-start_node "$workdir/s2.addr" -max-queue 1
+start_node "$workdir/s2.addr" -max-queue 1 -access-log "$workdir/s2.access.ndjson"
 s2="$(tr -d '[:space:]' < "$workdir/s2.addr")"
-start_node "$workdir/router.addr" -route-to "$s1,$s2" -probe-interval 100ms
+start_node "$workdir/router.addr" -route-to "$s1,$s2" -probe-interval 100ms \
+    -access-log "$workdir/router.access.ndjson"
 router="http://$(tr -d '[:space:]' < "$workdir/router.addr")"
 
 submit() { # submit <seed> — prints the response body, fails on curl error
@@ -103,6 +120,59 @@ c2_after="$(metric "$s2" obfuscade_serve_jobs_completed_total)"
 h1="$(metric "$s1" obfuscade_cache_hits_total)"
 h2="$(metric "$s2" obfuscade_cache_hits_total)"
 [ $((h1 + h2)) -eq 12 ] || fail "cache hits across shards = $h1 + $h2, want 12"
+
+# ---- federation: /cluster/metrics.json sums the shards exactly -------
+
+fed="$(curl -sf "$router/cluster/metrics.json")"
+shard_hits="$(echo "$fed" | jq '[.shards[].counters[]? | select(.name == "cache.hits") | .value] | add // 0')"
+cluster_hits="$(echo "$fed" | jq '[.cluster.counters[]? | select(.name == "cache.hits") | .value] | add // 0')"
+[ "$shard_hits" -eq 12 ] || fail "federated per-shard cache.hits sum to $shard_hits, want 12"
+[ "$cluster_hits" -eq 12 ] || fail "federated cluster cache.hits = $cluster_hits, want 12"
+[ "$(echo "$fed" | jq -r .stale)" = false ] || fail "federated scrape reports stale with both shards alive: $fed"
+[ "$(echo "$fed" | jq '.shards | length')" -eq 2 ] || fail "federated view missing a shard: $fed"
+# Buffer before grepping: grep -q closing the pipe early would fail
+# curl under pipefail.
+prom="$(curl -sf "$router/cluster/metrics")"
+echo "$prom" | grep -q '^obfuscade_cluster_cache_hits_total 12$' \
+    || fail "Prometheus federation lacks obfuscade_cluster_cache_hits_total 12"
+
+# ---- trace propagation: one request ID, one trace, two access logs ---
+
+traced="$(curl -sf -D "$workdir/traced.hdr" -X POST \
+    -H 'Content-Type: application/json' -H 'X-Request-ID: smoke-req-1' \
+    -d '{"seed": 999}' "$router/jobs?wait=1")"
+[ "$(echo "$traced" | jq -r .state)" = done ] || fail "traced job: $traced"
+traced_key="$(echo "$traced" | jq -r .id)"
+grep -qi '^x-request-id: smoke-req-1' "$workdir/traced.hdr" \
+    || fail "router did not echo X-Request-ID: $(cat "$workdir/traced.hdr")"
+
+router_trace="$(jq -r 'select(.request_id == "smoke-req-1") | .trace' "$workdir/router.access.ndjson" | head -1)"
+[ -n "$router_trace" ] || fail "router access log has no entry for smoke-req-1"
+shard_trace="$(jq -r 'select(.request_id == "smoke-req-1") | .trace' \
+    "$workdir/s1.access.ndjson" "$workdir/s2.access.ndjson" | sort -u)"
+[ "$(echo "$shard_trace" | wc -l)" -eq 1 ] && [ -n "$shard_trace" ] \
+    || fail "want exactly one shard access-log trace for smoke-req-1, got: $shard_trace"
+[ "$shard_trace" = "$router_trace" ] \
+    || fail "trace ID diverged across tiers: router=$router_trace shard=$shard_trace"
+
+# ---- trace merge: three journals, one Chrome trace, linked spans -----
+
+curl -sf "$router/trace.ndjson" > "$workdir/router.ndjson" || fail "router /trace.ndjson"
+curl -sf "http://$s1/trace.ndjson" > "$workdir/s1.ndjson" || fail "s1 /trace.ndjson"
+curl -sf "http://$s2/trace.ndjson" > "$workdir/s2.ndjson" || fail "s2 /trace.ndjson"
+trace_out="${CLUSTER_TRACE_OUT:-$workdir/cluster_trace.json}"
+"$workdir/obfuscade" trace-merge -out "$trace_out" \
+    "router=$workdir/router.ndjson" "shard-0=$workdir/s1.ndjson" "shard-1=$workdir/s2.ndjson" \
+    || fail "trace-merge failed"
+# The shard's serve/job span for the traced key must name a parent span
+# that exists in the router lane under the same trace ID.
+jq -e --arg key "$traced_key" '
+    first(.traceEvents[] | select(.cat == "serve" and .name == "job" and .args.key == $key)) as $job
+    | first(.traceEvents[] | select(.cat == "router" and .name == "jobs"
+          and .args.trace == $job.args.trace and .args.span == $job.args.parent))
+    | (.args.trace | length) > 0
+' "$trace_out" > /dev/null \
+    || fail "merged trace does not link the shard job span under the router proxy span"
 
 # ---- failover: kill a shard, the cluster keeps serving ---------------
 
@@ -147,6 +217,8 @@ for i in $(seq 1 8); do
     429)
         grep -qi '^Retry-After:' "$workdir/shed_hdr_$i" \
             || fail "429 through the router lost Retry-After: $(cat "$workdir/shed_hdr_$i")"
+        grep -qi '^X-Request-Id:' "$workdir/shed_hdr_$i" \
+            || fail "429 through the router lost X-Request-Id: $(cat "$workdir/shed_hdr_$i")"
         shed=$((shed + 1))
         ;;
     200) served=$((served + 1)) ;;
@@ -156,4 +228,4 @@ done
 [ "$shed" -ge 1 ] || fail "burst of 8 against -max-queue 1 shed nothing through the router"
 [ "$served" -ge 1 ] || fail "shedding served nothing at all"
 
-echo "smoke_cluster: OK (placement $c1/$c2, 12 stable hits, failover after kill, $shed shed / $served served)"
+echo "smoke_cluster: OK (placement $c1/$c2, 12 stable hits, federated sum $cluster_hits, trace $router_trace spans both tiers, failover after kill, $shed shed / $served served)"
