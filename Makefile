@@ -53,7 +53,7 @@ smoke-cluster:
 # and sharding packages — the subsystems every parallel stage and the
 # routing tier depend on.
 COVER_FLOOR ?= 85
-COVER_PKGS = ./internal/obs ./internal/parallel ./internal/trace ./internal/serve ./internal/shard
+COVER_PKGS = ./internal/obs ./internal/parallel ./internal/trace ./internal/serve ./internal/shard ./internal/stego
 cover:
 	$(GO) test -covermode=atomic -coverprofile=coverage.out $(COVER_PKGS)
 	@pct=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ { gsub(/%/, "", $$3); print $$3 }'); \

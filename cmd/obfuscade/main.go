@@ -19,6 +19,15 @@
 //	obfuscade serve -route-to shard1:port,shard2:port,... [-addr host:port]
 //	                [-vnodes N] [-hedge-after D] [-probe-interval D] [-access-log file]
 //	obfuscade trace-merge -out merged.json [name=]journal.ndjson ...
+//	obfuscade sanitize -in part.stl -out clean.stl [-quantum Q] [-report report.json]
+//
+// sanitize destroys the stego channels of a design file (facet-order
+// permutation and sub-quantum coordinate offsets): facets are re-ordered
+// by a deterministic spatial sort and every coordinate re-quantized to
+// the grid, so the output depends only on the geometry and any embedded
+// payload is unrecoverable. The detection report scores both channels
+// before and after. The serve tier exposes the same operation as POST
+// /sanitize, content-addressed and cached like jobs.
 //
 // serve runs the long-lived obfuscation job service: POST /jobs accepts
 // a JSON request (part, resolution, orientation, restore_sphere, seed,
@@ -167,6 +176,8 @@ func main() {
 		err = cmdServe(os.Args[2:])
 	case "trace-merge":
 		err = cmdTraceMerge(os.Args[2:])
+	case "sanitize":
+		err = cmdSanitize(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 		return
@@ -181,7 +192,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: obfuscade <protect|manufacture|matrix|keyspace|advise|mark|trace|stats|serve|trace-merge> [flags]
+	fmt.Fprintln(os.Stderr, `usage: obfuscade <protect|manufacture|matrix|keyspace|advise|mark|trace|stats|serve|trace-merge|sanitize> [flags]
 run "obfuscade <subcommand> -h" for flags`)
 }
 

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"obfuscade/internal/geom"
+	"obfuscade/internal/mesh"
+	"obfuscade/internal/stego"
+	"obfuscade/internal/stl"
+)
+
+func TestSanitizeSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	m := &mesh.Mesh{}
+	for b := 0; b < 10; b++ {
+		fb := float64(b)
+		m.Shells = append(m.Shells, mesh.BoxShell(
+			fmt.Sprintf("s%d", b), "body",
+			geom.V3(fb*9, fb*5, 0), geom.V3(fb*9+5+fb/4, fb*5+3, 2+fb/8)))
+	}
+	emb, err := stego.Embed(m, []byte("cli secret"), stego.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := stl.Marshal(emb, stl.Binary, "leaky")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := filepath.Join(dir, "leaky.stl")
+	if err := os.WriteFile(in, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out := filepath.Join(dir, "clean.stl")
+	reportPath := filepath.Join(dir, "report.json")
+	if err := cmdSanitize([]string{"-in", in, "-out", out, "-report", reportPath}); err != nil {
+		t.Fatal(err)
+	}
+	body, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep stego.SanitizeReport
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Before.Suspicious() || rep.After.Suspicious() {
+		t.Fatalf("report = %+v", rep)
+	}
+
+	// The CLI's output is the same canonical bytes the library produces.
+	clean, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := stego.SanitizeSTL(data, stego.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(clean, want) {
+		t.Fatal("CLI output differs from library sanitize")
+	}
+
+	// Re-sanitizing the clean file is the identity.
+	out2 := filepath.Join(dir, "clean2.stl")
+	if err := cmdSanitize([]string{"-in", out, "-out", out2}); err != nil {
+		t.Fatal(err)
+	}
+	clean2, err := os.ReadFile(out2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(clean2, clean) {
+		t.Fatal("CLI sanitize is not idempotent")
+	}
+
+	if err := cmdSanitize([]string{"-in", in}); err == nil {
+		t.Error("expected error for missing -out")
+	}
+	garbage := filepath.Join(dir, "garbage.stl")
+	if err := os.WriteFile(garbage, []byte("not an stl"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdSanitize([]string{"-in", garbage, "-out", out2}); err == nil {
+		t.Error("expected error for garbage input")
+	}
+}

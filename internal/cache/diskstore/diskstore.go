@@ -228,6 +228,11 @@ func (s *Store) compactJournalLocked() error {
 	for el := s.ll.Back(); el != nil; el = el.Prev() {
 		fmt.Fprintf(tmp, "%d %s\n", now, el.Value.(*entry).key)
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("diskstore: %w", err)
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("diskstore: %w", err)
@@ -236,6 +241,12 @@ func (s *Store) compactJournalLocked() error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("diskstore: %w", err)
 	}
+	// The rename itself lives in the directory, not the file: without an
+	// fsync of the parent a crash right after compaction can surface an
+	// empty directory entry — the old journal gone, the new one never
+	// durable — losing all LRU recency. Best-effort: recency is a
+	// performance hint, so a failed dir sync must not fail the store.
+	syncDir(s.dir)
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("diskstore: %w", err)
@@ -457,7 +468,20 @@ func (s *Store) writeObject(key cache.Key, payload []byte) error {
 		os.Remove(name)
 		return fmt.Errorf("diskstore: %w", err)
 	}
+	syncDir(root)
 	return nil
+}
+
+// syncDir fsyncs a directory so a preceding rename survives a crash.
+// Best-effort: callers treat directory durability as a hint, and some
+// filesystems reject fsync on directories.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
 }
 
 // putErr counts a failed Put and passes the error through.

@@ -291,6 +291,87 @@ func TestJournalCompaction(t *testing.T) {
 
 // Concurrency hammer (run under -race): mixed puts, gets and GC churn
 // on a tight budget must stay consistent.
+// A crash immediately after journal compaction can tear the rename:
+// with the directory entry never fsynced, the old journal is gone and
+// the new one never became durable. The store must shrug — every object
+// still serves, and recency degrades to mtime order instead of failing
+// Open or losing data.
+func TestTornJournalAfterCompactionRecovers(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	s1 := open(t, dir, 0)
+	for _, k := range []string{"a", "b", "c"} {
+		if err := s1.Put(ctx, key(k), []byte("payload-"+k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s1.mu.Lock()
+	err := s1.compactJournalLocked()
+	s1.mu.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate the torn state: the compacted journal vanished.
+	if err := os.Remove(filepath.Join(dir, journalName)); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := open(t, dir, 0)
+	if s2.Len() != 3 {
+		t.Fatalf("reopened store indexed %d objects, want 3", s2.Len())
+	}
+	for _, k := range []string{"a", "b", "c"} {
+		got, ok := s2.Get(ctx, key(k))
+		if !ok || string(got) != "payload-"+k {
+			t.Fatalf("key %s: Get = %q, %v", k, got, ok)
+		}
+	}
+	// The journal reopened for appending: recency written now must
+	// survive the next restart even though the old journal was lost.
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, journalName)); err != nil {
+		t.Fatalf("journal not recreated after torn state: %v", err)
+	}
+}
+
+// A half-written journal line (crash mid-append) is skipped without
+// failing Open, and complete lines still replay.
+func TestTornJournalLineIgnored(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	s1 := open(t, dir, 0)
+	for _, k := range []string{"a", "b"} {
+		if err := s1.Put(ctx, key(k), []byte(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	jp := filepath.Join(dir, journalName)
+	f, err := os.OpenFile(jp, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("1234 deadbeef"); err != nil { // torn: no newline, bogus key
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2 := open(t, dir, 0)
+	if s2.Len() != 2 {
+		t.Fatalf("reopened store indexed %d objects, want 2", s2.Len())
+	}
+}
+
 func TestConcurrencyHammer(t *testing.T) {
 	const (
 		goroutines = 8

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -102,6 +103,7 @@ type accessAnnotations struct {
 	outcome    string
 	hedgeFired bool
 	hedgeWon   bool
+	items      []string // per-item outcomes of a batch request, in order
 }
 
 type annCtxKey struct{}
@@ -126,6 +128,20 @@ func AnnotateOutcome(ctx context.Context, outcome string) {
 	if a := annotationsFrom(ctx); a != nil {
 		a.mu.Lock()
 		a.outcome = outcome
+		a.mu.Unlock()
+	}
+}
+
+// AnnotateBatchItem appends one batch item's cache outcome. The
+// middleware emits an extra access-log line per item with the request
+// ID suffixed "#<seq>", so a batch of N jobs is N+1 lines: the batch
+// entry plus one attributable line per item. (Before this existed,
+// batch items raced to overwrite the single outcome field and the log
+// recorded only whichever item annotated last.)
+func AnnotateBatchItem(ctx context.Context, outcome string) {
+	if a := annotationsFrom(ctx); a != nil {
+		a.mu.Lock()
+		a.items = append(a.items, outcome)
 		a.mu.Unlock()
 	}
 }
@@ -239,7 +255,18 @@ func WithObservability(h http.Handler, role string, log *AccessLogger) http.Hand
 			HedgeFired: ann.hedgeFired,
 			HedgeWon:   ann.hedgeWon,
 		}
+		items := append([]string(nil), ann.items...)
 		ann.mu.Unlock()
 		log.Log(entry)
+		// One line per batch item, after the batch entry, sharing its
+		// timing but carrying a sequenced request ID and the item's own
+		// outcome. Bytes stay on the batch entry.
+		for i, out := range items {
+			item := entry
+			item.RequestID = reqID + "#" + strconv.Itoa(i)
+			item.Outcome = out
+			item.Bytes = 0
+			log.Log(item)
+		}
 	})
 }

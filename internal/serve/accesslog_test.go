@@ -55,15 +55,22 @@ func TestAccessLogGolden(t *testing.T) {
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, errOverloaded)
 	})
+	mux.HandleFunc("POST /jobs/batch", func(w http.ResponseWriter, r *http.Request) {
+		AnnotateBatchItem(r.Context(), "miss")
+		AnnotateBatchItem(r.Context(), "hit")
+		w.Write([]byte(`{"results":[]}`))
+	})
 	h := WithObservability(mux, "serve", logger)
 
 	type call struct {
 		method, path, reqID, traceHdr string
+		extraLines                    int // per-item batch lines after the main entry
 	}
 	calls := []call{
-		{"POST", "/jobs", "req-client-1", "4bf92f3577b34da6-7"},
-		{"GET", "/jobs/k1/stl", "req-client-2", "4bf92f3577b34da6-7"},
-		{"POST", "/shed", "req-client-3", ""},
+		{"POST", "/jobs", "req-client-1", "4bf92f3577b34da6-7", 0},
+		{"GET", "/jobs/k1/stl", "req-client-2", "4bf92f3577b34da6-7", 0},
+		{"POST", "/shed", "req-client-3", "", 0},
+		{"POST", "/jobs/batch", "req-client-4", "4bf92f3577b34da6-7", 2},
 	}
 	for _, c := range calls {
 		r := httptest.NewRequest(c.method, c.path, nil)
@@ -80,9 +87,23 @@ func TestAccessLogGolden(t *testing.T) {
 
 	// The third call sends no trace header, so its trace ID is minted at
 	// random; normalize it for the golden comparison after checking shape.
+	wantLines := 0
+	for _, c := range calls {
+		wantLines += 1 + c.extraLines
+	}
 	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
-	if len(lines) != len(calls) {
-		t.Fatalf("logged %d lines, want %d", len(lines), len(calls))
+	if len(lines) != wantLines {
+		t.Fatalf("logged %d lines, want %d", len(lines), wantLines)
+	}
+	// The batch request logs one sequenced line per item after its own.
+	for i, wantID := range []string{"req-client-4", "req-client-4#0", "req-client-4#1"} {
+		var e AccessEntry
+		if err := json.Unmarshal([]byte(lines[3+i]), &e); err != nil {
+			t.Fatal(err)
+		}
+		if e.RequestID != wantID {
+			t.Fatalf("batch line %d request id %q, want %q", i, e.RequestID, wantID)
+		}
 	}
 	var shed AccessEntry
 	if err := json.Unmarshal([]byte(lines[2]), &shed); err != nil {

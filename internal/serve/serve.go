@@ -50,30 +50,66 @@ func (r *cachedResult) SizeBytes() int64 {
 	return int64(len(r.stl) + len(r.manifest) + len(r.stlSHA) + len(r.grade))
 }
 
-// resultCodec round-trips cachedResult values through the disk tier as
-// length-prefixed binary frames: four fields (stl, manifest, sha,
-// grade), each a big-endian uint32 length followed by that many bytes.
-// The disk store's own integrity digest covers the frame, so the codec
-// only validates structure, not content.
+// resultCodec round-trips cache values through the disk tier as
+// length-prefixed binary frames. A job result (cachedResult) is four
+// fields (stl, manifest, sha, grade), each a big-endian uint32 length
+// followed by that many bytes — the original frame layout, kept
+// byte-compatible so caches written before sanitize existed still
+// decode. A sanitize result (sanitizedResult) is discriminated by a
+// leading sanitizeFrameMark word followed by three fields (stl, report,
+// sha). The disk store's own integrity digest covers the frame, so the
+// codec only validates structure, not content.
 type resultCodec struct{}
 
-// Encode implements cache.Codec.
-func (resultCodec) Encode(v cache.Value) ([]byte, error) {
-	r, ok := v.(*cachedResult)
-	if !ok {
-		return nil, fmt.Errorf("serve: encoding %T, want *cachedResult", v)
-	}
-	fields := [][]byte{r.stl, r.manifest, []byte(r.stlSHA), []byte(r.grade)}
-	size := 0
-	for _, f := range fields {
-		size += 4 + len(f)
-	}
-	buf := make([]byte, 0, size)
+// sanitizeFrameMark discriminates sanitize frames from legacy job
+// frames sharing one disk tier: a first uint32 of 0xFFFFFFFF can never
+// be a legacy stl-field length (a 4 GiB artifact is orders of magnitude
+// past every request bound), so old frames decode exactly as before.
+const sanitizeFrameMark = 0xFFFFFFFF
+
+func appendFields(buf []byte, fields [][]byte) []byte {
 	for _, f := range fields {
 		buf = binary.BigEndian.AppendUint32(buf, uint32(len(f)))
 		buf = append(buf, f...)
 	}
-	return buf, nil
+	return buf
+}
+
+// splitFields parses exactly n length-prefixed fields consuming all of
+// data.
+func splitFields(data []byte, n int) ([][]byte, error) {
+	fields := make([][]byte, n)
+	for i := range fields {
+		if len(data) < 4 {
+			return nil, errBadFrame
+		}
+		ln := binary.BigEndian.Uint32(data)
+		data = data[4:]
+		if uint64(len(data)) < uint64(ln) {
+			return nil, errBadFrame
+		}
+		fields[i] = data[:ln:ln]
+		data = data[ln:]
+	}
+	if len(data) != 0 {
+		return nil, errBadFrame
+	}
+	return fields, nil
+}
+
+// Encode implements cache.Codec.
+func (resultCodec) Encode(v cache.Value) ([]byte, error) {
+	switch r := v.(type) {
+	case *cachedResult:
+		buf := make([]byte, 0, int(r.SizeBytes())+16)
+		return appendFields(buf, [][]byte{r.stl, r.manifest, []byte(r.stlSHA), []byte(r.grade)}), nil
+	case *sanitizedResult:
+		buf := make([]byte, 0, int(r.SizeBytes())+16)
+		buf = binary.BigEndian.AppendUint32(buf, sanitizeFrameMark)
+		return appendFields(buf, [][]byte{r.stl, r.report, []byte(r.sha)}), nil
+	default:
+		return nil, fmt.Errorf("serve: encoding %T, want *cachedResult or *sanitizedResult", v)
+	}
 }
 
 var errBadFrame = errors.New("serve: malformed cached result frame")
@@ -82,21 +118,16 @@ var errBadFrame = errors.New("serve: malformed cached result frame")
 // example one written by a build with a different layout) returns an
 // error, which the cache treats as a miss and recomputes.
 func (resultCodec) Decode(data []byte) (cache.Value, error) {
-	var fields [4][]byte
-	for i := range fields {
-		if len(data) < 4 {
-			return nil, errBadFrame
+	if len(data) >= 4 && binary.BigEndian.Uint32(data) == sanitizeFrameMark {
+		fields, err := splitFields(data[4:], 3)
+		if err != nil {
+			return nil, err
 		}
-		n := binary.BigEndian.Uint32(data)
-		data = data[4:]
-		if uint64(len(data)) < uint64(n) {
-			return nil, errBadFrame
-		}
-		fields[i] = data[:n:n]
-		data = data[n:]
+		return &sanitizedResult{stl: fields[0], report: fields[1], sha: string(fields[2])}, nil
 	}
-	if len(data) != 0 {
-		return nil, errBadFrame
+	fields, err := splitFields(data, 4)
+	if err != nil {
+		return nil, err
 	}
 	return &cachedResult{
 		stl:      fields[0],

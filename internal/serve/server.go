@@ -183,6 +183,8 @@ func Start(opts Options) (*Server, error) {
 	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /jobs/{id}/stl", s.handleSTL)
 	mux.HandleFunc("GET /jobs/{id}/manifest", s.handleManifest)
+	mux.HandleFunc("POST /sanitize", s.handleSanitize)
+	mux.HandleFunc("GET /sanitize/{id}/stl", s.handleSanitizeSTL)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	ds, err := trace.StartServer(opts.Addr, WithObservability(mux, "serve", s.accessLog))
 	if err != nil {
@@ -493,6 +495,22 @@ func (s *Server) annotateJobOutcome(ctx context.Context, j *job) {
 	}
 }
 
+// annotateBatchItem records one batch item's cache outcome as a
+// per-item access-log line (request ID "<batch id>#<seq>"); a failed
+// item logs "failed" so the batch's shape is still reconstructible from
+// the log alone.
+func (s *Server) annotateBatchItem(ctx context.Context, j *job) {
+	s.mu.Lock()
+	res, err := j.result, j.err
+	s.mu.Unlock()
+	switch {
+	case err != nil:
+		AnnotateBatchItem(ctx, "failed")
+	case res != nil:
+		AnnotateBatchItem(ctx, res.Outcome.String())
+	}
+}
+
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
@@ -640,7 +658,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusRequestTimeout, r.Context().Err())
 			return
 		}
-		s.annotateJobOutcome(r.Context(), j)
+		s.annotateBatchItem(r.Context(), j)
 		resp.Results[i] = s.status(j)
 	}
 	writeJSON(w, http.StatusOK, resp)

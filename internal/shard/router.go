@@ -166,6 +166,8 @@ func StartRouter(opts RouterOptions) (*Router, error) {
 	mux.HandleFunc("GET /jobs/{id}", rt.handleRead)
 	mux.HandleFunc("GET /jobs/{id}/stl", rt.handleRead)
 	mux.HandleFunc("GET /jobs/{id}/manifest", rt.handleRead)
+	mux.HandleFunc("POST /sanitize", rt.handleSanitize)
+	mux.HandleFunc("GET /sanitize/{id}/stl", rt.handleRead)
 	mux.HandleFunc("GET /healthz", rt.handleHealth)
 	mux.HandleFunc("GET /cluster/metrics.json", rt.handleClusterMetricsJSON)
 	mux.HandleFunc("GET /cluster/metrics", rt.handleClusterMetricsProm)
@@ -412,6 +414,42 @@ func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	ctx, sp := trace.StartSpan(r.Context(), "router", "jobs", trace.A("key", key))
 	defer sp.End()
 	resp, shard, err := rt.forwardWrite(ctx, "/jobs", r.URL.RawQuery, body, key)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	sp.SetArg("shard", shard)
+	serve.AnnotateShard(ctx, shard)
+	copyResponse(w, resp)
+}
+
+// handleSanitize proxies POST /sanitize to the shard that owns the
+// body's content address. The placement key is the serve tier's own
+// SanitizeKey, so a repeated upload of the same file lands on the
+// shard that already caches its sanitized artifact, and the returned
+// stl_url resolves through the router's hedged-read path.
+func (rt *Router) handleSanitize(w http.ResponseWriter, r *http.Request) {
+	mRequests.Inc()
+	quantum, err := serve.ParseSanitizeQuantum(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, serve.MaxSanitizeBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("shard: sanitize body exceeds %d bytes", serve.MaxSanitizeBytes))
+			return
+		}
+		writeError(w, http.StatusBadRequest, fmt.Errorf("shard: reading sanitize body: %w", err))
+		return
+	}
+	key := string(serve.SanitizeKey(body, quantum))
+	ctx, sp := trace.StartSpan(r.Context(), "router", "sanitize", trace.A("key", key))
+	defer sp.End()
+	resp, shard, err := rt.forwardWrite(ctx, "/sanitize", r.URL.RawQuery, body, key)
 	if err != nil {
 		writeError(w, http.StatusServiceUnavailable, err)
 		return

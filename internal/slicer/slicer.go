@@ -139,6 +139,15 @@ func Slice(m *mesh.Mesh, opts Options) (*Result, error) {
 	return SliceCtx(context.Background(), m, opts)
 }
 
+// SliceReference runs the retained naive (pre-index) kernels. It is the
+// DeepEqual oracle the indexed kernels are property-tested against, and
+// the sanitizer's proof surface: other packages compare SliceReference
+// output across a transformation to show the transformation is
+// slicing-invariant without depending on the indexed fast path.
+func SliceReference(m *mesh.Mesh, opts Options) (*Result, error) {
+	return sliceNaive(m, opts)
+}
+
 // SliceCtx is Slice with trace propagation: the stage span parents to
 // the span carried by ctx, and the per-layer fan-out emits a batch
 // instant recording the deterministic layer count.

@@ -1,0 +1,118 @@
+package stego
+
+import (
+	"math"
+
+	"obfuscade/internal/mesh"
+)
+
+// Report is a per-channel suspicion assessment of a mesh. Scores are in
+// [0, 1]: a canonical (sanitized) mesh scores exactly 0 on both
+// channels; an embedded payload scores ~1 on the facet-order channel
+// and ~0.3 on the coordinate-LSB channel; a raw, never-sanitized export
+// scores high on both — which is the paper's point: order and LSB
+// entropy are always *available* to an exfiltrator, so the defense is
+// to sanitize unconditionally, not to trust a detector.
+type Report struct {
+	Facets int `json:"facets"`
+	// FacetOrderScore is the normalized inversion count of the facet
+	// list against the canonical spatial sort (2·inversions / max, so a
+	// uniformly random permutation scores ≈ 1).
+	FacetOrderScore   float64 `json:"facet_order_score"`
+	FacetOrderSuspect bool    `json:"facet_order_suspect"`
+	// CoordLSBScore is the Shannon entropy (normalized to [0, 1]) of
+	// the sub-quantum coordinate residues over 8 bins.
+	CoordLSBScore   float64 `json:"coord_lsb_score"`
+	CoordLSBSuspect bool    `json:"coord_lsb_suspect"`
+	Quantum         float64 `json:"quantum"`
+}
+
+// Suspicious reports whether either channel tripped its threshold.
+func (r Report) Suspicious() bool { return r.FacetOrderSuspect || r.CoordLSBSuspect }
+
+// Detect scores both channels of m without reference to any original.
+func Detect(m *mesh.Mesh, opts Options) Report {
+	opts = opts.withDefaults()
+	tris := m.AllTriangles()
+	rep := Report{Facets: len(tris), Quantum: opts.Quantum}
+	if len(tris) == 0 {
+		return rep
+	}
+
+	// Order statistic: inversions of the canonical ranks as they appear
+	// in file order. A canonical file is sorted (0 inversions); payload
+	// permutations look uniform (≈ n(n-1)/4 inversions).
+	if n := len(tris); n > 1 {
+		ranks, _ := canonRanks(canonKeys(tris, opts.Quantum))
+		inv := countInversions(ranks)
+		maxInv := float64(n) * float64(n-1) / 2
+		rep.FacetOrderScore = math.Min(1, 2*float64(inv)/maxInv)
+		rep.FacetOrderSuspect = rep.FacetOrderScore > opts.OrderThreshold
+	}
+
+	// LSB entropy: histogram of sub-quantum residues. On-grid files put
+	// every coordinate in the center bin (entropy 0); the LSB channel
+	// splits mass between two bins (≈ 1 bit); arbitrary coordinates
+	// fill all 8 (≈ 3 bits).
+	var bins [8]int
+	total := 0
+	for i := range tris {
+		for j := 0; j < 9; j++ {
+			r := residue(coordAt(&tris[i], j), opts.Quantum) // [-0.5, 0.5)
+			b := int((r + 0.5) * 8)
+			if b < 0 {
+				b = 0
+			}
+			if b > 7 {
+				b = 7
+			}
+			bins[b]++
+			total++
+		}
+	}
+	h := 0.0
+	for _, c := range bins {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / float64(total)
+		h -= p * math.Log2(p)
+	}
+	rep.CoordLSBScore = h / 3 // log2(8) bins
+	rep.CoordLSBSuspect = rep.CoordLSBScore > opts.LSBThreshold
+	return rep
+}
+
+// countInversions counts pairs i<j with ranks[i] > ranks[j] by merge
+// sort, O(n log n).
+func countInversions(ranks []int) int64 {
+	a := make([]int, len(ranks))
+	copy(a, ranks)
+	buf := make([]int, len(a))
+	return mergeCount(a, buf)
+}
+
+func mergeCount(a, buf []int) int64 {
+	n := len(a)
+	if n < 2 {
+		return 0
+	}
+	mid := n / 2
+	inv := mergeCount(a[:mid], buf[:mid]) + mergeCount(a[mid:], buf[mid:])
+	i, j, k := 0, mid, 0
+	for i < mid && j < n {
+		if a[i] <= a[j] {
+			buf[k] = a[i]
+			i++
+		} else {
+			buf[k] = a[j]
+			j++
+			inv += int64(mid - i)
+		}
+		k++
+	}
+	copy(buf[k:], a[i:mid])
+	copy(buf[k+mid-i:], a[j:])
+	copy(a, buf[:n])
+	return inv
+}

@@ -1,0 +1,226 @@
+package stego
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+	"sort"
+
+	"obfuscade/internal/geom"
+	"obfuscade/internal/mesh"
+)
+
+// Capacity returns the payload capacity in bytes of one channel over a
+// mesh of n facets (frame overhead already subtracted; negative
+// capacities clamp to 0).
+func Capacity(n int, ch Channel) int {
+	var bits int
+	switch ch {
+	case ChannelFacetOrder:
+		w := n
+		if w > permWindow {
+			w = permWindow
+		}
+		// floor(log2(w!)) usable bits.
+		f := factorial(w)
+		bits = f.BitLen() - 1
+	case ChannelCoordLSB:
+		bits = 9 * n
+	default:
+		return 0
+	}
+	cap := bits/8 - frameOver
+	if cap < 0 {
+		return 0
+	}
+	if cap > maxPayload {
+		return maxPayload
+	}
+	return cap
+}
+
+func factorial(n int) *big.Int {
+	f := big.NewInt(1)
+	for i := 2; i <= n; i++ {
+		f.Mul(f, big.NewInt(int64(i)))
+	}
+	return f
+}
+
+// Embed hides payload in the selected channel(s) of a copy of m. The
+// mesh is canonicalized first (the embedder plays the attacker inside a
+// pipeline that emits canonical files), then the payload is written
+// into each selected channel independently — the LSB channel perturbs
+// coordinates by quantum/4 in canonical facet order, the facet-order
+// channel then permutes the first permWindow facets by the payload's
+// factoradic expansion. The channels do not interfere: facet keys are
+// quantized, so LSB offsets never change the canonical ranking the
+// permutation is read from.
+func Embed(m *mesh.Mesh, payload []byte, opts Options) (*mesh.Mesh, error) {
+	opts = opts.withDefaults()
+	base := Sanitize(m, opts)
+	tris := base.Shells[0].Tris
+	n := len(tris)
+	frame, err := buildFrame(payload)
+	if err != nil {
+		return nil, err
+	}
+
+	if opts.Channels&ChannelCoordLSB != 0 {
+		if got, want := 9*n, len(frame)*8; got < want {
+			return nil, fmt.Errorf("stego: coord-lsb: %d bits needed, %d available (%d facets); capacity %d bytes",
+				want, got, n, Capacity(n, ChannelCoordLSB))
+		}
+		padded := padFrame(frame, 9*n/8)
+		delta := opts.Quantum / 4
+		for k := 0; k < len(padded)*8; k++ {
+			if padded[k/8]&(1<<(7-k%8)) == 0 {
+				continue
+			}
+			t := &tris[k/9]
+			j := k % 9
+			c := coordAt(t, j) + delta
+			if math.Abs(residue(c, opts.Quantum)) < 0.125 {
+				return nil, fmt.Errorf("stego: coord-lsb: coordinate %g too large for quantum %g (offset lost to rounding)",
+					c, opts.Quantum)
+			}
+			setCoordAt(t, j, c)
+		}
+	}
+
+	if opts.Channels&ChannelFacetOrder != 0 {
+		w := n
+		if w > permWindow {
+			w = permWindow
+		}
+		if len(payload) > Capacity(n, ChannelFacetOrder) {
+			return nil, fmt.Errorf("stego: facet-order: payload %d bytes exceeds capacity %d (%d facets)",
+				len(payload), Capacity(n, ChannelFacetOrder), n)
+		}
+		keys := canonKeys(tris, opts.Quantum)
+		if _, dup := canonRanks(keys); dup {
+			return nil, fmt.Errorf("stego: facet-order: duplicate facets make the permutation ambiguous")
+		}
+		padded := padFrame(frame, (factorial(w).BitLen()-1)/8)
+		perm := permFromInt(new(big.Int).SetBytes(padded), w)
+		permuted := make([]geom.Triangle, n)
+		copy(permuted, tris)
+		for i := 0; i < w; i++ {
+			permuted[i] = tris[perm[i]]
+		}
+		base.Shells[0].Tris = permuted
+	}
+	return base, nil
+}
+
+// permFromInt expands v (< w!) in the factorial number system and maps
+// the digits to a permutation of [0, w) via the Lehmer code.
+func permFromInt(v *big.Int, w int) []int {
+	// Factorial-base digits, least significant first: digit k ∈ [0, k].
+	digits := make([]int, w) // digits[0] is always 0
+	rem := new(big.Int).Set(v)
+	mod := new(big.Int)
+	for k := 1; k < w && rem.Sign() != 0; k++ {
+		rem.DivMod(rem, big.NewInt(int64(k+1)), mod)
+		digits[k] = int(mod.Int64())
+	}
+	avail := make([]int, w)
+	for i := range avail {
+		avail[i] = i
+	}
+	perm := make([]int, w)
+	for i := 0; i < w; i++ {
+		d := digits[w-1-i] // most significant digit first: d ∈ [0, w-1-i]
+		perm[i] = avail[d]
+		avail = append(avail[:d], avail[d+1:]...)
+	}
+	return perm
+}
+
+// intFromPerm inverts permFromInt.
+func intFromPerm(perm []int) *big.Int {
+	w := len(perm)
+	avail := make([]int, w)
+	for i := range avail {
+		avail[i] = i
+	}
+	digits := make([]int, w)
+	for i := 0; i < w; i++ {
+		d := sort.SearchInts(avail, perm[i])
+		digits[w-1-i] = d
+		avail = append(avail[:d], avail[d+1:]...)
+	}
+	v := new(big.Int)
+	for k := w - 1; k >= 1; k-- {
+		v.Mul(v, big.NewInt(int64(k+1)))
+		v.Add(v, big.NewInt(int64(digits[k])))
+	}
+	return v
+}
+
+// Extract recovers a payload hidden in a single channel of m. It fails
+// — rather than returning garbage — when no valid frame is present,
+// which is what makes post-sanitization unrecoverability provable: the
+// frame's magic and checksum cannot survive re-canonicalization.
+func Extract(m *mesh.Mesh, ch Channel, opts Options) ([]byte, error) {
+	opts = opts.withDefaults()
+	tris := m.AllTriangles()
+	n := len(tris)
+	switch ch {
+	case ChannelFacetOrder:
+		w := n
+		if w > permWindow {
+			w = permWindow
+		}
+		if w < 2 {
+			return nil, fmt.Errorf("stego: facet-order: %d facets carry no ordering", n)
+		}
+		keys := canonKeys(tris, opts.Quantum)
+		ranks, dup := canonRanks(keys)
+		if dup {
+			return nil, fmt.Errorf("stego: facet-order: duplicate facets make the permutation ambiguous")
+		}
+		perm := make([]int, w)
+		for i := 0; i < w; i++ {
+			if ranks[i] >= w {
+				return nil, fmt.Errorf("stego: facet-order: facet order is not a windowed permutation")
+			}
+			perm[i] = ranks[i]
+		}
+		return parseFrame(intFromPerm(perm).Bytes())
+	case ChannelCoordLSB:
+		// Bits are read in canonical facet order so extraction is
+		// independent of any facet-order embedding on top.
+		keys := canonKeys(tris, opts.Quantum)
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool { return less9(keys[idx[a]], keys[idx[b]]) })
+		frame := make([]byte, 0, 64)
+		var cur byte
+		for k := 0; k < 9*n; k++ {
+			t := &tris[idx[k/9]]
+			if math.Abs(residue(coordAt(t, k%9), opts.Quantum)) >= 0.125 {
+				cur |= 1 << (7 - k%8)
+			}
+			if k%8 == 7 {
+				frame = append(frame, cur)
+				cur = 0
+				// Stop as soon as the self-describing frame is complete.
+				if len(frame) >= 4 {
+					if frame[0] != frameMagic0 || frame[1] != frameMagic1 {
+						break
+					}
+					want := 4 + int(frame[2])<<8 + int(frame[3]) + 4
+					if len(frame) >= want {
+						break
+					}
+				}
+			}
+		}
+		return parseFrame(frame)
+	default:
+		return nil, fmt.Errorf("stego: Extract needs exactly one channel, got %s", ch)
+	}
+}

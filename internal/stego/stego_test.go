@@ -1,0 +1,293 @@
+package stego
+
+import (
+	"bytes"
+	"fmt"
+	"math/big"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"obfuscade/internal/geom"
+	"obfuscade/internal/mesh"
+)
+
+// testMesh builds a multi-box mesh with enough facets for both
+// channels to carry a real payload. Random float coordinates make
+// every facet key distinct (after quantization) with probability ~1.
+func testMesh(rng *rand.Rand, boxes int) *mesh.Mesh {
+	m := &mesh.Mesh{}
+	for b := 0; b < boxes; b++ {
+		ox := rng.Float64() * 40
+		oy := rng.Float64() * 40
+		w := 1 + rng.Float64()*6
+		d := 1 + rng.Float64()*6
+		h := 0.5 + rng.Float64()*3
+		m.Shells = append(m.Shells, mesh.BoxShell(
+			fmt.Sprintf("shell%d", b), "body", geom.V3(ox, oy, 0), geom.V3(ox+w, oy+d, h)))
+	}
+	return m
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	payload := []byte("exfiltrated CAD secret")
+	frame, err := buildFrame(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := parseFrame(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("frame round trip = %q", got)
+	}
+}
+
+func TestFrameErrors(t *testing.T) {
+	if _, err := buildFrame(nil); err == nil {
+		t.Error("empty payload must error")
+	}
+	if _, err := buildFrame(make([]byte, maxPayload+1)); err == nil {
+		t.Error("oversize payload must error")
+	}
+	frame, _ := buildFrame([]byte("x"))
+	cases := map[string][]byte{
+		"short":     frame[:3],
+		"magic":     append([]byte{0, 0}, frame[2:]...),
+		"truncated": frame[:len(frame)-1],
+	}
+	crc := append([]byte(nil), frame...)
+	crc[len(crc)-1] ^= 0xFF
+	cases["crc"] = crc
+	for name, f := range cases {
+		if _, err := parseFrame(f); err == nil {
+			t.Errorf("%s: corrupted frame must error", name)
+		}
+	}
+}
+
+func TestPermIntRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, w := range []int{1, 2, 3, 5, 16, 64} {
+		f := factorial(w)
+		for trial := 0; trial < 20; trial++ {
+			v := new(big.Int).Rand(rng, f)
+			perm := permFromInt(v, w)
+			seen := make([]bool, w)
+			for _, p := range perm {
+				if p < 0 || p >= w || seen[p] {
+					t.Fatalf("w=%d: not a permutation: %v", w, perm)
+				}
+				seen[p] = true
+			}
+			if got := intFromPerm(perm); got.Cmp(v) != 0 {
+				t.Fatalf("w=%d: round trip %v != %v", w, got, v)
+			}
+		}
+	}
+}
+
+func TestCapacity(t *testing.T) {
+	if got := Capacity(2, ChannelFacetOrder); got != 0 {
+		t.Errorf("2 facets: facet-order capacity = %d, want 0", got)
+	}
+	if got := Capacity(200, ChannelFacetOrder); got <= 0 {
+		t.Errorf("200 facets: facet-order capacity = %d, want > 0", got)
+	}
+	if got := Capacity(200, ChannelCoordLSB); got != 9*200/8-frameOver {
+		t.Errorf("coord-lsb capacity = %d", got)
+	}
+	if got := Capacity(100, Channel(0)); got != 0 {
+		t.Errorf("invalid channel capacity = %d, want 0", got)
+	}
+	// Capacity saturates at the frame's uint16 length bound.
+	if got := Capacity(100000, ChannelCoordLSB); got != maxPayload {
+		t.Errorf("huge mesh capacity = %d, want %d", got, maxPayload)
+	}
+}
+
+func TestEmbedExtractEachChannel(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	m := testMesh(rng, 20) // 240 facets
+	payload := make([]byte, 48)
+	rng.Read(payload)
+	for _, ch := range []Channel{ChannelFacetOrder, ChannelCoordLSB} {
+		t.Run(ch.String(), func(t *testing.T) {
+			emb, err := Embed(m, payload, Options{Channels: ch})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := Extract(emb, ch, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, payload) {
+				t.Fatalf("extracted %x, want %x", got, payload)
+			}
+		})
+	}
+}
+
+func TestEmbedBothChannelsIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := testMesh(rng, 20)
+	payload := []byte("dual-channel payload")
+	emb, err := Embed(m, payload, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ch := range []Channel{ChannelFacetOrder, ChannelCoordLSB} {
+		got, err := Extract(emb, ch, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", ch, err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("%s: extracted %q", ch, got)
+		}
+	}
+}
+
+func TestEmbedErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := testMesh(rng, 4) // 48 facets
+	if _, err := Embed(m, nil, Options{}); err == nil {
+		t.Error("empty payload must error")
+	}
+	huge := make([]byte, 4096)
+	if _, err := Embed(m, huge, Options{Channels: ChannelFacetOrder}); err == nil ||
+		!strings.Contains(err.Error(), "capacity") {
+		t.Errorf("oversize facet-order payload: %v", err)
+	}
+	if _, err := Embed(m, huge, Options{Channels: ChannelCoordLSB}); err == nil ||
+		!strings.Contains(err.Error(), "capacity") {
+		t.Errorf("oversize coord-lsb payload: %v", err)
+	}
+
+	// Two byte-identical boxes: duplicate facet keys make the
+	// permutation ambiguous, so the facet-order channel must refuse.
+	dup := &mesh.Mesh{Shells: []mesh.Shell{
+		mesh.BoxShell("a", "body", geom.V3(0, 0, 0), geom.V3(4, 4, 2)),
+		mesh.BoxShell("b", "body", geom.V3(0, 0, 0), geom.V3(4, 4, 2)),
+	}}
+	if _, err := Embed(dup, []byte("x"), Options{Channels: ChannelFacetOrder}); err == nil ||
+		!strings.Contains(err.Error(), "ambiguous") {
+		t.Errorf("duplicate facets: %v", err)
+	}
+	if _, err := Extract(dup, ChannelFacetOrder, Options{}); err == nil {
+		t.Error("duplicate-facet extract must error")
+	}
+}
+
+func TestExtractErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := Sanitize(testMesh(rng, 4), Options{})
+	if _, err := Extract(m, ChannelFacetOrder|ChannelCoordLSB, Options{}); err == nil {
+		t.Error("Extract with both channels must error")
+	}
+	one := &mesh.Mesh{Shells: []mesh.Shell{{Tris: m.Shells[0].Tris[:1]}}}
+	if _, err := Extract(one, ChannelFacetOrder, Options{}); err == nil {
+		t.Error("single facet carries no ordering")
+	}
+	// A clean mesh has no frame: both channels must fail loudly.
+	for _, ch := range []Channel{ChannelFacetOrder, ChannelCoordLSB} {
+		if _, err := Extract(m, ch, Options{}); err == nil {
+			t.Errorf("%s: clean mesh must not yield a payload", ch)
+		}
+	}
+}
+
+func TestDetectScores(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := testMesh(rng, 20)
+	clean := Sanitize(m, Options{})
+	rep := Detect(clean, Options{})
+	if rep.Suspicious() || rep.FacetOrderScore != 0 || rep.CoordLSBScore != 0 {
+		t.Fatalf("canonical mesh must score clean: %+v", rep)
+	}
+	if rep.Facets != clean.TriangleCount() {
+		t.Fatalf("facets = %d", rep.Facets)
+	}
+
+	payload := make([]byte, 40)
+	rng.Read(payload)
+	perm, err := Embed(m, payload, Options{Channels: ChannelFacetOrder})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := Detect(perm, Options{}); !rep.FacetOrderSuspect || rep.CoordLSBSuspect {
+		t.Fatalf("facet-order embed: %+v", rep)
+	}
+	lsb, err := Embed(m, payload, Options{Channels: ChannelCoordLSB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := Detect(lsb, Options{}); !rep.CoordLSBSuspect || rep.FacetOrderSuspect {
+		t.Fatalf("coord-lsb embed: %+v", rep)
+	}
+
+	// Empty mesh: zero report, no panic.
+	if rep := Detect(&mesh.Mesh{}, Options{}); rep.Facets != 0 || rep.Suspicious() {
+		t.Fatalf("empty mesh: %+v", rep)
+	}
+}
+
+func TestCountInversions(t *testing.T) {
+	cases := []struct {
+		in   []int
+		want int64
+	}{
+		{nil, 0},
+		{[]int{0, 1, 2, 3}, 0},
+		{[]int{3, 2, 1, 0}, 6},
+		{[]int{1, 0, 3, 2}, 2},
+	}
+	for _, tc := range cases {
+		if got := countInversions(tc.in); got != tc.want {
+			t.Errorf("inversions(%v) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestChannelString(t *testing.T) {
+	for ch, want := range map[Channel]string{
+		ChannelFacetOrder:                   "facet-order",
+		ChannelCoordLSB:                     "coord-lsb",
+		ChannelFacetOrder | ChannelCoordLSB: "facet-order+coord-lsb",
+		Channel(8):                          "channel(8)",
+	} {
+		if got := ch.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", int(ch), got, want)
+		}
+	}
+}
+
+func TestSanitizeDeterministicAcrossShuffles(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	m := testMesh(rng, 10)
+	want := Sanitize(m, Options{})
+	// Shuffling the input facet order must not change the output at all.
+	for trial := 0; trial < 5; trial++ {
+		tris := m.AllTriangles()
+		rng.Shuffle(len(tris), func(i, j int) { tris[i], tris[j] = tris[j], tris[i] })
+		shuffled := &mesh.Mesh{Shells: []mesh.Shell{{
+			Name: m.Shells[0].Name, Body: m.Shells[0].Body, Orient: m.Shells[0].Orient, Tris: tris,
+		}}}
+		got := Sanitize(shuffled, Options{})
+		if len(got.Shells) != 1 || len(got.Shells[0].Tris) != len(want.Shells[0].Tris) {
+			t.Fatal("shape mismatch")
+		}
+		for i := range got.Shells[0].Tris {
+			if got.Shells[0].Tris[i] != want.Shells[0].Tris[i] {
+				t.Fatalf("trial %d: facet %d differs after shuffle", trial, i)
+			}
+		}
+	}
+	// Idempotence: sanitizing a sanitized mesh is the identity.
+	again := Sanitize(want, Options{})
+	for i := range again.Shells[0].Tris {
+		if again.Shells[0].Tris[i] != want.Shells[0].Tris[i] {
+			t.Fatalf("sanitize not idempotent at facet %d", i)
+		}
+	}
+}

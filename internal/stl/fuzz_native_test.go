@@ -1,6 +1,10 @@
 package stl
 
-import "testing"
+import (
+	"bytes"
+	"math"
+	"testing"
+)
 
 // Native fuzz target: the decoder must never panic on arbitrary bytes.
 // Run with `go test -fuzz=FuzzUnmarshal ./internal/stl` for deep fuzzing;
@@ -19,6 +23,10 @@ func FuzzUnmarshal(f *testing.F) {
 	f.Add(asc)
 	f.Add([]byte("solid x\nendsolid x\n"))
 	f.Add([]byte{})
+	// Non-finite coordinates must be rejected, never decoded.
+	f.Add([]byte("solid p\nfacet normal 0 0 1\nouter loop\nvertex NaN 0 0\nvertex 1 0 0\nvertex 0 +Inf 0\nendloop\nendfacet\nendsolid p\n"))
+	// Classic-Mac lone-\r terminators: must decode all facets, not zero.
+	f.Add(bytes.ReplaceAll(asc, []byte("\n"), []byte("\r")))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		got, err := Unmarshal(data)
 		if err != nil {
@@ -26,6 +34,18 @@ func FuzzUnmarshal(f *testing.F) {
 		}
 		if got.TriangleCount() < 0 {
 			t.Fatal("negative triangle count")
+		}
+		// ASCII decodes must never yield non-finite geometry.
+		if looksASCII(data) {
+			for _, tri := range got.AllTriangles() {
+				for _, v := range [...][3]float64{{tri.A.X, tri.A.Y, tri.A.Z}, {tri.B.X, tri.B.Y, tri.B.Z}, {tri.C.X, tri.C.Y, tri.C.Z}} {
+					for _, c := range v {
+						if math.IsNaN(c) || math.IsInf(c, 0) {
+							t.Fatal("decoded non-finite coordinate from ASCII input")
+						}
+					}
+				}
+			}
 		}
 	})
 }

@@ -231,9 +231,38 @@ func decodeBinary(data []byte) (*mesh.Mesh, error) {
 	return &mesh.Mesh{Shells: []mesh.Shell{s}}, nil
 }
 
+// scanASCIILines is a bufio.SplitFunc that terminates lines on "\n",
+// "\r\n", or a lone "\r". bufio.ScanLines only handles the first two;
+// classic-Mac exports that end every line with a bare "\r" used to scan
+// as one giant token whose first field is "solid", silently swallowing
+// every facet into the solid name and decoding to an empty mesh.
+func scanASCIILines(data []byte, atEOF bool) (advance int, token []byte, err error) {
+	if atEOF && len(data) == 0 {
+		return 0, nil, nil
+	}
+	if i := bytes.IndexAny(data, "\r\n"); i >= 0 {
+		if data[i] == '\r' {
+			if i+1 < len(data) && data[i+1] == '\n' {
+				return i + 2, data[:i], nil
+			}
+			if i+1 == len(data) && !atEOF {
+				// The "\r" might be half of a "\r\n" split across
+				// reads; ask for more data before deciding.
+				return 0, nil, nil
+			}
+		}
+		return i + 1, data[:i], nil
+	}
+	if atEOF {
+		return len(data), data, nil
+	}
+	return 0, nil, nil
+}
+
 func decodeASCII(data []byte) (*mesh.Mesh, error) {
 	sc := bufio.NewScanner(bytes.NewReader(data))
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	sc.Split(scanASCIILines)
 	s := mesh.Shell{Orient: mesh.Outward}
 	var verts []geom.Vec3
 	line := 0
@@ -256,6 +285,14 @@ func decodeASCII(data []byte) (*mesh.Mesh, error) {
 			if _, err := fmt.Sscanf(strings.Join(fields[1:], " "), "%g %g %g",
 				&v.X, &v.Y, &v.Z); err != nil {
 				return nil, fmt.Errorf("stl: line %d: %w", line, err)
+			}
+			// %g happily parses NaN and ±Inf, which poison every
+			// downstream geometric predicate (bounds, slicing,
+			// welding) without ever failing loudly. Reject here.
+			for _, c := range [...]float64{v.X, v.Y, v.Z} {
+				if math.IsNaN(c) || math.IsInf(c, 0) {
+					return nil, fmt.Errorf("stl: line %d: non-finite vertex coordinate %q", line, strings.Join(fields[1:], " "))
+				}
 			}
 			verts = append(verts, v)
 		case "endfacet":

@@ -110,6 +110,51 @@ func TestDecodeMalformedASCII(t *testing.T) {
 	}
 }
 
+func TestDecodeASCIIRejectsNonFinite(t *testing.T) {
+	cases := map[string]string{
+		"nan":  "vertex NaN 0 0",
+		"inf":  "vertex 0 +Inf 0",
+		"ninf": "vertex 0 0 -inf",
+	}
+	for name, vtx := range cases {
+		bad := "solid x\nfacet normal 0 0 1\nouter loop\n" + vtx +
+			"\nvertex 1 0 0\nvertex 0 1 0\nendloop\nendfacet\nendsolid x\n"
+		if _, err := Unmarshal([]byte(bad)); err == nil {
+			t.Errorf("%s: expected error for non-finite coordinate", name)
+		} else if !strings.Contains(err.Error(), "non-finite") {
+			t.Errorf("%s: error %q does not mention non-finite", name, err)
+		}
+	}
+}
+
+func TestDecodeASCIILineEndings(t *testing.T) {
+	m := boxMesh()
+	data, err := Marshal(m, ASCII, "endings")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lf := string(data)
+	cases := map[string]string{
+		"lf":         lf,
+		"crlf":       strings.ReplaceAll(lf, "\n", "\r\n"),
+		"cr":         strings.ReplaceAll(lf, "\n", "\r"),
+		"no-newline": strings.TrimSuffix(lf, "\n"),
+		// A lone-\r file whose final facet abuts endsolid with no
+		// trailing terminator at all: every facet must still decode.
+		"cr-no-trailing": strings.TrimSuffix(strings.ReplaceAll(lf, "\n", "\r"), "\r"),
+	}
+	for name, in := range cases {
+		got, err := Unmarshal([]byte(in))
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if got.TriangleCount() != 12 {
+			t.Errorf("%s: triangles = %d, want 12", name, got.TriangleCount())
+		}
+	}
+}
+
 func TestDecodeReader(t *testing.T) {
 	m := boxMesh()
 	data, _ := Marshal(m, ASCII, "via reader")

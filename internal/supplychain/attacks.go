@@ -8,6 +8,7 @@ import (
 	"obfuscade/internal/gcode"
 	"obfuscade/internal/geom"
 	"obfuscade/internal/mesh"
+	"obfuscade/internal/stego"
 )
 
 // AttackInfo describes one executable attack from the taxonomy.
@@ -34,9 +35,21 @@ func Catalog() []AttackInfo {
 			"drive the head beyond the build envelope to damage actuators"},
 		{"cad-trojan", "CAD design Trojan", StageCAD,
 			"covertly embed a defect feature inside the solid model"},
+		{"stl-stego", "STL stego-channel exfiltration", StageSTL,
+			"hide stolen data in facet ordering and sub-quantum coordinate offsets of exported STL files"},
 		{"firmware-trojan", "Firmware Trojan", StagePrinter,
 			"printer firmware silently thins roads below spec"},
 	}
+}
+
+// StegoExfiltrationAttack hides payload inside the geometry-neutral
+// freedom of an exported design file (facet order + coordinate LSBs):
+// the printed part is unchanged, so none of the Table 1 geometric
+// mitigations fire. Its counter is the stego sanitizer — the registered
+// STL-stage mitigation — which destroys both channels without touching
+// the printed geometry.
+func StegoExfiltrationAttack(m *mesh.Mesh, payload []byte) (*mesh.Mesh, error) {
+	return stego.Embed(m, payload, stego.Options{})
 }
 
 // VoidAttack removes every n-th triangle of each shell — the Table 1

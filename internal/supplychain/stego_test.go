@@ -1,0 +1,102 @@
+package supplychain
+
+import (
+	"strings"
+	"testing"
+
+	"obfuscade/internal/geom"
+	"obfuscade/internal/mesh"
+	"obfuscade/internal/stego"
+)
+
+// The attack/defense pair of the stego-exfiltration row: the attack
+// hides data inside the geometry-neutral freedom of a design file (so
+// no geometric mitigation fires), the registered sanitize mitigation
+// destroys the channels, and the defender's detector flags the stego
+// file before sanitization.
+func TestStegoExfiltrationAttackAndSanitize(t *testing.T) {
+	m := &mesh.Mesh{}
+	for b := 0; b < 10; b++ {
+		fb := float64(b)
+		m.Shells = append(m.Shells, mesh.BoxShell(
+			"s", "body", geom.V3(fb*9, fb*5, 0), geom.V3(fb*9+5+fb/4, fb*5+3, 2+fb/8)))
+	}
+	payload := []byte("exfiltrated process parameters")
+	stolen, err := StegoExfiltrationAttack(m, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The attack is covert against geometric review but not against the
+	// channel detector.
+	rep := stego.Detect(stolen, stego.Options{})
+	if !rep.Suspicious() {
+		t.Fatalf("detector missed the exfiltration channel: %+v", rep)
+	}
+	// The payload really is carried.
+	for _, ch := range []stego.Channel{stego.ChannelFacetOrder, stego.ChannelCoordLSB} {
+		got, err := stego.Extract(stolen, ch, stego.Options{})
+		if err != nil || string(got) != string(payload) {
+			t.Fatalf("%s: attack lost its payload: %q, %v", ch, got, err)
+		}
+	}
+	// The registered mitigation destroys both channels.
+	clean := stego.Sanitize(stolen, stego.Options{})
+	if rep := stego.Detect(clean, stego.Options{}); rep.Suspicious() {
+		t.Fatalf("sanitized file still suspicious: %+v", rep)
+	}
+	for _, ch := range []stego.Channel{stego.ChannelFacetOrder, stego.ChannelCoordLSB} {
+		if got, err := stego.Extract(clean, ch, stego.Options{}); err == nil {
+			t.Fatalf("%s: payload %q survived the sanitize mitigation", ch, got)
+		}
+	}
+}
+
+// The taxonomy, catalog and registry all carry the stego pair, and the
+// information-leakage wording drives the risk score to maximum impact.
+func TestStegoRegisteredInTaxonomyAndRegistry(t *testing.T) {
+	found := false
+	Taxonomy().Walk(func(_ int, n *TaxonomyNode) {
+		for _, id := range n.AttackIDs {
+			if id == "stl-stego" {
+				found = true
+			}
+		}
+	})
+	if !found {
+		t.Fatal("taxonomy carries no stl-stego leaf")
+	}
+	inCatalog := false
+	for _, a := range Catalog() {
+		if a.ID == "stl-stego" {
+			inCatalog = true
+			if a.Stage != StageSTL {
+				t.Fatalf("stl-stego stage = %v", a.Stage)
+			}
+		}
+	}
+	if !inCatalog {
+		t.Fatal("catalog carries no stl-stego attack")
+	}
+	for _, sr := range ScoredRegistry() {
+		if !strings.Contains(sr.Risk.Description, "Stego-channel") {
+			continue
+		}
+		if sr.Risk.Stage != StageSTL {
+			t.Fatalf("stego risk stage = %v", sr.Risk.Stage)
+		}
+		if sr.Impact != 5 {
+			t.Fatalf("information-leakage risk impact = %d, want 5", sr.Impact)
+		}
+		mentionsSanitize := false
+		for _, m := range sr.Risk.Mitigations {
+			if strings.Contains(m, "Sanitize") {
+				mentionsSanitize = true
+			}
+		}
+		if !mentionsSanitize {
+			t.Fatal("stego risk row names no sanitize mitigation")
+		}
+		return
+	}
+	t.Fatal("registry carries no stego-channel risk row")
+}

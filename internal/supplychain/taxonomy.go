@@ -69,6 +69,8 @@ func Registry() []Risk {
 			[]string{"Verification of digital signatures, file sizes/hashes"}},
 		{StageSTL, "File theft/loss/corruption, ransomware",
 			[]string{"Strict access control to files, regular backups"}},
+		{StageSTL, "Stego-channel data exfiltration (information leakage) via facet order & coordinate LSBs",
+			[]string{"Sanitize design files: canonical facet sort + coordinate re-quantization (POST /sanitize)"}},
 		{StageSlicing, "Orientation changes, addition of porosity/contaminants",
 			[]string{"Simulation of generated G-code, code review"}},
 		{StageSlicing, "Damage to printer actuators using malicious coordinates",
@@ -127,6 +129,7 @@ func Taxonomy() *TaxonomyNode {
 				Name: "Theft of technical data (IP theft)",
 				Children: []*TaxonomyNode{
 					{Name: "Digital file theft (CAD/STL/G-code exfiltration)", AttackIDs: []string{"file-theft"}},
+					{Name: "Stego-channel exfiltration in design files (facet order, coordinate LSBs)", AttackIDs: []string{"stl-stego"}},
 					{Name: "Tool-path reverse engineering", AttackIDs: []string{"toolpath-re"}},
 					{Name: "Side-channel leakage (acoustic/magnetic/thermal)", AttackIDs: []string{"side-channel"}},
 				},

@@ -136,8 +136,23 @@ func (r gateResult) ok() bool { return len(r.Failures) == 0 }
 // testable.
 func evaluate(base, cur benchReport, opts gateOpts) gateResult {
 	var res gateResult
-	limit := base.Matrix.ParallelSeconds * (1 + opts.Tolerance)
-	if cur.Matrix.ParallelSeconds > limit {
+	// A zero/absent baseline metric carries no signal: a ratio against it
+	// is NaN, a limit derived from it is 0 (an automatic false-fail for
+	// wall times, a silent false-pass for throughputs). New metrics start
+	// life with no baseline — "pin, don't gate": warn that the current
+	// value becomes the reference at the next re-baseline, and skip the
+	// comparison.
+	pin := func(name string, curVal float64, unit string) {
+		if curVal <= 0 {
+			return // not measured on either side: nothing to pin or gate
+		}
+		res.Warnings = append(res.Warnings, fmt.Sprintf(
+			"%s has no baseline (zero/absent): pinning current %.3f%s as the new reference, not gating; re-baseline to start enforcing",
+			name, curVal, unit))
+	}
+	if base.Matrix.ParallelSeconds <= 0 {
+		pin("parallel matrix wall", cur.Matrix.ParallelSeconds, "s")
+	} else if limit := base.Matrix.ParallelSeconds * (1 + opts.Tolerance); cur.Matrix.ParallelSeconds > limit {
 		res.Failures = append(res.Failures, fmt.Sprintf(
 			"parallel matrix wall %.3fs exceeds baseline %.3fs + %.0f%% tolerance (limit %.3fs)",
 			cur.Matrix.ParallelSeconds, base.Matrix.ParallelSeconds, 100*opts.Tolerance, limit))
@@ -169,7 +184,9 @@ func evaluate(base, cur benchReport, opts gateOpts) gateResult {
 	// Slicer layers/s is an enforced gate: the indexed slicing kernels
 	// are a deliverable this repository documents, so losing more than
 	// the tolerance fails CI outright.
-	if base.Slicer.LayersPerSecond > 0 {
+	if base.Slicer.LayersPerSecond <= 0 {
+		pin("slicer layers/s", cur.Slicer.LayersPerSecond, "")
+	} else {
 		floor := base.Slicer.LayersPerSecond * (1 - opts.SlicerTolerance)
 		if cur.Slicer.LayersPerSecond < floor {
 			res.Failures = append(res.Failures, fmt.Sprintf(
@@ -180,6 +197,7 @@ func evaluate(base, cur benchReport, opts gateOpts) gateResult {
 	}
 	throughput := func(name string, baseRate, curRate float64) {
 		if baseRate <= 0 {
+			pin(name, curRate, "/s")
 			return
 		}
 		floor := baseRate * (1 - opts.ThroughputTolerance)
@@ -223,7 +241,9 @@ func evaluate(base, cur benchReport, opts gateOpts) gateResult {
 
 	// Saturation tail-latency gate: cross-machine like the wall-time
 	// gates, hence the generous default tolerance.
-	if basep99 := base.Serve.Saturation.TwoShard.P99Millis; basep99 > 0 && sat.TwoShard.P99Millis > 0 {
+	if basep99 := base.Serve.Saturation.TwoShard.P99Millis; basep99 <= 0 && sat.TwoShard.P99Millis > 0 {
+		pin("two-shard warm p99", sat.TwoShard.P99Millis, "ms")
+	} else if basep99 > 0 && sat.TwoShard.P99Millis > 0 {
 		limit := basep99 * (1 + opts.SaturateP99Tolerance)
 		if sat.TwoShard.P99Millis > limit {
 			res.Failures = append(res.Failures, fmt.Sprintf(

@@ -169,6 +169,67 @@ func TestEvaluateThroughputZeroBaselineSkipped(t *testing.T) {
 	}
 }
 
+// A metric that exists in the current report but not the baseline (the
+// shape every new benchmark has on its first CI run) must "pin, not
+// gate": one warning naming the pinned value, never a NaN ratio, a
+// silent pass, or — for the wall-time gate, whose limit would be 0 — a
+// guaranteed false failure.
+func TestEvaluateZeroBaselinePinsNotGates(t *testing.T) {
+	base := report(1.0, 4.0, 8, 0, 0)
+	cur := report(1.0, 4.0, 8, 1000, 500)
+	res := evaluate(base, cur, defaultOpts)
+	if !res.ok() {
+		t.Fatalf("zero baselines must not fail: %v", res.Failures)
+	}
+	if len(res.Warnings) != 2 {
+		t.Fatalf("want 2 pin warnings (slicer, mech), got %v", res.Warnings)
+	}
+	for _, w := range res.Warnings {
+		if !strings.Contains(w, "pinning current") || !strings.Contains(w, "not gating") {
+			t.Fatalf("warning %q does not describe pin-don't-gate", w)
+		}
+	}
+
+	// Wall-time specifically: baseline 0 used to derive limit 0 and fail
+	// every run; it must now warn and pass.
+	base2 := report(0, 0, 8, 1000, 500)
+	base2.Matrix.Workers = 8
+	cur2 := report(1.0, 4.0, 8, 1000, 500)
+	res2 := evaluate(base2, cur2, defaultOpts)
+	for _, f := range res2.Failures {
+		if strings.Contains(f, "parallel matrix wall") {
+			t.Fatalf("zero wall-time baseline produced a false failure: %v", res2.Failures)
+		}
+	}
+	found := false
+	for _, w := range res2.Warnings {
+		if strings.Contains(w, "parallel matrix wall") && strings.Contains(w, "pinning") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("want a wall-time pin warning, got %v", res2.Warnings)
+	}
+
+	// A p99 with no baseline likewise pins.
+	base3 := report(1.0, 4.0, 8, 1000, 500)
+	base3.Serve.Saturation.TwoShard.P99Millis = 0
+	cur3 := report(1.0, 4.0, 8, 1000, 500)
+	res3 := evaluate(base3, cur3, defaultOpts)
+	if !res3.ok() {
+		t.Fatalf("zero p99 baseline must not fail: %v", res3.Failures)
+	}
+	found = false
+	for _, w := range res3.Warnings {
+		if strings.Contains(w, "warm p99") && strings.Contains(w, "pinning") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("want a p99 pin warning, got %v", res3.Warnings)
+	}
+}
+
 // Under -require-multiproc the single-proc skip becomes a failure: the
 // CI bench environment promises GOMAXPROCS>1, so a single-proc report
 // there means the environment itself regressed.

@@ -174,6 +174,31 @@ jq -e --arg key "$traced_key" '
 ' "$trace_out" > /dev/null \
     || fail "merged trace does not link the shard job span under the router proxy span"
 
+# ---- sanitize through the router: placement + cache + artifact -------
+
+# The router forwards POST /sanitize by the same content-addressed key
+# the owning shard caches under, so the identical upload pair is a miss
+# then a hit, and the artifact reads back through the router by digest.
+curl -sf "$router/jobs/$first_id/stl" > "$workdir/cluster_part.stl" \
+    || fail "fetching an STL body for sanitize"
+san1="$(curl -sf -X POST --data-binary "@$workdir/cluster_part.stl" "$router/sanitize")"
+[ "$(echo "$san1" | jq -r .outcome)" = miss ] || fail "router sanitize cold: $san1"
+san_id="$(echo "$san1" | jq -r .id)"
+san_sha="$(echo "$san1" | jq -r .stl_sha256)"
+san2="$(curl -sf -X POST --data-binary "@$workdir/cluster_part.stl" "$router/sanitize")"
+[ "$(echo "$san2" | jq -r .outcome)" = hit ] || fail "router sanitize resubmission must hit: $san2"
+[ "$(echo "$san2" | jq -r .id)" = "$san_id" ] \
+    || fail "sanitize id drifted across submissions: $san1 vs $san2"
+# Exactly one shard computed it: one sanitize completion across the ring.
+sc1="$(metric "$s1" obfuscade_serve_sanitize_completed_total)"
+sc2="$(metric "$s2" obfuscade_serve_sanitize_completed_total)"
+[ $((sc1 + sc2)) -eq 1 ] || fail "sanitize completions across shards = $sc1 + $sc2, want 1"
+curl -sf "$router/sanitize/$san_id/stl" > "$workdir/cluster_clean.stl" \
+    || fail "fetching sanitized artifact via router"
+got_sha="$(sha256sum "$workdir/cluster_clean.stl" | awk '{print $1}')"
+[ "$got_sha" = "$san_sha" ] \
+    || fail "routed sanitize artifact sha $got_sha != advertised $san_sha"
+
 # ---- failover: kill a shard, the cluster keeps serving ---------------
 
 kill -9 "$s1_pid"

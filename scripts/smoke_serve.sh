@@ -15,6 +15,11 @@
 #     obfuscade_cache_disk_hits_total and zero pipeline completions
 #   - past -max-queue the server sheds with 429 + Retry-After while
 #     still serving admitted work
+#   - POST /sanitize is content-addressed and cached like jobs: the
+#     identical upload pair is miss then hit with exact counters, the
+#     artifact reads back by digest, a restart serves it as a disk_hit
+#     without recomputing, and a full admission queue sheds a fresh
+#     sanitize with 429 while cached addresses keep answering
 #
 # CI runs this in a fresh process, so the exact /metrics counter values
 # are assertable (in-process tests share the global registry and cannot
@@ -121,6 +126,34 @@ batch="$(curl -sf -X POST -H 'Content-Type: application/json' -d '{"jobs": [
 [ "$(echo "$batch" | jq '[.results[].id] | unique | length')" -eq 4 ] \
     || fail "batch sweep must produce four distinct jobs: $batch"
 
+# POST /sanitize destroys the stego channels of a raw STL body, cached
+# by content address: the identical upload pair is one miss then one
+# hit, the artifact reads back by its digest, and the exact sanitize
+# counters show one compute for two requests.
+san1="$(curl -sf -X POST --data-binary "@$workdir/job1.stl" "$base/sanitize")"
+san2="$(curl -sf -X POST --data-binary "@$workdir/job1.stl" "$base/sanitize")"
+[ "$(echo "$san1" | jq -r .outcome)" = miss ] || fail "first sanitize must miss: $san1"
+[ "$(echo "$san2" | jq -r .outcome)" = hit ]  || fail "second sanitize must hit: $san2"
+san_id="$(echo "$san1" | jq -r .id)"
+san_sha="$(echo "$san1" | jq -r .stl_sha256)"
+[ "$(echo "$san2" | jq -r .id)" = "$san_id" ] || fail "identical uploads got different addresses"
+[ "$(echo "$san2" | jq -r .stl_sha256)" = "$san_sha" ] || fail "identical uploads got different digests"
+echo "$san1" | jq -e .report.before >/dev/null || fail "sanitize reply carries no detection report: $san1"
+
+curl -sf "$base/sanitize/$san_id/stl" -o "$workdir/sanitized.stl"
+got_sha="$(sha256sum "$workdir/sanitized.stl" | cut -d' ' -f1)"
+[ "$got_sha" = "$san_sha" ] || fail "sanitized STL hashes to $got_sha, reported $san_sha"
+
+metrics="$(curl -sf "$base/metrics")"
+echo "$metrics" | grep -qx 'obfuscade_serve_sanitize_requests_total 2' \
+    || fail "expected two sanitize requests:$(echo; echo "$metrics" | grep ^obfuscade_serve_sanitize)"
+echo "$metrics" | grep -qx 'obfuscade_serve_sanitize_completed_total 1' \
+    || fail "expected one sanitize compute:$(echo; echo "$metrics" | grep ^obfuscade_serve_sanitize)"
+
+# Keep a never-sanitized STL around for run 2's deterministic shed.
+id3="$(echo "$r3" | jq -r .id)"
+curl -sf "$base/jobs/$id3/stl" -o "$workdir/job3.stl"
+
 # Graceful drain: SIGTERM exits 0 and flushes every completed manifest
 # (2 single-submission runs + 4 batch runs).
 stop_server
@@ -151,6 +184,44 @@ if echo "$metrics" | grep -q '^obfuscade_serve_jobs_completed_total'; then
     fail "restart-warm must not run the pipeline:$(echo; echo "$metrics" | grep ^obfuscade_serve)"
 fi
 
+# Sanitize artifacts are restart-warm too: the run-1 upload comes back
+# from the disk tier without re-sanitizing, same address and digest.
+sw="$(curl -sf -X POST --data-binary "@$workdir/job1.stl" "$base/sanitize")"
+[ "$(echo "$sw" | jq -r .outcome)" = disk_hit ] || fail "post-restart sanitize must come from disk: $sw"
+[ "$(echo "$sw" | jq -r .id)" = "$san_id" ] || fail "restart-warm sanitize address drifted: $sw"
+[ "$(echo "$sw" | jq -r .stl_sha256)" = "$san_sha" ] || fail "restart-warm sanitize digest drifted: $sw"
+metrics="$(curl -sf "$base/metrics")"
+echo "$metrics" | grep -qx 'obfuscade_cache_disk_hits_total 2' \
+    || fail "expected two disk hits after warm sanitize:$(echo; echo "$metrics" | grep ^obfuscade_cache)"
+if echo "$metrics" | grep -q '^obfuscade_serve_sanitize_completed_total'; then
+    fail "restart-warm sanitize must not recompute:$(echo; echo "$metrics" | grep ^obfuscade_serve_sanitize)"
+fi
+curl -sf "$base/sanitize/$san_id/stl" -o "$workdir/sanitized2.stl"
+[ "$(sha256sum "$workdir/sanitized2.stl" | cut -d' ' -f1)" = "$san_sha" ] \
+    || fail "restart-warm sanitized artifact drifted"
+
+# Deterministic sanitize shed: an admitted async job occupies the single
+# -max-queue slot (admission counts at submit, before the pipeline even
+# starts), so a fresh sanitize body is shed with 429 + Retry-After while
+# the warm address above kept answering. Once the job drains, the same
+# body is admitted and sanitized.
+slow="$(curl -sf -X POST -H 'Content-Type: application/json' \
+    -d '{"seed": 99, "resolution": "fine"}' "$base/jobs")"
+slow_id="$(echo "$slow" | jq -r .id)"
+[ -n "$slow_id" ] || fail "async submit returned no id: $slow"
+san_code="$(curl -s -o "$workdir/san_shed_body" -D "$workdir/san_shed_hdr" -w '%{http_code}' \
+    -X POST --data-binary "@$workdir/job3.stl" "$base/sanitize")"
+[ "$san_code" = 429 ] || fail "sanitize against a full queue: status $san_code: $(cat "$workdir/san_shed_body")"
+grep -qi '^Retry-After:' "$workdir/san_shed_hdr" \
+    || fail "shed sanitize without Retry-After: $(cat "$workdir/san_shed_hdr")"
+for _ in $(seq 1 100); do
+    [ "$(curl -sf "$base/jobs/$slow_id" | jq -r .state)" = done ] && break
+    sleep 0.1
+done
+[ "$(curl -sf "$base/jobs/$slow_id" | jq -r .state)" = done ] || fail "seed-99 job never finished"
+san3="$(curl -sf -X POST --data-binary "@$workdir/job3.stl" "$base/sanitize")"
+[ "$(echo "$san3" | jq -r .outcome)" = miss ] || fail "post-drain sanitize must run: $san3"
+
 # Past -max-queue 1, a concurrent burst of distinct jobs sheds: at
 # least one 429 carrying Retry-After, while at least one job is served.
 burst_pids=()
@@ -177,11 +248,12 @@ done
 [ "$shed" -ge 1 ] || fail "burst of 8 against -max-queue 1 shed nothing"
 [ "$served" -ge 1 ] || fail "shedding served nothing at all"
 
-# The shed counter surfaced on /metrics and agrees with the 429s.
+# The shed counter surfaced on /metrics and agrees with the 429s (the
+# burst's plus the one deterministic sanitize shed above).
 shed_metric="$(curl -sf "$base/metrics" | awk '/^obfuscade_serve_shed_total/ {print $2}')"
-[ "${shed_metric:-0}" -eq "$shed" ] \
-    || fail "serve.shed counter = ${shed_metric:-absent}, observed $shed 429s"
+[ "${shed_metric:-0}" -eq "$((shed + 1))" ] \
+    || fail "serve.shed counter = ${shed_metric:-absent}, observed $((shed + 1)) 429s"
 
 stop_server
 
-echo "smoke_serve: OK (1 hit, 2 misses, 6 manifests, restart-warm disk_hit, $shed shed / $served served)"
+echo "smoke_serve: OK (1 hit, 2 misses, 6 manifests, restart-warm disk_hit + sanitize disk_hit, $((shed + 1)) shed / $served served)"
