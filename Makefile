@@ -22,7 +22,7 @@ race:
 # BENCH_obfuscade.json artifact that the CI bench job diffs against the
 # committed BENCH_baseline.json (scripts/benchdiff.go).
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkQualityMatrix' -benchtime 2x .
+	$(GO) test -run '^$$' -bench 'BenchmarkQualityMatrix' -benchmem -benchtime 2x .
 	$(GO) test -run '^$$' -bench 'BenchmarkSliceKernel|BenchmarkRasterize' -benchmem ./internal/slicer
 	$(GO) run ./cmd/paperbench -exp bench -benchout BENCH_obfuscade.json
 
@@ -49,11 +49,11 @@ smoke:
 smoke-cluster:
 	./scripts/smoke_cluster.sh
 
-# Coverage floor over the observability, tracing, worker-pool, serving
-# and sharding packages — the subsystems every parallel stage and the
-# routing tier depend on.
+# Coverage floor over the observability, tracing, worker-pool, serving,
+# sharding and stage-memo packages — the subsystems every parallel stage
+# and the routing tier depend on.
 COVER_FLOOR ?= 85
-COVER_PKGS = ./internal/obs ./internal/parallel ./internal/trace ./internal/serve ./internal/shard ./internal/stego
+COVER_PKGS = ./internal/obs ./internal/parallel ./internal/trace ./internal/serve ./internal/shard ./internal/stego ./internal/memo
 cover:
 	$(GO) test -covermode=atomic -coverprofile=coverage.out $(COVER_PKGS)
 	@pct=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ { gsub(/%/, "", $$3); print $$3 }'); \

@@ -6,7 +6,7 @@
 //	paperbench [-exp all|table1..3|fig1..fig10|polyjet|sidechannel|keyspace|matrix|ablation|bench|saturate]
 //	           [-n replicates] [-seed n] [-csv] [-workers n] [-stats]
 //	           [-debug-addr addr] [-trace-out file] [-manifest-out file]
-//	           [-benchout file]
+//	           [-benchout file] [-cpuprofile file] [-memprofile file]
 //
 // -stats prints the per-stage pipeline metrics (package obs) after the
 // experiments finish. -debug-addr serves the unified debug surface
@@ -17,7 +17,12 @@
 // port aborts with exit code 4 instead of silently continuing.
 //
 // -trace-out writes the run's trace ring buffer as Chrome trace JSON
-// (loadable in Perfetto / chrome://tracing) on exit. -exp matrix runs
+// (loadable in Perfetto / chrome://tracing) on exit. -cpuprofile and
+// -memprofile write pprof profiles covering the whole run (the
+// allocation profile is written on exit after a final GC); unlike
+// -debug-addr they need no live scrape, so they are the tool of choice
+// for profiling a single `-exp bench` or `-exp matrix` pass. See
+// EXPERIMENTS.md ("Profiling the pipeline") for how to read them. -exp matrix runs
 // the reference quality matrix and, with -manifest-out, writes one
 // NDJSON provenance line per processing key. -exp bench runs the
 // machine-readable benchmark pass and writes its JSON report to the
@@ -39,6 +44,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"sync"
@@ -104,8 +110,18 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write the run's Chrome trace JSON to this file on exit")
 	manifestOut := flag.String("manifest-out", "", "write per-key provenance manifests (NDJSON) for -exp matrix to this file")
 	benchOut := flag.String("benchout", "BENCH_obfuscade.json", "output path for the -exp bench JSON report")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof allocation profile to this file on exit")
 	flag.Parse()
 	parallel.SetDefault(*workers)
+
+	// os.Exit skips defers, so every exit path below must call
+	// stopProfiles explicitly — a truncated CPU profile is unreadable.
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench:", err)
+		os.Exit(1)
+	}
 
 	if addr := firstNonEmpty(*debugAddr, *pprofAddr); addr != "" {
 		srv, err := trace.StartDebugServer(addr, obs.Default(), trace.Default())
@@ -113,13 +129,13 @@ func main() {
 			// A debug surface the operator asked for but cannot reach is a
 			// silent observability hole; fail loudly with a distinct code.
 			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			stopProfiles()
 			os.Exit(exitDebugBind)
 		}
 		defer srv.Close()
 		fmt.Fprintln(os.Stderr, "paperbench: debug server on", srv.URL())
 	}
 
-	var err error
 	if strings.EqualFold(*exp, "bench") {
 		err = runBench(*benchOut, 64, *seed)
 	} else if strings.EqualFold(*exp, "saturate") {
@@ -138,6 +154,7 @@ func main() {
 			}
 		}
 	}
+	stopProfiles()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "paperbench:", err)
 		if errors.Is(err, errUnknownExperiment) {
@@ -145,6 +162,48 @@ func main() {
 		}
 		os.Exit(1)
 	}
+}
+
+// startProfiles begins CPU profiling (when cpuPath is set) and returns
+// a stop function that finalises the CPU profile and writes the
+// allocation profile (when memPath is set). The stop function must run
+// on every exit path: os.Exit skips defers and a CPU profile that was
+// never stopped is truncated mid-record.
+func startProfiles(cpuPath, memPath string) (func(), error) {
+	stopCPU := func() {}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		stopCPU = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+	return func() {
+		stopCPU()
+		if memPath == "" {
+			return
+		}
+		f, err := os.Create(memPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			return
+		}
+		// The allocs profile records cumulative allocation sites; a final
+		// GC settles the in-use numbers so -sample_index=inuse_space is
+		// meaningful too.
+		runtime.GC()
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+		}
+		f.Close()
+	}, nil
 }
 
 func firstNonEmpty(vals ...string) string {
@@ -436,7 +495,22 @@ type benchReport struct {
 		ParallelSeconds float64 `json:"parallel_seconds"`
 		Workers         int     `json:"workers"`
 		Speedup         float64 `json:"speedup"`
+		// AllocsPerKey and BytesPerKey are the heap allocation count and
+		// cumulative allocated bytes per processing key during the
+		// parallel matrix run (runtime.MemStats Mallocs / TotalAlloc
+		// deltas divided by the key count). Both counters are monotonic,
+		// so concurrent GC cannot skew the delta. benchdiff warns when
+		// allocs/key regresses more than its -alloc-tolerance.
+		AllocsPerKey int64 `json:"allocs_per_key"`
+		BytesPerKey  int64 `json:"bytes_per_key"`
 	} `json:"matrix"`
+	// Stages splits the parallel matrix wall time by pipeline stage using
+	// the obs stage histograms — the denominators the memoization and
+	// zero-alloc work are judged against.
+	Stages struct {
+		TessellateSeconds float64 `json:"tessellate_seconds"`
+		VoxelSeconds      float64 `json:"voxel_seconds"`
+	} `json:"stages"`
 	Slicer struct {
 		Layers          int64   `json:"layers"`
 		LayersPerSecond float64 `json:"layers_per_second"`
@@ -738,40 +812,70 @@ func runBench(out string, replicates int, seed int64) error {
 	rep.GOMAXPROCS = runtime.GOMAXPROCS(0)
 	rep.Matrix.Workers = parallel.Default()
 
-	matrix := func(workers int) (float64, int64, int, error) {
+	type matrixRun struct {
+		secs   float64
+		layers int64
+		keys   int
+		allocs uint64
+		bytes  uint64
+	}
+	matrix := func(workers int) (matrixRun, error) {
 		reg.Reset()
+		// Mallocs and TotalAlloc are monotonic, so the deltas are exact
+		// allocation counts even with the GC running concurrently.
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
 		t0 := time.Now()
 		entries, err := core.QualityMatrixWorkers(prot, prof, workers)
 		secs := time.Since(t0).Seconds()
+		runtime.ReadMemStats(&m1)
 		if err != nil {
-			return 0, 0, 0, err
+			return matrixRun{}, err
 		}
 		layers, _ := reg.Snapshot().Counter("slicer.layers.sliced")
-		return secs, layers, len(entries), nil
+		return matrixRun{
+			secs: secs, layers: layers, keys: len(entries),
+			allocs: m1.Mallocs - m0.Mallocs, bytes: m1.TotalAlloc - m0.TotalAlloc,
+		}, nil
 	}
 
-	serial, _, keys, err := matrix(1)
+	serialRun, err := matrix(1)
 	if err != nil {
 		return fmt.Errorf("serial matrix: %w", err)
 	}
-	par, layers, _, err := matrix(0)
+	parRun, err := matrix(0)
 	if err != nil {
 		return fmt.Errorf("parallel matrix: %w", err)
 	}
-	rep.Matrix.Keys = keys
+	serial, par := serialRun.secs, parRun.secs
+	rep.Matrix.Keys = serialRun.keys
 	rep.Matrix.SerialSeconds = serial
 	rep.Matrix.ParallelSeconds = par
 	if par > 0 {
 		rep.Matrix.Speedup = serial / par
 	}
-	rep.Slicer.Layers = layers
+	if parRun.keys > 0 {
+		rep.Matrix.AllocsPerKey = int64(parRun.allocs) / int64(parRun.keys)
+		rep.Matrix.BytesPerKey = int64(parRun.bytes) / int64(parRun.keys)
+	}
+	rep.Slicer.Layers = parRun.layers
 	if par > 0 {
-		rep.Slicer.LayersPerSecond = float64(layers) / par
+		rep.Slicer.LayersPerSecond = float64(parRun.layers) / par
 	}
 	// The matrix() reset scoped the registry to the parallel run, so the
-	// index-build histogram sum is exactly that run's serial prologue.
-	if h, ok := reg.Snapshot().Stage("slicer.index.build.seconds"); ok {
+	// stage histogram sums are exactly that run's stage splits: the
+	// index-build serial prologue, the tessellation builds (memoized —
+	// one per distinct geometry, not per key) and the voxel-domain
+	// deposition/healing/support/washout block.
+	snap := reg.Snapshot()
+	if h, ok := snap.Stage("slicer.index.build.seconds"); ok {
 		rep.Slicer.IndexBuildSeconds = h.SumSeconds
+	}
+	if h, ok := snap.Stage("tessellate.mesh.seconds"); ok {
+		rep.Stages.TessellateSeconds = h.SumSeconds
+	}
+	if h, ok := snap.Stage("printer.voxel.seconds"); ok {
+		rep.Stages.VoxelSeconds = h.SumSeconds
 	}
 
 	// Replicate throughput: a seam specimen group on the shared pool.

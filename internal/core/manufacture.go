@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"obfuscade/internal/brep"
+	"obfuscade/internal/memo"
 	"obfuscade/internal/obs"
 	"obfuscade/internal/printer"
 	"obfuscade/internal/supplychain"
@@ -156,7 +157,16 @@ func Manufacture(prot *Protected, key Key, prof printer.Profile) (*ManufactureRe
 // ManufactureCtx is Manufacture with trace propagation: the stage span
 // parents to the span carried by ctx (typically a per-key span of the
 // quality matrix) and records the resulting grade once known.
-func ManufactureCtx(ctx context.Context, prot *Protected, key Key, prof printer.Profile) (res *ManufactureResult, err error) {
+func ManufactureCtx(ctx context.Context, prot *Protected, key Key, prof printer.Profile) (*ManufactureResult, error) {
+	return ManufactureMemoCtx(ctx, prot, key, prof, nil)
+}
+
+// ManufactureMemoCtx is ManufactureCtx with a shared stage memo wired
+// into the process chain. Keys that agree on geometry-determining inputs
+// (CAD bytes, resolution) share tessellation work through mm; nil mm is
+// exactly ManufactureCtx. Outputs are byte-identical either way — the
+// memo trades only time and allocations, never content.
+func ManufactureMemoCtx(ctx context.Context, prot *Protected, key Key, prof printer.Profile, mm *memo.Memo) (res *ManufactureResult, err error) {
 	span := stManufacture.Start()
 	ctx, tsp := trace.StartSpan(ctx, "stage", "core.manufacture")
 	defer func() {
@@ -175,6 +185,7 @@ func ManufactureCtx(ctx context.Context, prot *Protected, key Key, prof printer.
 		Resolution:  key.Resolution,
 		Orientation: key.Orientation,
 		Printer:     prof,
+		Memo:        mm,
 	}
 	run, err := pl.ExecuteCtx(ctx, part)
 	if err != nil {

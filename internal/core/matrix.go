@@ -7,6 +7,7 @@ import (
 
 	"obfuscade/internal/gcode"
 	"obfuscade/internal/mech"
+	"obfuscade/internal/memo"
 	"obfuscade/internal/obs"
 	"obfuscade/internal/parallel"
 	"obfuscade/internal/printer"
@@ -91,12 +92,17 @@ func QualityMatrixWorkers(prot *Protected, prof printer.Profile, workers int) ([
 	ctx, runSpan := trace.StartSpan(context.Background(), "run", "core.matrix",
 		trace.A("part", prot.Part.Name), trace.A("keys", fmt.Sprint(len(keys))))
 	entries := make([]MatrixEntry, len(keys))
+	// One stage memo per matrix pass: keys that share geometry-determining
+	// inputs (same CAD bytes + resolution across the two orientations)
+	// tessellate once and reuse. Unbounded is safe — residency is a handful
+	// of master meshes and z-sweep indexes, all released with the run.
+	mm := memo.New(0)
 	err := parallel.ForEachCtx(ctx, len(keys), workers, func(tctx context.Context, i int) error {
 		key := keys[i]
 		entries[i].Key = key
 		kctx, ksp := trace.StartSpan(tctx, "key", key.String())
 		defer ksp.End()
-		res, err := ManufactureCtx(kctx, prot, key, prof)
+		res, err := ManufactureMemoCtx(kctx, prot, key, prof, mm)
 		if err != nil {
 			entries[i].Err = err
 			fp := failedProvenance(prot.Part.Name, key, 0, err)
@@ -117,6 +123,10 @@ func QualityMatrixWorkers(prot *Protected, prof printer.Profile, workers int) ([
 		prov := NewProvenance(res, sim, 0)
 		entries[i].Provenance = &prov
 		ksp.SetArg("grade", res.Quality.Grade.String())
+		// The voxel grid is the key's largest allocation and nothing after
+		// grading and provenance capture reads it (entries keep neither the
+		// run nor the build); recycle its storage for the next key.
+		res.Run.Build.Grid.Release()
 		return nil
 	})
 	for i := range entries {

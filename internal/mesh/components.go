@@ -21,11 +21,11 @@ func (s *Shell) SplitEdgeComponents(tol float64) []Shell {
 	if len(idx.Faces) == 0 {
 		return nil
 	}
-	// Union-find over faces via shared edges.
-	parent := make([]int, len(idx.Faces))
-	for i := range parent {
-		parent[i] = i
-	}
+	// Union-find over faces via shared edges (pooled identity array).
+	sc := faceScratchPool.Get().(*faceScratch)
+	defer faceScratchPool.Put(sc)
+	sc.parent = growIdent(sc.parent, len(idx.Faces))
+	parent := sc.parent
 	var find func(int) int
 	find = func(i int) int {
 		for parent[i] != i {

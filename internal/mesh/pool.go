@@ -1,0 +1,42 @@
+// Pooled scratch for the repair and component analyses. Both walk every
+// face of a shell with bitmap/union-find working sets sized to the face
+// count; allocating those per call made RepairWinding and
+// SplitEdgeComponents allocation hot spots on large STL soups. Recycled
+// storage is always re-initialised before use, and pool traffic is never
+// counted — sync.Pool reuse depends on GC timing, so a hit counter would
+// break the serial-equals-parallel metrics contract.
+package mesh
+
+import "sync"
+
+// faceScratch is the reusable per-call working set of the face walkers.
+type faceScratch struct {
+	visited []bool
+	flipped []bool
+	parent  []int
+}
+
+var faceScratchPool = sync.Pool{New: func() any { return new(faceScratch) }}
+
+// growBool returns b resized to n with every entry false.
+func growBool(b []bool, n int) []bool {
+	if cap(b) < n {
+		return make([]bool, n)
+	}
+	b = b[:n]
+	clear(b)
+	return b
+}
+
+// growIdent returns b resized to n with b[i] = i (union-find identity).
+func growIdent(b []int, n int) []int {
+	if cap(b) < n {
+		b = make([]int, n)
+	} else {
+		b = b[:n]
+	}
+	for i := range b {
+		b[i] = i
+	}
+	return b
+}

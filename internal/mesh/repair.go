@@ -36,8 +36,11 @@ func (s *Shell) RepairWinding(tol float64) int {
 	// used by four faces are body-body contact lines of a multi-body
 	// soup (e.g. where a spline split meets the part ends); propagating
 	// across them would flip a whole consistent body inside-out.
-	visited := make([]bool, len(idx.Faces))
-	flipped := make([]bool, len(idx.Faces))
+	sc := faceScratchPool.Get().(*faceScratch)
+	defer faceScratchPool.Put(sc)
+	sc.visited = growBool(sc.visited, len(idx.Faces))
+	sc.flipped = growBool(sc.flipped, len(idx.Faces))
+	visited, flipped := sc.visited, sc.flipped
 	count := 0
 	for {
 		// Seed each unvisited component with its largest triangle.

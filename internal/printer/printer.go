@@ -28,8 +28,12 @@ import (
 var (
 	stPrint      = obs.Stage("printer.print")
 	stGCodePrint = obs.Stage("printer.gcodeprint")
-	mDeposited   = obs.Default().Counter("printer.layers.deposited")
-	mSeams       = obs.Default().Counter("printer.seams")
+	// stVoxel isolates the voxel work of a build — deposition, healing,
+	// support generation, washout — so paperbench can report the stage
+	// split between slicing-side and voxel-side time.
+	stVoxel    = obs.Stage("printer.voxel")
+	mDeposited = obs.Default().Counter("printer.layers.deposited")
+	mSeams     = obs.Default().Counter("printer.seams")
 )
 
 // Profile describes a printer model and its deposition physics.
@@ -247,16 +251,22 @@ func PrintCtx(ctx context.Context, sliced *slicer.Result, prof Profile, opts Opt
 
 	b := &Build{Profile: prof, Grid: grid, LayerCount: len(sliced.Layers)}
 
-	// Deposit model material layer by layer.
+	vspan := stVoxel.Start()
+	// Deposit model material layer by layer. One raster's cell arrays are
+	// recycled across the whole loop: every layer shares the same bounds
+	// and cell size, so after the first layer RasterizeInto never
+	// allocates the big Class/Owner stores again.
 	rmin := grid.Origin.XY()
 	rmax := geom.V2(
 		grid.Origin.X+float64(grid.NX)*cell,
 		grid.Origin.Y+float64(grid.NY)*cell,
 	)
+	var r *slicer.Raster
 	for li := range sliced.Layers {
 		layer := &sliced.Layers[li]
-		r, err := layer.Rasterize(rmin, rmax, cell, nil)
+		r, err = layer.RasterizeInto(rmin, rmax, cell, nil, r)
 		if err != nil {
+			vspan.End()
 			return nil, fmt.Errorf("printer: layer %d: %w", li, err)
 		}
 		zi := li / layersPerSlab
@@ -272,6 +282,7 @@ func PrintCtx(ctx context.Context, sliced *slicer.Result, prof Profile, opts Opt
 	if opts.ExtrusionTrim > 0 && opts.ExtrusionTrim < 1 {
 		applyExtrusionTrim(grid, opts.ExtrusionTrim)
 	} else if opts.ExtrusionTrim < 0 || opts.ExtrusionTrim > 1 {
+		vspan.End()
 		return nil, fmt.Errorf("printer: ExtrusionTrim %g out of [0,1]", opts.ExtrusionTrim)
 	}
 
@@ -283,6 +294,7 @@ func PrintCtx(ctx context.Context, sliced *slicer.Result, prof Profile, opts Opt
 	if !opts.KeepSupport {
 		grid.Replace(voxel.Support, voxel.Empty)
 	}
+	vspan.End()
 
 	// Seam physics from the slicer's exact interface geometry.
 	for i, a := range sliced.BodyNames {

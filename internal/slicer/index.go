@@ -1,22 +1,29 @@
 package slicer
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"sync"
 
 	"obfuscade/internal/geom"
 	"obfuscade/internal/mesh"
 	"obfuscade/internal/obs"
+	"obfuscade/internal/trace"
 )
 
 // Index metrics: build latency plus deterministic size counters. The
 // crossing count is exactly the number of (triangle, layer) pairs the
 // indexed kernel visits, so layers_per_second regressions can be
-// correlated with workload growth rather than guessed at.
+// correlated with workload growth rather than guessed at. The rejected
+// counter counts injected indexes that failed the compatibility guard
+// (a caller bug — content-addressed memo keys make it structurally
+// impossible); they fall back to a fresh build, never to wrong output.
 var (
 	stIndexBuild    = obs.Stage("slicer.index.build")
 	mIndexTris      = obs.Default().Counter("slicer.index.triangles")
 	mIndexCrossings = obs.Default().Counter("slicer.index.crossings")
+	mIndexRejected  = obs.Default().Counter("slicer.index.rejected")
 )
 
 // sweepIndex maps every layer to the triangles whose z-extent spans its
@@ -62,9 +69,14 @@ func layerSpan(zmin, zmax, minZ, h float64, nLayers int) (lo, hi int) {
 }
 
 // buildSweepIndex builds the per-shell layer buckets for a slice run.
-func buildSweepIndex(m *mesh.Mesh, minZ, layerH float64, nLayers int) *sweepIndex {
+// The stage span and timing are emitted here — not at the call sites —
+// so the trace census and stage histograms are identical whether the
+// index is built inline by SliceCtx or inside a memo build closure.
+func buildSweepIndex(ctx context.Context, m *mesh.Mesh, minZ, layerH float64, nLayers int) *sweepIndex {
 	span := stIndexBuild.Start()
 	defer span.End()
+	_, tsp := trace.StartSpan(ctx, "stage", "slicer.index.build")
+	defer tsp.End()
 
 	ix := &sweepIndex{shells: make([]shellIndex, len(m.Shells))}
 	var spans []mesh.ZSpan
@@ -112,6 +124,91 @@ func buildSweepIndex(m *mesh.Mesh, minZ, layerH float64, nLayers int) *sweepInde
 	mIndexTris.Add(tris)
 	mIndexCrossings.Add(crossings)
 	return ix
+}
+
+// Index is an immutable, shareable z-sweep index over one oriented mesh
+// at one layer height — the serial prologue of a slice run, detached so
+// near-duplicate jobs (the same STL bytes sliced again, e.g. by a stage
+// memo replaying a matrix key) reuse it instead of rebuilding. It holds
+// only triangle ordinals, never mesh pointers, so it is valid for any
+// mesh whose triangles are byte-identical to the one it was built from;
+// the compatibility guard in SliceIndexedCtx re-derives the cheap shape
+// facts (layer grid, shell sizes) and rejects anything else.
+type Index struct {
+	sweep       *sweepIndex
+	minZ        float64
+	layerHeight float64
+	nLayers     int
+	// shellTris is the per-shell triangle count — with the content hash
+	// the memo keys on, enough to reject a structurally foreign mesh.
+	shellTris []int
+}
+
+// layerCount is the shared layer-grid derivation of SliceCtx and
+// BuildIndex; the two must agree or an injected index would silently
+// bucket for a different grid.
+func layerCount(bounds geom.AABB, layerH float64) (int, error) {
+	n := int(math.Ceil((bounds.Max.Z - bounds.Min.Z) / layerH))
+	if n <= 0 {
+		n = 1
+	}
+	if n > 100000 {
+		return 0, fmt.Errorf("slicer: %d layers exceed sanity limit (layer height %g)", n, layerH)
+	}
+	return n, nil
+}
+
+// BuildIndex builds the z-sweep index for slicing m under opts, for
+// injection into SliceIndexedCtx. The index is read-only after return
+// and safe to share across concurrent slice runs.
+func BuildIndex(ctx context.Context, m *mesh.Mesh, opts Options) (*Index, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	bounds := m.Bounds()
+	if bounds.IsEmpty() {
+		return nil, fmt.Errorf("slicer: empty mesh")
+	}
+	nLayers, err := layerCount(bounds, opts.LayerHeight)
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{
+		minZ:        bounds.Min.Z,
+		layerHeight: opts.LayerHeight,
+		nLayers:     nLayers,
+		shellTris:   make([]int, len(m.Shells)),
+	}
+	for si := range m.Shells {
+		ix.shellTris[si] = len(m.Shells[si].Tris)
+	}
+	ix.sweep = buildSweepIndex(ctx, m, bounds.Min.Z, opts.LayerHeight, nLayers)
+	return ix, nil
+}
+
+// SizeBytes reports the index's memory residency, for memo byte budgets.
+func (ix *Index) SizeBytes() int64 {
+	var n int64
+	for _, sh := range ix.sweep.shells {
+		n += int64(len(sh.off)+len(sh.tris)) * 4
+	}
+	return n + int64(len(ix.shellTris))*8
+}
+
+// compatible reports whether the index was built for exactly this layer
+// grid and shell structure.
+func (ix *Index) compatible(m *mesh.Mesh, minZ, layerH float64, nLayers int) bool {
+	if ix == nil || ix.sweep == nil ||
+		ix.minZ != minZ || ix.layerHeight != layerH || ix.nLayers != nLayers ||
+		len(ix.shellTris) != len(m.Shells) {
+		return false
+	}
+	for si := range m.Shells {
+		if ix.shellTris[si] != len(m.Shells[si].Tris) {
+			return false
+		}
+	}
+	return true
 }
 
 // chainSeg is one directed cross-section segment awaiting chaining.

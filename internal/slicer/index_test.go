@@ -1,6 +1,7 @@
 package slicer
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -23,7 +24,7 @@ func TestSweepIndexCompleteAndOrdered(t *testing.T) {
 		if nLayers <= 0 {
 			nLayers = 1
 		}
-		idx := buildSweepIndex(m, bounds.Min.Z, opts.LayerHeight, nLayers)
+		idx := buildSweepIndex(context.Background(), m, bounds.Min.Z, opts.LayerHeight, nLayers)
 		for si := range m.Shells {
 			shell := &m.Shells[si]
 			for li := 0; li < nLayers; li++ {
@@ -78,6 +79,76 @@ func TestLayerSpanDegenerate(t *testing.T) {
 	lo, hi := layerSpan(1.0, 1.0, 0, 0.25, 10)
 	if lo < 0 || hi > 9 {
 		t.Fatalf("degenerate span [%d,%d] out of clamp range", lo, hi)
+	}
+}
+
+// An injected prebuilt index must yield exactly the inline result, and an
+// incompatible index must be rejected (counted) and rebuilt — wrong
+// injection may cost time, never correctness.
+func TestSliceIndexedMatchesInline(t *testing.T) {
+	ctx := context.Background()
+	opts := DefaultOptions()
+	m := &mesh.Mesh{Shells: []mesh.Shell{
+		mesh.BoxShell("box", "box", geom.V3(0, 0, 0), geom.V3(5, 4, 3)),
+	}}
+	inline, err := SliceCtx(ctx, m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := BuildIndex(ctx, m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.SizeBytes() <= 0 {
+		t.Error("index reports non-positive size")
+	}
+	injected, err := SliceIndexedCtx(ctx, m, opts, ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, inline, injected, "injected")
+
+	// An index built for a different mesh fails the guard and triggers an
+	// inline rebuild with identical output.
+	other := &mesh.Mesh{Shells: []mesh.Shell{
+		mesh.BoxShell("tall", "tall", geom.V3(0, 0, 0), geom.V3(2, 2, 9)),
+	}}
+	foreign, err := BuildIndex(ctx, other, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := mIndexRejected.Value()
+	rebuilt, err := SliceIndexedCtx(ctx, m, opts, foreign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mIndexRejected.Value() - before; got != 1 {
+		t.Errorf("rejected counter advanced by %d, want 1", got)
+	}
+	assertSameResult(t, inline, rebuilt, "rebuilt after rejection")
+}
+
+func assertSameResult(t *testing.T, want, got *Result, label string) {
+	t.Helper()
+	if len(got.Layers) != len(want.Layers) {
+		t.Fatalf("%s: layer count %d != %d", label, len(got.Layers), len(want.Layers))
+	}
+	for li := range got.Layers {
+		a, b := want.Layers[li], got.Layers[li]
+		if a.Z != b.Z || len(a.Contours) != len(b.Contours) {
+			t.Fatalf("%s: layer %d differs", label, li)
+		}
+		for ci := range a.Contours {
+			ap, bp := a.Contours[ci].Poly, b.Contours[ci].Poly
+			if len(ap) != len(bp) {
+				t.Fatalf("%s: layer %d contour %d point count differs", label, li, ci)
+			}
+			for pi := range ap {
+				if ap[pi] != bp[pi] {
+					t.Fatalf("%s: layer %d contour %d point %d differs", label, li, ci, pi)
+				}
+			}
+		}
 	}
 }
 

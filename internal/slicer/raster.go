@@ -131,6 +131,16 @@ func rowSpan(yLo, yHi, minY, cell float64, ny int) (lo, hi int) {
 // together before any cell is classified, so the output is byte-identical
 // to rasterizeNaive.
 func (l *Layer) Rasterize(min, max geom.Vec2, cell float64, bodies []string) (*Raster, error) {
+	return l.RasterizeInto(min, max, cell, bodies, nil)
+}
+
+// RasterizeInto is Rasterize recycling the cell arrays of a previous
+// raster: when reuse is non-nil its Class/Owner backing stores are stolen
+// (cleared, resized) for the new result, so a caller rasterizing many
+// layers of one build — the virtual printer's deposit loop — allocates
+// the big arrays once instead of per layer. reuse must not be read
+// afterwards. Output is byte-identical to Rasterize.
+func (l *Layer) RasterizeInto(min, max geom.Vec2, cell float64, bodies []string, reuse *Raster) (*Raster, error) {
 	if cell <= 0 {
 		return nil, fmt.Errorf("slicer: cell size must be positive, got %g", cell)
 	}
@@ -154,9 +164,16 @@ func (l *Layer) Rasterize(min, max geom.Vec2, cell float64, bodies []string) (*R
 		Cell:   cell,
 		NX:     nx,
 		NY:     ny,
-		Class:  make([]CellClass, nx*ny),
-		Owner:  make([]uint32, nx*ny),
 		Bodies: bodies,
+	}
+	if reuse != nil && cap(reuse.Class) >= nx*ny && cap(reuse.Owner) >= nx*ny {
+		r.Class = reuse.Class[:nx*ny]
+		clear(r.Class)
+		r.Owner = reuse.Owner[:nx*ny]
+		clear(r.Owner)
+	} else {
+		r.Class = make([]CellClass, nx*ny)
+		r.Owner = make([]uint32, nx*ny)
 	}
 
 	sc := rasterScratchPool.Get().(*rasterScratch)

@@ -151,7 +151,18 @@ func SliceReference(m *mesh.Mesh, opts Options) (*Result, error) {
 // SliceCtx is Slice with trace propagation: the stage span parents to
 // the span carried by ctx, and the per-layer fan-out emits a batch
 // instant recording the deterministic layer count.
-func SliceCtx(ctx context.Context, m *mesh.Mesh, opts Options) (res *Result, err error) {
+func SliceCtx(ctx context.Context, m *mesh.Mesh, opts Options) (*Result, error) {
+	return SliceIndexedCtx(ctx, m, opts, nil)
+}
+
+// SliceIndexedCtx is SliceCtx with an optional pre-built z-sweep index
+// (BuildIndex). A nil index is built inline, exactly as SliceCtx always
+// has; an injected index skips the serial build prologue — the whole
+// point of memoizing it across near-duplicate jobs. An injected index
+// that fails the compatibility guard (wrong layer grid or shell shape —
+// a caller bug) is counted on slicer.index.rejected and rebuilt, so a
+// bad injection can cost time but never correctness.
+func SliceIndexedCtx(ctx context.Context, m *mesh.Mesh, opts Options, ix *Index) (res *Result, err error) {
 	span := stSlice.Start()
 	ctx, tsp := trace.StartSpan(ctx, "stage", "slicer.slice")
 	defer func() {
@@ -175,21 +186,24 @@ func SliceCtx(ctx context.Context, m *mesh.Mesh, opts Options) (res *Result, err
 	}
 	sort.Strings(res.BodyNames)
 
-	nLayers := int(math.Ceil((bounds.Max.Z - bounds.Min.Z) / opts.LayerHeight))
-	if nLayers <= 0 {
-		nLayers = 1
-	}
-	if nLayers > 100000 {
-		return nil, fmt.Errorf("slicer: %d layers exceed sanity limit (layer height %g)",
-			nLayers, opts.LayerHeight)
+	nLayers, err := layerCount(bounds, opts.LayerHeight)
+	if err != nil {
+		return nil, err
 	}
 	// The sweep index is built once, serially, before the fan-out: every
 	// layer bucket then holds exactly the triangles whose z-extent spans
 	// that plane, so each layer task does O(crossings) work instead of
-	// rescanning the whole shell.
-	_, isp := trace.StartSpan(ctx, "stage", "slicer.index.build")
-	idx := buildSweepIndex(m, bounds.Min.Z, opts.LayerHeight, nLayers)
-	isp.End()
+	// rescanning the whole shell. An injected index (same content-hashed
+	// mesh sliced under the same grid) skips that serial prologue.
+	var idx *sweepIndex
+	if ix != nil && ix.compatible(m, bounds.Min.Z, opts.LayerHeight, nLayers) {
+		idx = ix.sweep
+	} else {
+		if ix != nil {
+			mIndexRejected.Inc()
+		}
+		idx = buildSweepIndex(ctx, m, bounds.Min.Z, opts.LayerHeight, nLayers)
+	}
 
 	// Each layer depends only on its own plane height, so layers slice
 	// concurrently on the worker pool and assemble by index — the stack is

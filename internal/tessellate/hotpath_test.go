@@ -1,0 +1,90 @@
+package tessellate
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"obfuscade/internal/brep"
+	"obfuscade/internal/geom"
+)
+
+func testRevolve() *brep.Revolve {
+	return &brep.Revolve{
+		X0: 0, X1: 12,
+		Axis:   geom.V2(0.5, -0.25),
+		Breaks: []float64{4, 8},
+		Radius: func(x float64) float64 {
+			switch {
+			case x < 4:
+				return 2
+			case x < 8:
+				return 1.2 + 0.3*math.Sin(x)
+			default:
+				return 2.5
+			}
+		},
+	}
+}
+
+// tessellateRevolve's ring-trig fast path must be bit-identical to the
+// retained per-point reference at every resolution.
+func TestRevolveMatchesReference(t *testing.T) {
+	rev := testRevolve()
+	for _, res := range Presets() {
+		got, err := tessellateRevolve(rev, "r", "r", res)
+		if err != nil {
+			t.Fatalf("%s: %v", res.Name, err)
+		}
+		want, err := tessellateRevolveReference(rev, "r", "r", res)
+		if err != nil {
+			t.Fatalf("%s reference: %v", res.Name, err)
+		}
+		if len(got.Tris) != len(want.Tris) {
+			t.Fatalf("%s: %d triangles, reference %d", res.Name, len(got.Tris), len(want.Tris))
+		}
+		if cap(got.Tris) != len(got.Tris) {
+			t.Errorf("%s: cap %d != len %d (inexact prealloc)", res.Name, cap(got.Tris), len(got.Tris))
+		}
+		for i := range got.Tris {
+			if got.Tris[i] != want.Tris[i] {
+				t.Fatalf("%s: triangle %d differs:\n got %+v\nwant %+v",
+					res.Name, i, got.Tris[i], want.Tris[i])
+			}
+		}
+	}
+}
+
+// The pooled ring trig must be safe under concurrent revolve meshing at
+// mixed resolutions (run with -race in tier 2).
+func TestRevolveConcurrent(t *testing.T) {
+	rev := testRevolve()
+	presets := Presets()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for iter := 0; iter < 20; iter++ {
+				res := presets[(w+iter)%len(presets)]
+				got, err := tessellateRevolve(rev, "r", "r", res)
+				if err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				want, err := tessellateRevolveReference(rev, "r", "r", res)
+				if err != nil {
+					t.Errorf("worker %d reference: %v", w, err)
+					return
+				}
+				for i := range got.Tris {
+					if got.Tris[i] != want.Tris[i] {
+						t.Errorf("worker %d %s: triangle %d differs", w, res.Name, i)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -3,18 +3,25 @@ package tessellate
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"obfuscade/internal/brep"
 	"obfuscade/internal/geom"
 	"obfuscade/internal/mesh"
 )
 
-// tessellateRevolve meshes a solid of revolution: adaptive axial stations
-// per smooth profile piece, angular rings sized by the chordal deviation,
-// flat disc caps at the ends and annular faces at profile steps.
-func tessellateRevolve(r *brep.Revolve, name, bodyName string, res Resolution) (mesh.Shell, error) {
+// station is one axial sampling station of a solid of revolution.
+type station struct {
+	x float64
+	r float64
+}
+
+// revolveStations computes the angular segment count and the axial
+// stations for a revolve at the given resolution — the sampling plan
+// shared by the production mesher and its reference oracle.
+func revolveStations(r *brep.Revolve, res Resolution) ([]station, int, error) {
 	if err := r.Validate(); err != nil {
-		return mesh.Shell{}, err
+		return nil, 0, err
 	}
 	maxR := 0.0
 	const probe = 256
@@ -40,10 +47,6 @@ func tessellateRevolve(r *brep.Revolve, name, bodyName string, res Resolution) (
 	// Axial stations: adaptive per smooth piece, evaluated one-sided at
 	// piece edges so steps stay sharp.
 	const edgeEps = 1e-9
-	type station struct {
-		x float64
-		r float64
-	}
 	var stations []station
 	pieces := r.Pieces()
 	for pi, piece := range pieces {
@@ -83,17 +86,63 @@ func tessellateRevolve(r *brep.Revolve, name, bodyName string, res Resolution) (
 			stations = append(stations, station{x: x, r: evalAt(x)})
 		}
 	}
+	return stations, nTheta, nil
+}
 
-	ringPoint := func(st station, j int) geom.Vec3 {
+// ringTrig is the pooled per-call scratch of tessellateRevolve: one ring's
+// worth of sin/cos values, computed once per revolve instead of per point.
+type ringTrig struct {
+	sin, cos []float64
+}
+
+var ringTrigPool = sync.Pool{New: func() any { return new(ringTrig) }}
+
+// tessellateRevolve meshes a solid of revolution: adaptive axial stations
+// per smooth profile piece, angular rings sized by the chordal deviation,
+// flat disc caps at the ends and annular faces at profile steps.
+//
+// The facet stream is bit-identical to tessellateRevolveReference
+// (property tested): the ring trig table holds exactly the values the
+// per-point expressions produce, including the j == nTheta wrap column
+// (theta = 2*pi, whose sin/cos differ in floating point from theta = 0),
+// and the triangle buffer is sized up front.
+func tessellateRevolve(r *brep.Revolve, name, bodyName string, res Resolution) (mesh.Shell, error) {
+	stations, nTheta, err := revolveStations(r, res)
+	if err != nil {
+		return mesh.Shell{}, err
+	}
+
+	rt := ringTrigPool.Get().(*ringTrig)
+	defer ringTrigPool.Put(rt)
+	if cap(rt.sin) < nTheta+1 {
+		rt.sin = make([]float64, nTheta+1)
+		rt.cos = make([]float64, nTheta+1)
+	}
+	rt.sin = rt.sin[:nTheta+1]
+	rt.cos = rt.cos[:nTheta+1]
+	for j := 0; j <= nTheta; j++ {
 		theta := 2 * math.Pi * float64(j) / float64(nTheta)
+		rt.sin[j] = math.Sin(theta)
+		rt.cos[j] = math.Cos(theta)
+	}
+	ringPoint := func(st station, j int) geom.Vec3 {
 		return geom.V3(
 			st.x,
-			r.Axis.X+st.r*math.Cos(theta),
-			r.Axis.Y+st.r*math.Sin(theta),
+			r.Axis.X+st.r*rt.cos[j],
+			r.Axis.Y+st.r*rt.sin[j],
 		)
 	}
 
-	shell := mesh.Shell{Name: name, Body: bodyName, Orient: mesh.Outward}
+	// Size the buffer exactly: 2 triangles per quad of each non-degenerate
+	// band, plus one fan triangle per segment for each of the two caps.
+	bands := 0
+	for i := 0; i+1 < len(stations); i++ {
+		if stations[i].x != stations[i+1].x || stations[i].r != stations[i+1].r {
+			bands++
+		}
+	}
+	shell := mesh.Shell{Name: name, Body: bodyName, Orient: mesh.Outward,
+		Tris: make([]geom.Triangle, 0, (2*bands+2)*nTheta)}
 	// Side bands (including annular step faces, which are just bands
 	// between coincident-x rings of different radii).
 	for i := 0; i+1 < len(stations); i++ {
@@ -114,6 +163,60 @@ func tessellateRevolve(r *brep.Revolve, name, bodyName string, res Resolution) (
 	}
 	// End caps: fans from the axis point, oriented outward (-x at X0,
 	// +x at X1).
+	capFan := func(st station, outwardPlus bool) {
+		centre := geom.V3(st.x, r.Axis.X, r.Axis.Y)
+		for j := 0; j < nTheta; j++ {
+			a := ringPoint(st, j)
+			b := ringPoint(st, j+1)
+			if outwardPlus {
+				shell.Tris = append(shell.Tris, geom.Triangle{A: centre, B: a, C: b})
+			} else {
+				shell.Tris = append(shell.Tris, geom.Triangle{A: centre, B: b, C: a})
+			}
+		}
+	}
+	capFan(stations[0], false)
+	capFan(stations[len(stations)-1], true)
+
+	if len(shell.Tris) == 0 {
+		return mesh.Shell{}, fmt.Errorf("tessellate: empty revolve")
+	}
+	return shell, nil
+}
+
+// tessellateRevolveReference is the straightforward per-point trig
+// implementation, retained as the oracle for tessellateRevolve's
+// bit-identity property test.
+func tessellateRevolveReference(r *brep.Revolve, name, bodyName string, res Resolution) (mesh.Shell, error) {
+	stations, nTheta, err := revolveStations(r, res)
+	if err != nil {
+		return mesh.Shell{}, err
+	}
+	ringPoint := func(st station, j int) geom.Vec3 {
+		theta := 2 * math.Pi * float64(j) / float64(nTheta)
+		return geom.V3(
+			st.x,
+			r.Axis.X+st.r*math.Cos(theta),
+			r.Axis.Y+st.r*math.Sin(theta),
+		)
+	}
+	shell := mesh.Shell{Name: name, Body: bodyName, Orient: mesh.Outward}
+	for i := 0; i+1 < len(stations); i++ {
+		s0, s1 := stations[i], stations[i+1]
+		if s0.x == s1.x && s0.r == s1.r {
+			continue
+		}
+		for j := 0; j < nTheta; j++ {
+			p00 := ringPoint(s0, j)
+			p01 := ringPoint(s0, j+1)
+			p10 := ringPoint(s1, j)
+			p11 := ringPoint(s1, j+1)
+			shell.Tris = append(shell.Tris,
+				geom.Triangle{A: p00, B: p01, C: p10},
+				geom.Triangle{A: p01, B: p11, C: p10},
+			)
+		}
+	}
 	capFan := func(st station, outwardPlus bool) {
 		centre := geom.V3(st.x, r.Axis.X, r.Axis.Y)
 		for j := 0; j < nTheta; j++ {

@@ -19,8 +19,14 @@ import (
 	"obfuscade/internal/brep"
 	"obfuscade/internal/geom"
 	"obfuscade/internal/mesh"
+	"obfuscade/internal/obs"
 	"obfuscade/internal/spline"
 )
+
+// stTessellate times full part tessellations. Memoized pipelines call
+// Tessellate only on memo misses, so tessellate.mesh.seconds is the true
+// cost of the stage after sharing — exactly the split paperbench reports.
+var stTessellate = obs.Stage("tessellate.mesh")
 
 // Resolution is an STL export quality setting (paper Fig. 5).
 type Resolution struct {
@@ -76,7 +82,9 @@ func (r Resolution) Validate() error {
 // bodies produce outward shells; their cavities produce inward shells;
 // surface bodies produce open shells oriented concave-out (normals toward
 // the enclosed space), matching how the §3.2 surface sphere exports.
-func Tessellate(p *brep.Part, res Resolution) (*mesh.Mesh, error) {
+func Tessellate(p *brep.Part, res Resolution) (_ *mesh.Mesh, err error) {
+	sp := stTessellate.Start()
+	defer func() { sp.EndErr(err) }()
 	if err := res.Validate(); err != nil {
 		return nil, err
 	}
@@ -143,7 +151,10 @@ func tessellatePrism(p *brep.Prism, name, bodyName string, res Resolution, phase
 	if err != nil {
 		return mesh.Shell{}, fmt.Errorf("triangulate profile: %w", err)
 	}
-	shell := mesh.Shell{Name: name, Body: bodyName, Orient: mesh.Outward}
+	// 2 cap triangles per profile triangle plus at most 2 wall triangles
+	// per profile edge, reserved up front so emission never reallocates.
+	shell := mesh.Shell{Name: name, Body: bodyName, Orient: mesh.Outward,
+		Tris: make([]geom.Triangle, 0, 2*len(tris)+2*len(poly))}
 	at := func(v geom.Vec2, z float64) geom.Vec3 { return geom.V3(v.X, v.Y, z) }
 	// Caps. The profile is CCW, so the top cap keeps the winding (+Z
 	// normal) and the bottom cap reverses it (-Z normal).

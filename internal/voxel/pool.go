@@ -1,0 +1,63 @@
+// Freelists for the two dominant allocation sources of the virtual
+// printer: grid cell storage (one multi-megabyte []Material per build)
+// and the Components flood-fill scratch (a visited bitmap the size of the
+// grid plus a traversal stack, formerly allocated per call).
+//
+// Pooling is invisible in every deterministic artifact: recycled storage
+// is cleared before use, pool hits are never counted (sync.Pool reuse
+// depends on GC timing and scheduling, so a hit counter would break the
+// serial-equals-parallel metrics contract), and a released grid fails
+// loudly (nil cells) if used again.
+package voxel
+
+import "sync"
+
+// cellPool recycles grid cell storage between builds.
+var cellPool sync.Pool
+
+// getCells returns a zeroed []Material of the given length, recycling
+// pooled storage when its capacity suffices.
+func getCells(total int) []Material {
+	if v := cellPool.Get(); v != nil {
+		c := v.([]Material)
+		if cap(c) >= total {
+			c = c[:total]
+			clear(c)
+			return c
+		}
+	}
+	return make([]Material, total)
+}
+
+// Release returns the grid's cell storage to the package freelist and
+// leaves the grid unusable (any further access panics on the nil cells
+// slice — loud, rather than silently reading recycled memory). Callers
+// that retain the grid in a result — e.g. a Build a caller will inspect —
+// must not release it; the quality matrix releases per-key grids after
+// grading and provenance capture, when nothing downstream reads voxels.
+func (g *Grid) Release() {
+	if g == nil || g.cells == nil {
+		return
+	}
+	cellPool.Put(g.cells[:0])
+	g.cells = nil
+}
+
+// ccScratch is the reusable working set of one Components call.
+type ccScratch struct {
+	visited []bool
+	stack   [][3]int
+}
+
+var ccScratchPool = sync.Pool{New: func() any { return new(ccScratch) }}
+
+// getVisited returns sc.visited resized to n and zeroed.
+func (sc *ccScratch) getVisited(n int) []bool {
+	if cap(sc.visited) < n {
+		sc.visited = make([]bool, n)
+	} else {
+		sc.visited = sc.visited[:n]
+		clear(sc.visited)
+	}
+	return sc.visited
+}

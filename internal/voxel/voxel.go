@@ -68,7 +68,7 @@ func NewGrid(bounds geom.AABB, cell, cellZ float64) (*Grid, error) {
 		Cell:   cell,
 		CellZ:  cellZ,
 		NX:     nx, NY: ny, NZ: nz,
-		cells: make([]Material, total),
+		cells: getCells(total),
 	}, nil
 }
 
@@ -142,10 +142,11 @@ func (g *Grid) Replace(from, to Material) int {
 	return n
 }
 
-// Clone returns a deep copy of the grid.
+// Clone returns a deep copy of the grid. The copy draws from the same
+// freelist as NewGrid and can be Released independently.
 func (g *Grid) Clone() *Grid {
 	ng := *g
-	ng.cells = make([]Material, len(g.cells))
+	ng.cells = getCells(len(g.cells))
 	copy(ng.cells, g.cells)
 	return &ng
 }
@@ -184,9 +185,12 @@ func (c *Component) BoundsWorld(g *Grid) geom.AABB {
 // Components labels the 6-connected components of the given material and
 // returns them sorted by descending size.
 func (g *Grid) Components(m Material) []Component {
-	visited := make([]bool, len(g.cells))
+	sc := ccScratchPool.Get().(*ccScratch)
+	defer ccScratchPool.Put(sc)
+	visited := sc.getVisited(len(g.cells))
 	var comps []Component
-	var stack [][3]int
+	stack := sc.stack[:0]
+	defer func() { sc.stack = stack }()
 	for z := 0; z < g.NZ; z++ {
 		for y := 0; y < g.NY; y++ {
 			for x := 0; x < g.NX; x++ {

@@ -7,10 +7,11 @@
 //
 //	go run ./scripts -baseline BENCH_baseline.json \
 //	    -current BENCH_obfuscade.json [-tolerance 0.30] [-max-serial-ratio 1.25] \
+//	    [-min-matrix-speedup 2.5] [-alloc-tolerance 0.30] \
 //	    [-slicer-tolerance 0.30] [-throughput-tolerance 0.40] [-enforce-throughput] \
 //	    [-require-multiproc] [-min-shard-scale 1.0] [-saturate-p99-tolerance 1.0]
 //
-// Six gates run:
+// Eight gates run:
 //
 //  1. Regression: current parallel matrix wall time must not exceed
 //     baseline * (1 + tolerance). Absolute wall times differ across
@@ -25,7 +26,18 @@
 //     speedup carries no signal. Under -require-multiproc (the default
 //     when the CI env var is set) a single-proc report is itself a
 //     failure — the CI bench environment promises multi-proc runs, so a
-//     skip there means the environment regressed.
+//     skip there means the environment regressed. On multi-proc reports
+//     the pool must additionally reach -min-matrix-speedup over the
+//     serial run (machine-independent: both columns come from the same
+//     report) — the shared-geometry memoization and zero-alloc hot
+//     paths exist to keep this floor reachable. The floor itself skips
+//     (with a warning) when min(num_cpu, workers) cannot physically
+//     reach it: GOMAXPROCS can be env-pinned above the core count, so
+//     num_cpu is the capacity signal, as in the shard-scale gate.
+//     2b. Allocation budget (warn-only): matrix allocs/key must not grow
+//     more than -alloc-tolerance over the baseline. Warn-only because
+//     allocation counts shift with Go runtime versions; the warning is
+//     the review prompt, the re-baseline is the decision.
 //  3. Slicer throughput (enforced): layers/s must not drop more than
 //     -slicer-tolerance below the baseline. The indexed slicing kernels
 //     make this the one throughput number CI guards strictly.
@@ -63,7 +75,13 @@ type benchReport struct {
 		ParallelSeconds float64 `json:"parallel_seconds"`
 		Workers         int     `json:"workers"`
 		Speedup         float64 `json:"speedup"`
+		AllocsPerKey    int64   `json:"allocs_per_key"`
+		BytesPerKey     int64   `json:"bytes_per_key"`
 	} `json:"matrix"`
+	Stages struct {
+		TessellateSeconds float64 `json:"tessellate_seconds"`
+		VoxelSeconds      float64 `json:"voxel_seconds"`
+	} `json:"stages"`
 	Slicer struct {
 		Layers            int64   `json:"layers"`
 		LayersPerSecond   float64 `json:"layers_per_second"`
@@ -102,6 +120,16 @@ type gateOpts struct {
 	Tolerance float64
 	// MaxSerialRatio bounds parallel/serial wall time on multi-core hosts.
 	MaxSerialRatio float64
+	// MinMatrixSpeedup is the parallel-over-serial speedup floor the
+	// matrix must reach on multi-proc reports; 0 disables the gate.
+	// Machine-independent like MaxSerialRatio: both columns come from
+	// the same report.
+	MinMatrixSpeedup float64
+	// AllocTolerance is the allowed fractional growth of matrix
+	// allocs/key over the baseline. Always warn-only: allocation counts
+	// move with Go runtime versions, so a trip is a review prompt, not a
+	// hard failure.
+	AllocTolerance float64
 	// SlicerTolerance is the allowed fractional drop in slicer layers/s;
 	// unlike ThroughputTolerance this gate always fails on regression.
 	SlicerTolerance float64
@@ -165,8 +193,7 @@ func evaluate(base, cur benchReport, opts gateOpts) gateResult {
 	singleProc := func(r benchReport) bool {
 		return r.GOMAXPROCS <= 1 || r.Matrix.Workers == 1
 	}
-	switch {
-	case singleProc(base) || singleProc(cur):
+	if singleProc(base) || singleProc(cur) {
 		msg := fmt.Sprintf(
 			"pool-sanity (speedup) gate skipped: single-proc report (baseline gomaxprocs=%d workers=%d, current gomaxprocs=%d workers=%d)",
 			base.GOMAXPROCS, base.Matrix.Workers, cur.GOMAXPROCS, cur.Matrix.Workers)
@@ -176,10 +203,52 @@ func evaluate(base, cur benchReport, opts gateOpts) gateResult {
 		} else {
 			res.Warnings = append(res.Warnings, msg)
 		}
-	case cur.Matrix.ParallelSeconds > cur.Matrix.SerialSeconds*opts.MaxSerialRatio:
-		res.Failures = append(res.Failures, fmt.Sprintf(
-			"parallel matrix (%.3fs) slower than %.2fx the serial run (%.3fs) on %d CPUs",
-			cur.Matrix.ParallelSeconds, opts.MaxSerialRatio, cur.Matrix.SerialSeconds, cur.GOMAXPROCS))
+	} else {
+		if cur.Matrix.ParallelSeconds > cur.Matrix.SerialSeconds*opts.MaxSerialRatio {
+			res.Failures = append(res.Failures, fmt.Sprintf(
+				"parallel matrix (%.3fs) slower than %.2fx the serial run (%.3fs) on %d CPUs",
+				cur.Matrix.ParallelSeconds, opts.MaxSerialRatio, cur.Matrix.SerialSeconds, cur.GOMAXPROCS))
+		}
+		// Speedup floor: the memoized tessellation/index sharing plus the
+		// pooled hot paths are supposed to keep the matrix compute-bound,
+		// so a multi-proc pool that cannot clear the floor means the
+		// parallel path regressed even if absolute wall times still fit
+		// the cross-machine tolerance. The ideal speedup is bounded by
+		// min(CPUs, workers) — GOMAXPROCS can be env-pinned above the
+		// physical core count (the baseline-pinning recipe does exactly
+		// that), so num_cpu is the honest capacity signal: a host whose
+		// bound sits below the floor skips with a warning instead of
+		// failing a target it cannot physically reach.
+		if opts.MinMatrixSpeedup > 0 {
+			bound := cur.NumCPU
+			if cur.Matrix.Workers > 0 && cur.Matrix.Workers < bound {
+				bound = cur.Matrix.Workers
+			}
+			switch {
+			case float64(bound) < opts.MinMatrixSpeedup:
+				res.Warnings = append(res.Warnings, fmt.Sprintf(
+					"matrix speedup floor skipped: min(%d CPUs, %d workers) cannot reach %.2fx",
+					cur.NumCPU, cur.Matrix.Workers, opts.MinMatrixSpeedup))
+			case cur.Matrix.Speedup < opts.MinMatrixSpeedup:
+				res.Failures = append(res.Failures, fmt.Sprintf(
+					"matrix speedup %.2fx below the %.2fx floor (serial %.3fs, parallel %.3fs, %d workers on %d CPUs)",
+					cur.Matrix.Speedup, opts.MinMatrixSpeedup,
+					cur.Matrix.SerialSeconds, cur.Matrix.ParallelSeconds,
+					cur.Matrix.Workers, cur.NumCPU))
+			}
+		}
+	}
+	// Allocation budget: warn-only by design (see the package comment) —
+	// the zero-alloc hot paths are guarded by a prompt to look, not a
+	// gate that blocks unrelated work on a runtime upgrade.
+	if cur.Matrix.AllocsPerKey > 0 {
+		if base.Matrix.AllocsPerKey <= 0 {
+			pin("matrix allocs/key", float64(cur.Matrix.AllocsPerKey), "")
+		} else if limit := float64(base.Matrix.AllocsPerKey) * (1 + opts.AllocTolerance); float64(cur.Matrix.AllocsPerKey) > limit {
+			res.Warnings = append(res.Warnings, fmt.Sprintf(
+				"matrix allocs/key %d exceeds baseline %d + %.0f%% tolerance (limit %.0f); run paperbench -memprofile to find the new allocation site",
+				cur.Matrix.AllocsPerKey, base.Matrix.AllocsPerKey, 100*opts.AllocTolerance, limit))
+		}
 	}
 	// Slicer layers/s is an enforced gate: the indexed slicing kernels
 	// are a deliverable this repository documents, so losing more than
@@ -281,6 +350,10 @@ func main() {
 	current := flag.String("current", "BENCH_obfuscade.json", "freshly measured report")
 	tolerance := flag.Float64("tolerance", 0.30, "allowed fractional wall-time regression of the parallel matrix")
 	maxSerialRatio := flag.Float64("max-serial-ratio", 1.25, "parallel matrix may be at most this multiple of the serial wall time (multi-core hosts only)")
+	minMatrixSpeedup := flag.Float64("min-matrix-speedup", 2.5,
+		"parallel matrix must reach this speedup over serial on multi-proc reports (0 disables)")
+	allocTol := flag.Float64("alloc-tolerance", 0.30,
+		"allowed fractional growth of matrix allocs/key vs baseline (warn-only)")
 	slicerTol := flag.Float64("slicer-tolerance", 0.30, "allowed fractional drop in slicer layers/s (always enforced)")
 	throughputTol := flag.Float64("throughput-tolerance", 0.40, "allowed fractional drop in mech replicates/s")
 	enforceThroughput := flag.Bool("enforce-throughput", false, "fail (instead of warn) when a throughput gate trips")
@@ -309,6 +382,11 @@ func main() {
 	}
 	row("matrix serial wall", base.Matrix.SerialSeconds, cur.Matrix.SerialSeconds, "s")
 	row("matrix parallel wall", base.Matrix.ParallelSeconds, cur.Matrix.ParallelSeconds, "s")
+	row("matrix speedup", base.Matrix.Speedup, cur.Matrix.Speedup, "x")
+	row("matrix allocs/key", float64(base.Matrix.AllocsPerKey), float64(cur.Matrix.AllocsPerKey), " ")
+	row("matrix MB alloc/key", float64(base.Matrix.BytesPerKey)/1e6, float64(cur.Matrix.BytesPerKey)/1e6, " ")
+	row("stage tessellate", base.Stages.TessellateSeconds, cur.Stages.TessellateSeconds, "s")
+	row("stage voxel", base.Stages.VoxelSeconds, cur.Stages.VoxelSeconds, "s")
 	row("slicer layers/s", base.Slicer.LayersPerSecond, cur.Slicer.LayersPerSecond, " ")
 	row("slicer index build", base.Slicer.IndexBuildSeconds, cur.Slicer.IndexBuildSeconds, "s")
 	row("mech replicates/s", base.Mech.ReplicatesPerSecond, cur.Mech.ReplicatesPerSecond, " ")
@@ -319,6 +397,8 @@ func main() {
 	res := evaluate(base, cur, gateOpts{
 		Tolerance:            *tolerance,
 		MaxSerialRatio:       *maxSerialRatio,
+		MinMatrixSpeedup:     *minMatrixSpeedup,
+		AllocTolerance:       *allocTol,
 		SlicerTolerance:      *slicerTol,
 		ThroughputTolerance:  *throughputTol,
 		EnforceThroughput:    *enforceThroughput,

@@ -14,6 +14,9 @@ func report(parallel, serial float64, procs int, layersPS, repsPS float64) bench
 	r.Matrix.SerialSeconds = serial
 	r.Matrix.ParallelSeconds = parallel
 	r.Matrix.Workers = 8
+	if parallel > 0 {
+		r.Matrix.Speedup = serial / parallel
+	}
 	r.Slicer.LayersPerSecond = layersPS
 	r.Mech.ReplicatesPerSecond = repsPS
 	// Healthy saturation defaults: two shards beat one on a multi-CPU
@@ -26,7 +29,8 @@ func report(parallel, serial float64, procs int, layersPS, repsPS float64) bench
 }
 
 var defaultOpts = gateOpts{
-	Tolerance: 0.30, MaxSerialRatio: 1.25, SlicerTolerance: 0.30, ThroughputTolerance: 0.40,
+	Tolerance: 0.30, MaxSerialRatio: 1.25, MinMatrixSpeedup: 2.5, AllocTolerance: 0.30,
+	SlicerTolerance: 0.30, ThroughputTolerance: 0.40,
 	MinShardScale: 1.0, SaturateP99Tolerance: 1.0,
 }
 
@@ -124,6 +128,88 @@ func TestSingleProcFixtureSkipsSpeedup(t *testing.T) {
 	}
 	if !found {
 		t.Fatalf("want a single-proc skip warning, got %v", res.Warnings)
+	}
+}
+
+// The speedup floor is machine-independent (serial and parallel columns
+// come from the same report): a multi-proc pool below the floor fails
+// even when the absolute wall times fit the cross-machine tolerance.
+func TestEvaluateMinMatrixSpeedupFloor(t *testing.T) {
+	base := report(1.0, 4.0, 8, 1000, 500)
+	cur := report(1.25, 2.0, 8, 1000, 500) // 1.6x < 2.5x floor, ratio gate fine
+	res := evaluate(base, cur, defaultOpts)
+	if res.ok() {
+		t.Fatal("want speedup-floor failure, got pass")
+	}
+	if !strings.Contains(res.Failures[0], "below the 2.50x floor") {
+		t.Fatalf("unexpected failure: %q", res.Failures[0])
+	}
+	// A single-proc report skips the floor along with the rest of the
+	// pool-sanity gate — a 1-CPU host cannot reach any speedup.
+	cur.GOMAXPROCS = 1
+	if res := evaluate(base, cur, defaultOpts); !res.ok() {
+		t.Fatalf("single-proc report must skip the speedup floor: %v", res.Failures)
+	}
+	// GOMAXPROCS env-pinned above the physical core count (the
+	// baseline-pinning recipe): min(num_cpu, workers) below the floor
+	// must skip with a warning, not fail an unreachable target.
+	cur.GOMAXPROCS = 8
+	cur.NumCPU = 1
+	res = evaluate(base, cur, defaultOpts)
+	if !res.ok() {
+		t.Fatalf("capacity-bounded host must skip the speedup floor: %v", res.Failures)
+	}
+	found := false
+	for _, w := range res.Warnings {
+		if strings.Contains(w, "cannot reach") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("want a capacity-skip warning, got %v", res.Warnings)
+	}
+	cur.NumCPU = 8
+	// MinMatrixSpeedup 0 disables the gate entirely.
+	cur.GOMAXPROCS = 8
+	opts := defaultOpts
+	opts.MinMatrixSpeedup = 0
+	if res := evaluate(base, cur, opts); !res.ok() {
+		t.Fatalf("zero floor must disable the gate: %v", res.Failures)
+	}
+}
+
+// The allocation-budget gate is warn-only: a >30% allocs/key growth
+// produces a warning pointing at -memprofile, never a failure, and a
+// baseline without the field pins rather than gates.
+func TestEvaluateAllocBudgetWarnOnly(t *testing.T) {
+	base := report(1.0, 4.0, 8, 1000, 500)
+	base.Matrix.AllocsPerKey = 50_000
+	cur := report(1.0, 4.0, 8, 1000, 500)
+	cur.Matrix.AllocsPerKey = 70_000 // +40% > 30% tolerance
+	res := evaluate(base, cur, defaultOpts)
+	if !res.ok() {
+		t.Fatalf("alloc growth must not fail: %v", res.Failures)
+	}
+	if len(res.Warnings) != 1 || !strings.Contains(res.Warnings[0], "allocs/key") ||
+		!strings.Contains(res.Warnings[0], "-memprofile") {
+		t.Fatalf("want one allocs/key warning naming -memprofile, got %v", res.Warnings)
+	}
+	// Within tolerance: silent.
+	cur.Matrix.AllocsPerKey = 60_000
+	if res := evaluate(base, cur, defaultOpts); len(res.Warnings) != 0 {
+		t.Fatalf("within-tolerance allocs must be silent: %v", res.Warnings)
+	}
+	// Pre-field baseline: pin, don't gate.
+	base.Matrix.AllocsPerKey = 0
+	cur.Matrix.AllocsPerKey = 70_000
+	res = evaluate(base, cur, defaultOpts)
+	if !res.ok() || len(res.Warnings) != 1 || !strings.Contains(res.Warnings[0], "pinning current") {
+		t.Fatalf("want one pin warning, got failures=%v warnings=%v", res.Failures, res.Warnings)
+	}
+	// Neither side measured (pre-field reports on both ends): silent.
+	cur.Matrix.AllocsPerKey = 0
+	if res := evaluate(base, cur, defaultOpts); len(res.Warnings) != 0 {
+		t.Fatalf("unmeasured allocs must be silent: %v", res.Warnings)
 	}
 }
 
@@ -272,8 +358,15 @@ func TestEvaluateShardScaleGate(t *testing.T) {
 	if !res.ok() {
 		t.Fatalf("1-CPU host must skip the shard-scale gate: %v", res.Failures)
 	}
-	if len(res.Warnings) != 1 || !strings.Contains(res.Warnings[0], "shard-scale gate skipped") {
-		t.Fatalf("want one skip warning, got %v", res.Warnings)
+	// A 1-CPU host also trips the speedup-floor capacity skip.
+	found := false
+	for _, w := range res.Warnings {
+		if strings.Contains(w, "shard-scale gate skipped") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("want a shard-scale skip warning, got %v", res.Warnings)
 	}
 }
 
